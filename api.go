@@ -1,0 +1,431 @@
+// Package parmvn is the public facade of the parallel high-dimensional
+// multivariate normal (MVN) probability library, a from-scratch Go
+// reproduction of "Parallel Approximations for High-Dimensional
+// Multivariate Normal Probability Computation in Confidence Region
+// Detection Applications" (IPDPS 2024).
+//
+// The package computes Φn(a,b;0,Σ) with the tiled, task-parallel
+// Separation-of-Variables algorithm — with either a dense or a Tile
+// Low-Rank (TLR) Cholesky factorization of Σ — and applies it to
+// confidence-region (excursion-set) detection on Gaussian random fields.
+//
+// Typical use:
+//
+//	s := parmvn.NewSession(parmvn.Config{Method: parmvn.TLR})
+//	defer s.Close()
+//	res, err := s.MVNProb(locs, kernel, a, b)
+//
+// The heavy lifting lives in the internal packages (linalg, tlr, taskrt,
+// mvn, excursion); this facade wires them together behind a small surface.
+package parmvn
+
+import (
+	"fmt"
+	"io"
+	"repro/internal/stats"
+	"runtime"
+
+	"repro/internal/cov"
+	"repro/internal/excursion"
+	"repro/internal/geo"
+	"repro/internal/linalg"
+	"repro/internal/mvn"
+	"repro/internal/taskrt"
+	"repro/internal/tile"
+	"repro/internal/tiledalg"
+	"repro/internal/tlr"
+)
+
+// Method selects how the Cholesky factorization of the covariance matrix is
+// computed and stored.
+type Method int
+
+// Factorization methods.
+const (
+	// Dense uses the tiled dense Cholesky (the paper's Chameleon path).
+	Dense Method = iota
+	// TLR compresses off-diagonal tiles to low rank (the HiCMA path),
+	// trading a user-chosen accuracy for large speedups.
+	TLR
+)
+
+// String returns "dense" or "tlr".
+func (m Method) String() string {
+	if m == TLR {
+		return "tlr"
+	}
+	return "dense"
+}
+
+// Point is a spatial location.
+type Point struct {
+	X, Y float64
+}
+
+// Grid returns an nx×ny regular grid of locations on the unit square.
+func Grid(nx, ny int) []Point {
+	g := geo.RegularGrid(nx, ny)
+	out := make([]Point, g.Len())
+	for i, p := range g.Pts {
+		out[i] = Point{p.X, p.Y}
+	}
+	return out
+}
+
+// KernelSpec selects a stationary covariance kernel.
+type KernelSpec struct {
+	// Family is "exponential", "matern" or "powexp".
+	Family string
+	// Sigma2 is the marginal variance σ² (default 1).
+	Sigma2 float64
+	// Range is the spatial range parameter a.
+	Range float64
+	// Nu is the Matérn smoothness (matern) or the exponent (powexp).
+	Nu float64
+	// Nugget adds white noise τ² on the diagonal.
+	Nugget float64
+}
+
+func (k KernelSpec) build() (cov.Kernel, error) {
+	s2 := k.Sigma2
+	if s2 == 0 {
+		s2 = 1
+	}
+	if k.Range <= 0 {
+		return nil, fmt.Errorf("parmvn: kernel range must be positive, got %g", k.Range)
+	}
+	var base cov.Kernel
+	switch k.Family {
+	case "exponential", "":
+		base = &cov.Exponential{Sigma2: s2, Range: k.Range}
+	case "matern":
+		if k.Nu <= 0 {
+			return nil, fmt.Errorf("parmvn: matern needs Nu > 0")
+		}
+		base = cov.NewMatern(s2, k.Range, k.Nu)
+	case "powexp":
+		if k.Nu <= 0 || k.Nu > 2 {
+			return nil, fmt.Errorf("parmvn: powexp needs 0 < Nu ≤ 2")
+		}
+		base = &cov.PoweredExponential{Sigma2: s2, Range: k.Range, Power: k.Nu}
+	default:
+		return nil, fmt.Errorf("parmvn: unknown kernel family %q", k.Family)
+	}
+	if k.Nugget > 0 {
+		base = &cov.Nugget{Kernel: base, Tau2: k.Nugget}
+	}
+	return base, nil
+}
+
+// Config tunes a Session.
+type Config struct {
+	// Method selects Dense or TLR factorization.
+	Method Method
+	// Workers is the worker-goroutine count (default GOMAXPROCS).
+	Workers int
+	// TileSize is the tile size (default 64).
+	TileSize int
+	// TLRTol is the TLR compression accuracy ε (default 1e-6).
+	TLRTol float64
+	// TLRMaxRank caps per-tile ranks (default TileSize/2; 0 keeps the
+	// default, negative means uncapped).
+	TLRMaxRank int
+	// QMCSize is the QMC sample size N (default 2000).
+	QMCSize int
+	// Replicates is the number of randomized QMC replicates used for error
+	// estimates (default 1).
+	Replicates int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.TileSize <= 0 {
+		c.TileSize = 64
+	}
+	if c.TLRTol <= 0 {
+		c.TLRTol = 1e-6
+	}
+	switch {
+	case c.TLRMaxRank == 0:
+		c.TLRMaxRank = c.TileSize / 2
+	case c.TLRMaxRank < 0:
+		c.TLRMaxRank = 0 // uncapped
+	}
+	if c.QMCSize <= 0 {
+		c.QMCSize = 2000
+	}
+	if c.Replicates <= 0 {
+		c.Replicates = 1
+	}
+	return c
+}
+
+// Result is a probability estimate with its randomized-QMC standard error
+// (zero unless Replicates ≥ 2).
+type Result struct {
+	Prob   float64
+	StdErr float64
+}
+
+// Session owns a task-runtime worker pool and a configuration; it is safe
+// to run many computations on one session, but not concurrently.
+type Session struct {
+	cfg Config
+	rt  *taskrt.Runtime
+}
+
+// NewSession starts a session with the given configuration.
+func NewSession(cfg Config) *Session {
+	c := cfg.withDefaults()
+	return &Session{cfg: c, rt: taskrt.New(c.Workers)}
+}
+
+// Config returns the session's effective (defaulted) configuration.
+func (s *Session) Config() Config { return s.cfg }
+
+// Close shuts down the worker pool.
+func (s *Session) Close() { s.rt.Shutdown() }
+
+// EnableTracing starts recording one event per executed runtime task;
+// retrieve the Chrome trace with WriteTrace.
+func (s *Session) EnableTracing() { s.rt.EnableTracing() }
+
+// WriteTrace writes the recorded task execution as Chrome trace-event JSON
+// (viewable in chrome://tracing or Perfetto).
+func (s *Session) WriteTrace(w io.Writer) error { return s.rt.WriteTrace(w) }
+
+func toGeom(locs []Point) *geo.Geom {
+	g := &geo.Geom{Pts: make([]geo.Point, len(locs))}
+	for i, p := range locs {
+		g.Pts[i] = geo.Point{X: p.X, Y: p.Y}
+	}
+	return g
+}
+
+func denseFromRows(sigma [][]float64) (*linalg.Matrix, error) {
+	n := len(sigma)
+	m := linalg.NewMatrix(n, n)
+	for i, row := range sigma {
+		if len(row) != n {
+			return nil, fmt.Errorf("parmvn: covariance row %d has %d entries, want %d", i, len(row), n)
+		}
+		for j, v := range row {
+			m.Set(i, j, v)
+		}
+	}
+	return m, nil
+}
+
+// factorize builds the Cholesky factor of sigma according to the session
+// method and wraps it as an mvn.Factor.
+func (s *Session) factorize(sigma *linalg.Matrix) (mvn.Factor, error) {
+	switch s.cfg.Method {
+	case TLR:
+		a, err := tlr.CompressSPD(tile.FromDense(sigma, s.cfg.TileSize), s.cfg.TLRTol, s.cfg.TLRMaxRank)
+		if err != nil {
+			return nil, err
+		}
+		if err := tlr.Potrf(s.rt, a); err != nil {
+			return nil, err
+		}
+		return mvn.NewTLRFactor(a), nil
+	default:
+		t := tile.FromDense(sigma, s.cfg.TileSize)
+		if err := tiledalg.Potrf(s.rt, t); err != nil {
+			return nil, err
+		}
+		return mvn.NewDenseFactor(t), nil
+	}
+}
+
+func (s *Session) mvnOpts() mvn.Options {
+	return mvn.Options{N: s.cfg.QMCSize, Replicates: s.cfg.Replicates}
+}
+
+// MVNProb computes Φn(a,b;0,Σ) where Σ is assembled from the kernel at the
+// given locations.
+func (s *Session) MVNProb(locs []Point, kernel KernelSpec, a, b []float64) (Result, error) {
+	k, err := kernel.build()
+	if err != nil {
+		return Result{}, err
+	}
+	sigma := cov.Matrix(toGeom(locs), k)
+	return s.mvnProbSigma(sigma, a, b)
+}
+
+// MVNProbCov computes Φn(a,b;0,Σ) for an explicit covariance matrix given
+// as rows.
+func (s *Session) MVNProbCov(sigma [][]float64, a, b []float64) (Result, error) {
+	m, err := denseFromRows(sigma)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.mvnProbSigma(m, a, b)
+}
+
+func (s *Session) mvnProbSigma(sigma *linalg.Matrix, a, b []float64) (Result, error) {
+	n := sigma.Rows
+	if len(a) != n || len(b) != n {
+		return Result{}, fmt.Errorf("parmvn: limits length (%d,%d) != dimension %d", len(a), len(b), n)
+	}
+	f, err := s.factorize(sigma)
+	if err != nil {
+		return Result{}, err
+	}
+	r := mvn.PMVN(s.rt, f, a, b, s.mvnOpts())
+	return Result{Prob: r.Prob, StdErr: r.StdErr}, nil
+}
+
+// MVTProb computes the multivariate Student-t probability T_n(a,b;Σ,ν)
+// with ν degrees of freedom, where Σ is assembled from the kernel at the
+// given locations — the companion capability of the tlrmvnmvt package the
+// paper builds on, on the same dense/TLR backends.
+func (s *Session) MVTProb(locs []Point, kernel KernelSpec, nu float64, a, b []float64) (Result, error) {
+	if nu <= 0 {
+		return Result{}, fmt.Errorf("parmvn: degrees of freedom %g must be positive", nu)
+	}
+	k, err := kernel.build()
+	if err != nil {
+		return Result{}, err
+	}
+	sigma := cov.Matrix(toGeom(locs), k)
+	n := sigma.Rows
+	if len(a) != n || len(b) != n {
+		return Result{}, fmt.Errorf("parmvn: limits length (%d,%d) != dimension %d", len(a), len(b), n)
+	}
+	f, err := s.factorize(sigma)
+	if err != nil {
+		return Result{}, err
+	}
+	r := mvn.PMVT(s.rt, f, a, b, nu, s.mvnOpts())
+	return Result{Prob: r.Prob, StdErr: r.StdErr}, nil
+}
+
+// Excursion is the output of confidence-region detection.
+type Excursion struct {
+	// Region holds the location indices inside E⁺_{u,α}.
+	Region []int
+	// F is the positive confidence function per location.
+	F []float64
+	// Marginal is the per-location marginal exceedance probability.
+	Marginal []float64
+	// Order is the marginal ordering (opM) the algorithm used.
+	Order []int
+}
+
+// InRegion returns a boolean mask over locations.
+func (e *Excursion) InRegion(n int) []bool {
+	mask := make([]bool, n)
+	for _, i := range e.Region {
+		if i >= 0 && i < n {
+			mask[i] = true
+		}
+	}
+	return mask
+}
+
+// DetectRegion finds the confidence region where the Gaussian field with
+// the given mean and covariance (from the kernel at locs) exceeds threshold
+// u with joint probability at least conf = 1−α, and evaluates the
+// confidence function at fPoints interpolation nodes (0 = every prefix —
+// the literal Algorithm 1 loop).
+func (s *Session) DetectRegion(locs []Point, kernel KernelSpec, mean []float64, u, conf float64, fPoints int) (*Excursion, error) {
+	k, err := kernel.build()
+	if err != nil {
+		return nil, err
+	}
+	sigma := cov.Matrix(toGeom(locs), k)
+	return s.detectSigma(sigma, mean, u, conf, fPoints)
+}
+
+// DetectRegionCov is DetectRegion with an explicit covariance matrix (e.g.
+// a posterior covariance from eq. 7).
+func (s *Session) DetectRegionCov(sigma [][]float64, mean []float64, u, conf float64, fPoints int) (*Excursion, error) {
+	m, err := denseFromRows(sigma)
+	if err != nil {
+		return nil, err
+	}
+	return s.detectSigma(m, mean, u, conf, fPoints)
+}
+
+func (s *Session) detectSigma(sigma *linalg.Matrix, mean []float64, u, conf float64, fPoints int) (*Excursion, error) {
+	n := sigma.Rows
+	if len(mean) != n {
+		return nil, fmt.Errorf("parmvn: mean length %d != dimension %d", len(mean), n)
+	}
+	if conf <= 0 || conf >= 1 {
+		return nil, fmt.Errorf("parmvn: confidence %g must be in (0,1)", conf)
+	}
+	corr, sd := excursion.CorrelationFromCovariance(sigma)
+	f, err := s.factorize(corr)
+	if err != nil {
+		return nil, err
+	}
+	c, err := excursion.NewComputer(s.rt, f, mean, sd, u, s.mvnOpts())
+	if err != nil {
+		return nil, err
+	}
+	res := c.ConfidenceFunction(fPoints)
+	region := c.Region(conf)
+	return &Excursion{
+		Region:   region,
+		F:        res.F,
+		Marginal: c.MarginalProbs(),
+		Order:    append([]int(nil), c.Ordering()...),
+	}, nil
+}
+
+// CovarianceMatrix assembles the covariance matrix of the kernel at the
+// given locations as rows, for workflows that post-process Σ before calling
+// MVNProbCov or DetectRegionCov. It panics on an invalid kernel; use
+// KernelSpec fields consistent with MVNProb.
+func CovarianceMatrix(locs []Point, kernel KernelSpec) [][]float64 {
+	k, err := kernel.build()
+	if err != nil {
+		panic(err)
+	}
+	sigma := cov.Matrix(toGeom(locs), k)
+	out := make([][]float64, sigma.Rows)
+	for i := range out {
+		out[i] = make([]float64, sigma.Cols)
+		for j := 0; j < sigma.Cols; j++ {
+			out[i][j] = sigma.At(i, j)
+		}
+	}
+	return out
+}
+
+// Posterior computes the posterior covariance and mean of a latent Gaussian
+// field observed at obsIdx with i.i.d. N(0, tau2) noise (the paper's
+// equations 7–8):
+//
+//	Σ_post = (Σ⁻¹ + (1/τ²)AᵀA)⁻¹,  µ_post = µ + (1/τ²)Σ_post·Aᵀ(y − Aµ)
+//
+// with A the indicator matrix of the observed locations.
+func Posterior(sigma [][]float64, mu []float64, obsIdx []int, y []float64, tau2 float64) ([][]float64, []float64, error) {
+	m, err := denseFromRows(sigma)
+	if err != nil {
+		return nil, nil, err
+	}
+	post, muPost, err := cov.Posterior(m, mu, obsIdx, y, tau2)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([][]float64, post.Rows)
+	for i := range out {
+		out[i] = make([]float64, post.Cols)
+		for j := 0; j < post.Cols; j++ {
+			out[i][j] = post.At(i, j)
+		}
+	}
+	return out, muPost, nil
+}
+
+// Phi is the univariate standard normal distribution function, exposed for
+// downstream marginal computations.
+func Phi(x float64) float64 { return stats.Phi(x) }
+
+// PhiInv is the inverse standard normal distribution function (AS241).
+func PhiInv(p float64) float64 { return stats.PhiInv(p) }

@@ -1,0 +1,212 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out: tile
+// size, sample-tile width, QMC generator, variable reordering, TLR rank cap
+// and the mixed-precision band. Custom metrics report accuracy alongside
+// time where the trade-off is accuracy-vs-speed.
+package parmvn
+
+import (
+	"math"
+	"strconv"
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/mixprec"
+	"repro/internal/mvn"
+	"repro/internal/qmc"
+	"repro/internal/taskrt"
+	"repro/internal/tile"
+	"repro/internal/tiledalg"
+	"repro/internal/tlr"
+)
+
+// BenchmarkAblationTileSize sweeps the tile size of one dense MVN
+// integration at n=900, N=500: too-small tiles pay scheduling overhead,
+// too-large tiles lose pipeline parallelism.
+func BenchmarkAblationTileSize(b *testing.B) {
+	sigma := benchCorr(30)
+	a, up := benchLimits(900, -0.5)
+	for _, ts := range []int{25, 45, 90, 180, 450} {
+		b.Run("ts"+strconv.Itoa(ts), func(b *testing.B) {
+			rt := taskrt.New(4)
+			defer rt.Shutdown()
+			for i := 0; i < b.N; i++ {
+				t := tile.FromDense(sigma, ts)
+				if err := tiledalg.Potrf(rt, t); err != nil {
+					b.Fatal(err)
+				}
+				mvn.PMVN(rt, mvn.NewDenseFactor(t), a, up, mvn.Options{N: 500})
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSampleTile sweeps the chains-per-tile-column width of
+// the QMC sampling axis.
+func BenchmarkAblationSampleTile(b *testing.B) {
+	sigma := benchCorr(30)
+	a, up := benchLimits(900, -0.5)
+	rt := taskrt.New(4)
+	defer rt.Shutdown()
+	t := tile.FromDense(sigma, 90)
+	if err := tiledalg.Potrf(rt, t); err != nil {
+		b.Fatal(err)
+	}
+	f := mvn.NewDenseFactor(t)
+	for _, mc := range []int{25, 100, 250, 1000} {
+		b.Run("mc"+strconv.Itoa(mc), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mvn.PMVN(rt, f, a, up, mvn.Options{N: 1000, SampleTile: mc})
+			}
+		})
+	}
+}
+
+// BenchmarkAblationQMCGenerator compares the Richtmyer lattice, Halton and
+// plain pseudo-MC on the same integration, reporting the absolute error
+// against a converged reference as a metric.
+func BenchmarkAblationQMCGenerator(b *testing.B) {
+	sigma := benchCorr(16) // n=256
+	// Box [-3,3]^256 keeps the probability near 1/2 so relative errors are
+	// meaningful.
+	a := make([]float64, 256)
+	up := make([]float64, 256)
+	for i := range a {
+		a[i], up[i] = -3, 3
+	}
+	rt := taskrt.New(4)
+	defer rt.Shutdown()
+	t := tile.FromDense(sigma, 64)
+	if err := tiledalg.Potrf(rt, t); err != nil {
+		b.Fatal(err)
+	}
+	f := mvn.NewDenseFactor(t)
+	// Converged reference: Richtmyer with a large N.
+	ref := mvn.PMVN(rt, f, a, up, mvn.Options{N: 200000}).Prob
+	gens := map[string]func(dim int, shift []float64) qmc.Generator{
+		"richtmyer": func(d int, s []float64) qmc.Generator { return qmc.NewRichtmyerShifted(d, s) },
+		"halton":    func(d int, s []float64) qmc.Generator { return qmc.NewHalton(d, s) },
+		"pseudo":    func(d int, s []float64) qmc.Generator { return qmc.NewPseudo(d, 42) },
+	}
+	for name, gen := range gens {
+		b.Run(name, func(b *testing.B) {
+			var errSum float64
+			for i := 0; i < b.N; i++ {
+				res := mvn.PMVN(rt, f, a, up, mvn.Options{N: 2000, NewGen: gen})
+				errSum += math.Abs(res.Prob - ref)
+			}
+			b.ReportMetric(errSum/float64(b.N)/math.Max(ref, 1e-300), "relerr")
+		})
+	}
+}
+
+// BenchmarkAblationReordering reports the randomized-QMC relative spread
+// with and without the Genz–Bretz univariate reordering.
+func BenchmarkAblationReordering(b *testing.B) {
+	side := 5
+	sigma := benchCorr(side)
+	n := side * side
+	a := make([]float64, n)
+	up := make([]float64, n)
+	for i := range a {
+		a[i] = -3 + 4*float64(i%7)/6
+		up[i] = math.Inf(1)
+	}
+	perm := mvn.UnivariateReorder(a, up, sigma)
+	ap, bp, sp := mvn.PermuteProblem(a, up, sigma, perm)
+	for _, tc := range []struct {
+		name   string
+		av, bv []float64
+		s      *linalg.Matrix
+	}{{"original", a, up, sigma}, {"reordered", ap, bp, sp}} {
+		b.Run(tc.name, func(b *testing.B) {
+			rt := taskrt.New(2)
+			defer rt.Shutdown()
+			t := tile.FromDense(tc.s, 13)
+			if err := tiledalg.Potrf(rt, t); err != nil {
+				b.Fatal(err)
+			}
+			f := mvn.NewDenseFactor(t)
+			var rel float64
+			for i := 0; i < b.N; i++ {
+				res := mvn.PMVN(rt, f, tc.av, tc.bv, mvn.Options{N: 500, Replicates: 8})
+				rel += res.StdErr / math.Max(res.Prob, 1e-300)
+			}
+			b.ReportMetric(rel/float64(b.N), "relstderr")
+		})
+	}
+}
+
+// BenchmarkAblationTLRRankCap sweeps the TLR maximum-rank cap, reporting
+// the factorization residual as a metric: the accuracy/speed dial the paper
+// turns with its compression threshold.
+func BenchmarkAblationTLRRankCap(b *testing.B) {
+	sigma := benchCorr(30)
+	want, err := linalg.Cholesky(sigma)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, cap := range []int{4, 8, 16, 45} {
+		b.Run("cap"+strconv.Itoa(cap), func(b *testing.B) {
+			rt := taskrt.New(2)
+			defer rt.Shutdown()
+			var resid float64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				a, err := tlr.CompressSPD(tile.FromDense(sigma, 90), 1e-9, cap)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if err := tlr.Potrf(rt, a); err != nil {
+					b.Fatal(err)
+				}
+				resid += a.ToDense().MaxAbsDiff(want)
+			}
+			b.ReportMetric(resid/float64(b.N), "maxerr")
+		})
+	}
+}
+
+// BenchmarkAblationMixedPrecisionBand sweeps the double-precision band of
+// the mixed-precision Cholesky, reporting the factor error vs f64.
+func BenchmarkAblationMixedPrecisionBand(b *testing.B) {
+	sigma := benchCorr(24) // n=576, 8 tiles of 72
+	want, err := linalg.Cholesky(sigma)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, band := range []int{0, 1, 3, 7} {
+		b.Run("band"+strconv.Itoa(band), func(b *testing.B) {
+			rt := taskrt.New(2)
+			defer rt.Shutdown()
+			var errSum float64
+			for i := 0; i < b.N; i++ {
+				f, err := mixprec.Potrf(rt, tile.FromDense(sigma, 72), band)
+				if err != nil {
+					b.Fatal(err)
+				}
+				errSum += f.ToDense().MaxAbsDiff(want)
+			}
+			b.ReportMetric(errSum/float64(b.N), "maxerr")
+		})
+	}
+}
+
+// BenchmarkAblationWorkers sweeps the worker-pool size of the tiled
+// Cholesky (informative on multicore hosts; a single-core host shows the
+// scheduling overhead alone).
+func BenchmarkAblationWorkers(b *testing.B) {
+	sigma := benchCorr(30)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run("w"+strconv.Itoa(w), func(b *testing.B) {
+			rt := taskrt.New(w)
+			defer rt.Shutdown()
+			for i := 0; i < b.N; i++ {
+				t := tile.FromDense(sigma, 45)
+				if err := tiledalg.Potrf(rt, t); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

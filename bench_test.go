@@ -1,0 +1,294 @@
+// Benchmarks mapping one-to-one onto the paper's tables and figures (see
+// EXPERIMENTS.md). Each benchmark exercises the same code path as the
+// corresponding experiment at a laptop-sized workload; the cmd/figures tool
+// runs the full sweeps and prints the tables.
+package parmvn
+
+import (
+	"io"
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/cov"
+	"repro/internal/excursion"
+	"repro/internal/figures"
+	"repro/internal/geo"
+	"repro/internal/linalg"
+	"repro/internal/mvn"
+	"repro/internal/taskrt"
+	"repro/internal/tile"
+	"repro/internal/tiledalg"
+	"repro/internal/tlr"
+	"repro/internal/wind"
+)
+
+// benchCorr builds the medium-correlation exponential covariance on a
+// side×side grid.
+func benchCorr(side int) *linalg.Matrix {
+	g := geo.RegularGrid(side, side)
+	return cov.Matrix(g, &cov.Exponential{Sigma2: 1, Range: 0.1})
+}
+
+func benchLimits(n int, lo float64) (a, b []float64) {
+	a = make([]float64, n)
+	b = make([]float64, n)
+	for i := range a {
+		a[i] = lo
+		b[i] = math.Inf(1)
+	}
+	return
+}
+
+// BenchmarkFig1CRD is Figure 1's unit of work: one confidence-region
+// detection (bisection over PMVN prefix probabilities) on a posterior-like
+// field, dense factorization.
+func BenchmarkFig1CRD(b *testing.B) {
+	sigma := benchCorr(16) // n=256
+	corr, sd := excursion.CorrelationFromCovariance(sigma)
+	mean := make([]float64, 256)
+	for i := range mean {
+		mean[i] = 2.2 - 0.01*float64(i)
+	}
+	rt := taskrt.New(4)
+	defer rt.Shutdown()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := tile.FromDense(corr, 64)
+		if err := tiledalg.Potrf(rt, t); err != nil {
+			b.Fatal(err)
+		}
+		c, err := excursion.NewComputer(rt, mvn.NewDenseFactor(t), mean, sd, 0, mvn.Options{N: 1000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if reg := c.Region(0.9); len(reg) == 0 {
+			b.Fatal("empty region")
+		}
+	}
+}
+
+// BenchmarkFig2Wind is the wind application's unit of work: standardize the
+// synthetic Saudi dataset and detect the 4 m/s 95% region (dense).
+func BenchmarkFig2Wind(b *testing.B) {
+	ds, err := wind.Generate(wind.Config{Nx: 14, Ny: 12, Days: 60, Seed: 11})
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, mean, sd := ds.Standardize(40)
+	g := geo.RegularGrid(14, 12)
+	corr := cov.Matrix(g, &cov.Nugget{Kernel: cov.NewMatern(1, 0.12, 1.43391), Tau2: 1e-6})
+	rt := taskrt.New(4)
+	defer rt.Shutdown()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := tile.FromDense(corr, 42)
+		if err := tiledalg.Potrf(rt, t); err != nil {
+			b.Fatal(err)
+		}
+		c, err := excursion.NewComputer(rt, mvn.NewDenseFactor(t), mean, sd, 4.0, mvn.Options{N: 1000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		c.Region(0.95)
+	}
+}
+
+// BenchmarkFig3DenseTLRDiff measures the TLR side of the wind comparison:
+// the same detection through a TLR factorization at the paper's 1e-4
+// accuracy.
+func BenchmarkFig3DenseTLRDiff(b *testing.B) {
+	ds, err := wind.Generate(wind.Config{Nx: 14, Ny: 12, Days: 60, Seed: 11})
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, mean, sd := ds.Standardize(40)
+	g := geo.RegularGrid(14, 12)
+	corr := cov.Matrix(g, &cov.Nugget{Kernel: cov.NewMatern(1, 0.12, 1.43391), Tau2: 1e-6})
+	rt := taskrt.New(4)
+	defer rt.Shutdown()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := tlr.CompressSPD(tile.FromDense(corr, 42), 1e-4, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tlr.Potrf(rt, a); err != nil {
+			b.Fatal(err)
+		}
+		c, err := excursion.NewComputer(rt, mvn.NewTLRFactor(a), mean, sd, 4.0, mvn.Options{N: 1000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		c.Region(0.95)
+	}
+}
+
+// oneMVN runs Figure 4's unit of work: Cholesky + one PMVN integration.
+func oneMVN(b *testing.B, side, qmcN int, useTLR bool) {
+	b.Helper()
+	sigma := benchCorr(side)
+	n := side * side
+	a, up := benchLimits(n, -0.5)
+	ts := max(25, n/10)
+	rt := taskrt.New(4)
+	defer rt.Shutdown()
+	var pre *tlr.Matrix
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if useTLR {
+			b.StopTimer() // compression = pmvn_init, untimed as in the paper
+			var err error
+			pre, _, err = func() (*tlr.Matrix, float64, error) {
+				m, err := tlr.CompressSPD(tile.FromDense(sigma, ts), 1e-3, 0)
+				return m, 0, err
+			}()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if err := tlr.Potrf(rt, pre); err != nil {
+				b.Fatal(err)
+			}
+			mvn.PMVN(rt, mvn.NewTLRFactor(pre), a, up, mvn.Options{N: qmcN})
+		} else {
+			t := tile.FromDense(sigma, ts)
+			if err := tiledalg.Potrf(rt, t); err != nil {
+				b.Fatal(err)
+			}
+			mvn.PMVN(rt, mvn.NewDenseFactor(t), a, up, mvn.Options{N: qmcN})
+		}
+	}
+}
+
+// BenchmarkFig4 sweeps the Figure 4 grid at bench scale: dimension ×
+// QMC size × method.
+func BenchmarkFig4(b *testing.B) {
+	for _, side := range []int{20, 30} {
+		for _, qn := range []int{100, 1000} {
+			for _, method := range []string{"dense", "tlr"} {
+				name := "n" + strconv.Itoa(side*side) + "/N" + strconv.Itoa(qn) + "/" + method
+				b.Run(name, func(b *testing.B) {
+					oneMVN(b, side, qn, method == "tlr")
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkTable2Speedup reports the TLR-over-dense speedup of one MVN
+// integration as a custom metric (the paper's Table II entry).
+func BenchmarkTable2Speedup(b *testing.B) {
+	side, qn := 30, 1000
+	sigma := benchCorr(side)
+	n := side * side
+	a, up := benchLimits(n, -0.5)
+	ts := n / 10
+	rt := taskrt.New(4)
+	defer rt.Shutdown()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		denseSec := benchSeconds(func() {
+			t := tile.FromDense(sigma, ts)
+			if err := tiledalg.Potrf(rt, t); err != nil {
+				b.Fatal(err)
+			}
+			mvn.PMVN(rt, mvn.NewDenseFactor(t), a, up, mvn.Options{N: qn})
+		})
+		pre, err := tlr.CompressSPD(tile.FromDense(sigma, ts), 1e-3, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tlrSec := benchSeconds(func() {
+			if err := tlr.Potrf(rt, pre); err != nil {
+				b.Fatal(err)
+			}
+			mvn.PMVN(rt, mvn.NewTLRFactor(pre), a, up, mvn.Options{N: qn})
+		})
+		b.ReportMetric(denseSec/tlrSec, "speedupX")
+	}
+}
+
+// BenchmarkFig5Compression measures the TLR compression of a 20×20-tile
+// covariance at accuracy 1e-3 (the matrix behind the rank maps).
+func BenchmarkFig5Compression(b *testing.B) {
+	sigma := benchCorr(40) // 1600², ts=80: 20×20 tiles
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := tlr.CompressSPD(tile.FromDense(sigma, 80), 1e-3, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, mean := a.RankStats(); mean <= 0 {
+			b.Fatal("no compression")
+		}
+	}
+}
+
+// BenchmarkFig6MCValidation times the Monte Carlo validation pass.
+func BenchmarkFig6MCValidation(b *testing.B) {
+	sigma := benchCorr(20)
+	l, err := linalg.Cholesky(sigma)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := 400
+	mean := make([]float64, n)
+	sd := make([]float64, n)
+	region := make([]int, 40)
+	for i := range sd {
+		sd[i] = 1
+		mean[i] = 0.5
+	}
+	for i := range region {
+		region[i] = i
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		excursion.MCValidate(region, mean, sd, 0, l, 2000, rng)
+	}
+}
+
+// BenchmarkFig7ClusterSim runs one simulated distributed configuration of
+// Figure 7 per iteration (dense, 128 nodes, n = 360,000).
+func BenchmarkFig7ClusterSim(b *testing.B) {
+	w := cluster.Workload{N: 360000, TileSize: 980, QMC: 10000, SampleTS: 500, MeanRank: 145, PropFlopScale: 2.5}
+	for i := 0; i < b.N; i++ {
+		chol, pmvn := cluster.MVNMakespan(cluster.ShaheenII(128), w)
+		if chol <= 0 || pmvn <= 0 {
+			b.Fatal("bad makespan")
+		}
+	}
+}
+
+// BenchmarkTable3Speedup reports the simulated distributed TLR speedup as a
+// custom metric (the paper's Table III entry for 128 nodes).
+func BenchmarkTable3Speedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		wd := cluster.Workload{N: 360000, TileSize: 980, QMC: 10000, SampleTS: 500, MeanRank: 145, PropFlopScale: 2.5}
+		cd, pd := cluster.MVNMakespan(cluster.ShaheenII(128), wd)
+		wd.TLR = true
+		ct, pt := cluster.MVNMakespan(cluster.ShaheenII(128), wd)
+		b.ReportMetric((cd+pd)/(ct+pt), "speedupX")
+	}
+}
+
+// BenchmarkFigureHarnessFig7 runs the full Figure 7 harness (quick mode) —
+// the slowest always-on path of cmd/figures.
+func BenchmarkFigureHarnessFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := figures.Fig7(io.Discard, figures.Config{Quick: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchSeconds(f func()) float64 {
+	start := time.Now()
+	f()
+	return time.Since(start).Seconds()
+}

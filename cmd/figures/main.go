@@ -1,0 +1,76 @@
+// Command figures regenerates the paper's tables and figures as text.
+//
+// Usage:
+//
+//	figures [-quick=false] [-workers N] [-fig 1|2|4|5|6|7] [-table 2|3] [-all]
+//
+// Figure 3 is produced together with Figure 2 (same experiment), Table II
+// with Figure 4 and Table III with Figure 7.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/figures"
+)
+
+func main() {
+	quick := flag.Bool("quick", true, "run the seconds-scale variants; -quick=false approaches the paper's settings")
+	workers := flag.Int("workers", 0, "task-runtime workers (0 = default)")
+	fig := flag.Int("fig", 0, "regenerate one figure (1, 2, 4, 5, 6 or 7)")
+	table := flag.Int("table", 0, "regenerate one table (2 or 3)")
+	all := flag.Bool("all", false, "regenerate everything")
+	flag.Parse()
+
+	cfg := figures.Config{Quick: *quick, Workers: *workers}
+	w := os.Stdout
+	runAll := *all || (*fig == 0 && *table == 0)
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+	if runAll || *fig == 1 {
+		if _, err := figures.Fig1(w, cfg); err != nil {
+			fail(err)
+		}
+		fmt.Fprintln(w)
+	}
+	if runAll || *fig == 2 || *fig == 3 {
+		if _, err := figures.Fig2(w, cfg); err != nil {
+			fail(err)
+		}
+		fmt.Fprintln(w)
+	}
+	if runAll || *fig == 4 || *table == 2 {
+		rows, err := figures.Fig4(w, cfg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintln(w)
+		figures.Table2(w, rows)
+		fmt.Fprintln(w)
+	}
+	if runAll || *fig == 5 {
+		if _, err := figures.Fig5(w, cfg); err != nil {
+			fail(err)
+		}
+		fmt.Fprintln(w)
+	}
+	if runAll || *fig == 6 {
+		if _, err := figures.Fig6(w, cfg); err != nil {
+			fail(err)
+		}
+		fmt.Fprintln(w)
+	}
+	if runAll || *fig == 7 || *table == 3 {
+		rows, err := figures.Fig7(w, cfg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintln(w)
+		figures.Table3(w, rows)
+	}
+}

@@ -1,0 +1,115 @@
+package parmvn
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// TestEndToEndWorkflow drives the full public API the way the paper's
+// application does: build a posterior from observations (eqs. 7–8), detect
+// the confidence region with both factorization methods, compare them, and
+// capture an execution trace — one test standing in for a user session.
+func TestEndToEndWorkflow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end workflow is heavy")
+	}
+	const side = 12
+	locs := Grid(side, side)
+	n := len(locs)
+	kernel := KernelSpec{Family: "exponential", Range: 0.2}
+	sigma := CovarianceMatrix(locs, kernel)
+
+	// Observations: the west half is high.
+	var obsIdx []int
+	var y []float64
+	for i, p := range locs {
+		if i%3 == 0 {
+			obsIdx = append(obsIdx, i)
+			y = append(y, 1.5-3*p.X)
+		}
+	}
+	mu := make([]float64, n)
+	postCov, postMu, err := Posterior(sigma, mu, obsIdx, y, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	regions := map[Method][]int{}
+	for _, method := range []Method{Dense, TLR} {
+		s := NewSession(Config{Method: method, TileSize: 36, QMCSize: 3000, TLRTol: 1e-5})
+		s.EnableTracing()
+		exc, err := s.DetectRegionCov(postCov, postMu, 0.0, 0.9, 12)
+		if err != nil {
+			s.Close()
+			t.Fatalf("%v: %v", method, err)
+		}
+		var buf bytes.Buffer
+		if err := s.WriteTrace(&buf); err != nil {
+			s.Close()
+			t.Fatal(err)
+		}
+		s.Close()
+		var events []map[string]any
+		if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+			t.Fatalf("%v: bad trace: %v", method, err)
+		}
+		if len(events) == 0 {
+			t.Errorf("%v: empty execution trace", method)
+		}
+		regions[method] = exc.Region
+
+		// The detected region must favor the observed-high west.
+		for _, loc := range exc.Region {
+			if locs[loc].X > 0.75 {
+				t.Errorf("%v: eastern location %d in region", method, loc)
+			}
+		}
+		if len(exc.Region) == 0 {
+			t.Errorf("%v: empty region", method)
+		}
+	}
+	// Dense and TLR agree almost exactly at 1e-5 compression.
+	d, tl := regions[Dense], regions[TLR]
+	if math.Abs(float64(len(d)-len(tl))) > 2 {
+		t.Errorf("region sizes diverge: dense %d vs TLR %d", len(d), len(tl))
+	}
+}
+
+// TestSessionReuse runs several different computations through one session
+// to verify the runtime can be reused across phases.
+func TestSessionReuse(t *testing.T) {
+	s := NewSession(Config{TileSize: 16, QMCSize: 800})
+	defer s.Close()
+	locs := Grid(6, 6)
+	n := len(locs)
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i], b[i] = -2, 2
+	}
+	k := KernelSpec{Range: 0.15}
+	r1, err := s.MVNProb(locs, k, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.MVTProb(locs, k, 5, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := make([]float64, n)
+	for i := range mean {
+		mean[i] = 1 - 2*locs[i].X
+	}
+	exc, err := s.DetectRegion(locs, k, mean, 0, 0.8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Prob <= 0 || r1.Prob > 1 || r2.Prob <= 0 || r2.Prob > 1 {
+		t.Errorf("implausible probabilities %v %v", r1.Prob, r2.Prob)
+	}
+	if len(exc.F) != n {
+		t.Errorf("confidence function length %d", len(exc.F))
+	}
+}

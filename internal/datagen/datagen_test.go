@@ -1,0 +1,174 @@
+package datagen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cov"
+	"repro/internal/geo"
+)
+
+func TestSimulateMomentsMatchKernel(t *testing.T) {
+	// Across many realizations, the sample variance at each point matches
+	// σ² and the lag-1 correlation matches the kernel.
+	rng := rand.New(rand.NewSource(1))
+	g := geo.RegularGrid(6, 6)
+	k := &cov.Exponential{Sigma2: 2, Range: 0.3}
+	const reps = 3000
+	n := g.Len()
+	sum2 := make([]float64, n)
+	cross := 0.0
+	for r := 0; r < reps; r++ {
+		f, err := Simulate(g, k, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range f.Values {
+			sum2[i] += v * v
+		}
+		cross += f.Values[0] * f.Values[1]
+	}
+	for i := 0; i < n; i++ {
+		if v := sum2[i] / reps; math.Abs(v-2) > 0.25 {
+			t.Errorf("variance at %d = %v, want 2", i, v)
+		}
+	}
+	wantCov := k.Cov(g.Dist(0, 1))
+	if got := cross / reps; math.Abs(got-wantCov) > 0.2 {
+		t.Errorf("lag-1 covariance %v, want %v", got, wantCov)
+	}
+}
+
+func TestNegLogLikelihoodGaussianIdentity(t *testing.T) {
+	// For Σ = I (huge nugget-free variance 1 at distance ∞... use a tiny
+	// range so off-diagonals vanish), ℓ = ½Σy² + (n/2)log 2π.
+	g := geo.RegularGrid(4, 4)
+	k := &cov.Exponential{Sigma2: 1, Range: 1e-6}
+	y := make([]float64, 16)
+	rng := rand.New(rand.NewSource(2))
+	for i := range y {
+		y[i] = rng.NormFloat64()
+	}
+	var quad float64
+	for _, v := range y {
+		quad += v * v
+	}
+	want := 0.5*quad + 8*math.Log(2*math.Pi)
+	got := NegLogLikelihood(g, y, k)
+	if math.Abs(got-want) > 1e-6 {
+		t.Errorf("negll %v, want %v", got, want)
+	}
+}
+
+func TestNegLogLikelihoodPrefersTrueParams(t *testing.T) {
+	// The likelihood at the generating parameters should beat clearly wrong
+	// parameters, averaged over realizations.
+	rng := rand.New(rand.NewSource(3))
+	g := geo.RegularGrid(8, 8)
+	truth := &cov.Exponential{Sigma2: 1, Range: 0.15}
+	better, worse := 0, 0
+	for r := 0; r < 20; r++ {
+		f, err := Simulate(g, truth, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		llTrue := NegLogLikelihood(g, f.Values, truth)
+		llWrong := NegLogLikelihood(g, f.Values, &cov.Exponential{Sigma2: 4, Range: 0.8})
+		if llTrue < llWrong {
+			better++
+		} else {
+			worse++
+		}
+	}
+	if better <= worse {
+		t.Errorf("true params won %d/20 likelihood comparisons", better)
+	}
+}
+
+func TestFitExponentialRecoversRange(t *testing.T) {
+	if testing.Short() {
+		t.Skip("MLE fit is slow")
+	}
+	rng := rand.New(rand.NewSource(4))
+	g := geo.RegularGrid(10, 10)
+	truth := &cov.Exponential{Sigma2: 1, Range: 0.1}
+	f, err := Simulate(g, truth, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := FitExponential(g, f.Values, 0.5, 0.3, 400)
+	k := res.Kernel.(*cov.Exponential)
+	// A single realization on 100 points gives rough estimates; require the
+	// right order of magnitude and a better likelihood than the start.
+	if k.Range < 0.02 || k.Range > 0.5 {
+		t.Errorf("fitted range %v implausible (truth 0.1)", k.Range)
+	}
+	if start := NegLogLikelihood(g, f.Values, &cov.Exponential{Sigma2: 0.5, Range: 0.3}); res.NegLL > start {
+		t.Errorf("fit (%v) did not improve on start (%v)", res.NegLL, start)
+	}
+}
+
+func TestFitMaternImprovesLikelihood(t *testing.T) {
+	if testing.Short() {
+		t.Skip("MLE fit is slow")
+	}
+	rng := rand.New(rand.NewSource(5))
+	g := geo.RegularGrid(8, 8)
+	truth := cov.NewMatern(1, 0.12, 1.5)
+	f, err := Simulate(g, truth, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := cov.Matern{Sigma2: 2, Range: 0.3, Nu: 0.8}
+	res := FitMatern(g, f.Values, start, 300)
+	ll0 := NegLogLikelihood(g, f.Values, cov.NewMatern(start.Sigma2, start.Range, start.Nu))
+	if res.NegLL >= ll0 {
+		t.Errorf("Matérn fit did not improve: %v vs %v", res.NegLL, ll0)
+	}
+	p := res.Kernel.Params()
+	for i, v := range p {
+		if v <= 0 || math.IsNaN(v) {
+			t.Errorf("fitted param %d = %v", i, v)
+		}
+	}
+}
+
+func TestSyntheticDatasetShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	ds, err := NewSyntheticDataset(8, 20, "medium", rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Field.Geom.Len() != 64 {
+		t.Errorf("field size %d", ds.Field.Geom.Len())
+	}
+	if len(ds.ObsIdx) != 20 || len(ds.Y) != 20 {
+		t.Errorf("obs sizes %d,%d", len(ds.ObsIdx), len(ds.Y))
+	}
+	if ds.PostCov.Rows != 64 || len(ds.PostMu) != 64 {
+		t.Errorf("posterior sizes %dx%d, %d", ds.PostCov.Rows, ds.PostCov.Cols, len(ds.PostMu))
+	}
+	// Posterior variance at observed locations is below the prior variance.
+	for _, i := range ds.ObsIdx {
+		if ds.PostCov.At(i, i) >= 1 {
+			t.Errorf("posterior variance %v at observed location %d", ds.PostCov.At(i, i), i)
+		}
+	}
+}
+
+func TestSyntheticDatasetUnknownLevel(t *testing.T) {
+	if _, err := NewSyntheticDataset(4, 4, "extreme", rand.New(rand.NewSource(1))); err == nil {
+		t.Error("want error for unknown correlation level")
+	}
+}
+
+func TestSyntheticDatasetLevels(t *testing.T) {
+	// All three paper levels must build successfully.
+	for level := range PaperSyntheticRanges {
+		rng := rand.New(rand.NewSource(7))
+		if _, err := NewSyntheticDataset(6, 10, level, rng); err != nil {
+			t.Errorf("level %s: %v", level, err)
+		}
+	}
+}

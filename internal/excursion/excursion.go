@@ -1,0 +1,301 @@
+// Package excursion implements the confidence-region (excursion-set)
+// detection of Bolin & Lindgren driven by high-dimensional MVN
+// probabilities — the paper's Algorithm 1. Locations are ordered by
+// marginal exceedance probability; the positive confidence function
+// F⁺(s) is the joint probability that every location in the prefix ending
+// at s exceeds the threshold; the confidence region at level 1−α is the
+// largest prefix whose joint probability still exceeds 1−α.
+//
+// The joint prefix probability is non-increasing in the prefix length, so
+// the region boundary can be found with O(log n) PMVN evaluations
+// (bisection mode) instead of the n evaluations of the literal Algorithm 1
+// loop (exact mode); both are provided and validated against each other.
+package excursion
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/linalg"
+	"repro/internal/mvn"
+	"repro/internal/stats"
+	"repro/internal/taskrt"
+)
+
+// Marginals returns the marginal exceedance probabilities
+// pM[i] = P(X_i > u) = 1 − Φ((u − mean[i])/sd[i])  (Algorithm 1, lines 3–5).
+func Marginals(mean, sd []float64, u float64) []float64 {
+	p := make([]float64, len(mean))
+	for i := range p {
+		p[i] = 1 - stats.Phi((u-mean[i])/sd[i])
+	}
+	return p
+}
+
+// Order returns the location indices sorted by decreasing marginal
+// probability (the opM vector of Algorithm 1, line 6). Ties break by index
+// for determinism.
+func Order(pM []float64) []int {
+	idx := make([]int, len(pM))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return pM[idx[a]] > pM[idx[b]] })
+	return idx
+}
+
+// CorrelationFromCovariance returns the correlation matrix
+// R = D^{-1/2}·Σ·D^{-1/2} and the standard deviations √Σii. The excursion
+// limits are standardized per location, so the MVN integration runs on the
+// correlation matrix.
+func CorrelationFromCovariance(sigma *linalg.Matrix) (*linalg.Matrix, []float64) {
+	n := sigma.Rows
+	sd := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sd[i] = math.Sqrt(sigma.At(i, i))
+	}
+	r := linalg.NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		src, dst := sigma.Col(j), r.Col(j)
+		for i := 0; i < n; i++ {
+			dst[i] = src[i] / (sd[i] * sd[j])
+		}
+	}
+	return r, sd
+}
+
+// Computer evaluates prefix joint probabilities for one detection problem.
+// Factor must hold the Cholesky factor of the CORRELATION matrix of the
+// field; Mean and SD describe the (posterior) marginal distribution at each
+// location; U is the exceedance threshold.
+type Computer struct {
+	RT     *taskrt.Runtime
+	Factor mvn.Factor
+	Mean   []float64
+	SD     []float64
+	U      float64
+	Opts   mvn.Options
+
+	// negative selects E⁻ (regions where X < u) instead of E⁺.
+	negative bool
+
+	pM    []float64
+	order []int
+	cache map[int]float64
+}
+
+// NewComputer validates the inputs and precomputes the marginal ordering
+// for positive excursion sets E⁺ (X > u).
+func NewComputer(rt *taskrt.Runtime, f mvn.Factor, mean, sd []float64, u float64, opts mvn.Options) (*Computer, error) {
+	return newComputerDir(rt, f, mean, sd, u, opts, false)
+}
+
+// NewNegativeComputer is NewComputer for negative excursion sets E⁻
+// (regions where X < u with the given confidence), the mirror-image
+// construction of Bolin & Lindgren.
+func NewNegativeComputer(rt *taskrt.Runtime, f mvn.Factor, mean, sd []float64, u float64, opts mvn.Options) (*Computer, error) {
+	return newComputerDir(rt, f, mean, sd, u, opts, true)
+}
+
+func newComputerDir(rt *taskrt.Runtime, f mvn.Factor, mean, sd []float64, u float64, opts mvn.Options, negative bool) (*Computer, error) {
+	n := f.N()
+	if len(mean) != n || len(sd) != n {
+		return nil, fmt.Errorf("excursion: mean/sd lengths (%d,%d) != dimension %d", len(mean), len(sd), n)
+	}
+	for i, s := range sd {
+		if s <= 0 {
+			return nil, fmt.Errorf("excursion: sd[%d] = %g must be positive", i, s)
+		}
+	}
+	c := &Computer{RT: rt, Factor: f, Mean: mean, SD: sd, U: u, Opts: opts, negative: negative, cache: map[int]float64{}}
+	if negative {
+		c.pM = make([]float64, n)
+		for i := range c.pM {
+			c.pM[i] = stats.Phi((u - mean[i]) / sd[i]) // P(X_i < u)
+		}
+	} else {
+		c.pM = Marginals(mean, sd, u)
+	}
+	c.order = Order(c.pM)
+	return c, nil
+}
+
+// MarginalProbs returns pM.
+func (c *Computer) MarginalProbs() []float64 { return c.pM }
+
+// Ordering returns opM, the indices ordered by decreasing marginal
+// probability.
+func (c *Computer) Ordering() []int { return c.order }
+
+// PrefixProb returns the joint probability that the top-k locations (in
+// marginal order) all exceed U: one PMVN evaluation with standardized lower
+// limits on the prefix and −∞ elsewhere (Algorithm 1, lines 10–15). Results
+// are cached per k.
+func (c *Computer) PrefixProb(k int) float64 {
+	n := c.Factor.N()
+	switch {
+	case k <= 0:
+		return 1
+	case k > n:
+		k = n
+	}
+	if p, ok := c.cache[k]; ok {
+		return p
+	}
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i] = math.Inf(-1)
+		b[i] = math.Inf(1)
+	}
+	for _, loc := range c.order[:k] {
+		lim := (c.U - c.Mean[loc]) / c.SD[loc]
+		if c.negative {
+			b[loc] = lim // P(X < u) on the prefix
+		} else {
+			a[loc] = lim // P(X > u) on the prefix
+		}
+	}
+	p := mvn.PMVN(c.RT, c.Factor, a, b, c.Opts).Prob
+	c.cache[k] = p
+	return p
+}
+
+// Result is the output of a confidence-function evaluation.
+type Result struct {
+	// Order is opM.
+	Order []int
+	// F is the positive confidence function per location index.
+	F []float64
+	// EvalK and EvalP record the prefix sizes at which PMVN was actually
+	// evaluated and the probabilities obtained there.
+	EvalK []int
+	EvalP []float64
+}
+
+// ConfidenceFunction computes F⁺ for every location. It evaluates the joint
+// prefix probability at `points` prefix sizes (plus 1 and n) and linearly
+// interpolates between them, relying on the monotonicity of the prefix
+// probability; points ≥ n evaluates every prefix exactly — the literal
+// Algorithm 1 loop.
+func (c *Computer) ConfidenceFunction(points int) *Result {
+	n := c.Factor.N()
+	res := &Result{Order: c.order, F: make([]float64, n)}
+	var ks []int
+	if points >= n || points <= 0 {
+		for k := 1; k <= n; k++ {
+			ks = append(ks, k)
+		}
+	} else {
+		seen := map[int]bool{}
+		for i := 0; i < points; i++ {
+			k := 1 + int(math.Round(float64(i)*float64(n-1)/float64(points-1)))
+			if !seen[k] {
+				seen[k] = true
+				ks = append(ks, k)
+			}
+		}
+	}
+	ps := make([]float64, len(ks))
+	for i, k := range ks {
+		ps[i] = c.PrefixProb(k)
+		// Enforce monotonicity against QMC noise.
+		if i > 0 && ps[i] > ps[i-1] {
+			ps[i] = ps[i-1]
+		}
+	}
+	res.EvalK, res.EvalP = ks, ps
+	// Interpolate F along the ordering.
+	for rank := 1; rank <= n; rank++ {
+		loc := c.order[rank-1]
+		res.F[loc] = interpMonotone(ks, ps, rank)
+	}
+	return res
+}
+
+// interpMonotone linearly interpolates the (k, p) table at prefix size k.
+func interpMonotone(ks []int, ps []float64, k int) float64 {
+	i := sort.SearchInts(ks, k)
+	if i < len(ks) && ks[i] == k {
+		return ps[i]
+	}
+	if i == 0 {
+		return ps[0]
+	}
+	if i == len(ks) {
+		return ps[len(ps)-1]
+	}
+	k0, k1 := ks[i-1], ks[i]
+	t := float64(k-k0) / float64(k1-k0)
+	return ps[i-1] + t*(ps[i]-ps[i-1])
+}
+
+// Region returns the confidence region E⁺_{u,α} at confidence level conf =
+// 1−α: the indices of the largest marginal-ordered prefix whose joint
+// exceedance probability is still ≥ conf. It uses bisection over the prefix
+// size (the prefix probability is non-increasing), costing O(log n) PMVN
+// evaluations.
+func (c *Computer) Region(conf float64) []int {
+	n := c.Factor.N()
+	if c.PrefixProb(1) < conf {
+		return nil
+	}
+	lo, hi := 1, n // invariant: P(lo) ≥ conf; hi is the first candidate that may fail
+	if c.PrefixProb(n) >= conf {
+		return append([]int(nil), c.order...)
+	}
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if c.PrefixProb(mid) >= conf {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return append([]int(nil), c.order[:lo]...)
+}
+
+// MCValidate draws samples of the standardized field (via the correlation
+// Cholesky factor lCorr) and returns the fraction for which EVERY location
+// of the region exceeds the threshold — the MC estimate p̂(α) that should
+// match 1−α when the region is correct (the validation algorithm of the
+// paper's Section V-C).
+func MCValidate(region []int, mean, sd []float64, u float64, lCorr *linalg.Matrix, samples int, rng *rand.Rand) float64 {
+	if len(region) == 0 {
+		return 1
+	}
+	n := lCorr.Rows
+	z := make([]float64, n)
+	x := make([]float64, n)
+	// Standardized limits per region location.
+	lim := make([]float64, len(region))
+	for i, loc := range region {
+		lim[i] = (u - mean[loc]) / sd[loc]
+	}
+	hits := 0
+	for s := 0; s < samples; s++ {
+		for i := range z {
+			z[i] = rng.NormFloat64()
+		}
+		for i := 0; i < n; i++ {
+			acc := 0.0
+			for j := 0; j <= i; j++ {
+				acc += lCorr.At(i, j) * z[j]
+			}
+			x[i] = acc
+		}
+		ok := true
+		for i, loc := range region {
+			if x[loc] <= lim[i] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			hits++
+		}
+	}
+	return float64(hits) / float64(samples)
+}

@@ -1,0 +1,337 @@
+package excursion
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cov"
+	"repro/internal/geo"
+	"repro/internal/linalg"
+	"repro/internal/mvn"
+	"repro/internal/stats"
+	"repro/internal/taskrt"
+	"repro/internal/tile"
+	"repro/internal/tiledalg"
+)
+
+// setup builds a correlation-factor Computer for an exponential field on a
+// k×k grid with a linearly varying mean surface.
+func setup(t *testing.T, k int, rang float64, u float64, opts mvn.Options) (*Computer, *linalg.Matrix, []float64, []float64, *taskrt.Runtime) {
+	t.Helper()
+	g := geo.RegularGrid(k, k)
+	sigma := cov.Matrix(g, &cov.Exponential{Sigma2: 1.3, Range: rang})
+	corr, sd := CorrelationFromCovariance(sigma)
+	lCorr, err := linalg.Cholesky(corr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := taskrt.New(4)
+	tl := tile.FromDense(corr, max(4, k*k/4))
+	if err := tiledalg.Potrf(rt, tl); err != nil {
+		t.Fatal(err)
+	}
+	mean := make([]float64, g.Len())
+	for i, p := range g.Pts {
+		mean[i] = 1.5 - 2.2*p.X - 0.8*p.Y // high in the west, low in the east
+	}
+	c, err := NewComputer(rt, mvn.NewDenseFactor(tl), mean, sd, u, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, lCorr, mean, sd, rt
+}
+
+func TestMarginals(t *testing.T) {
+	mean := []float64{0, 1, -1}
+	sd := []float64{1, 2, 0.5}
+	u := 0.5
+	p := Marginals(mean, sd, u)
+	for i := range mean {
+		want := 1 - stats.Phi((u-mean[i])/sd[i])
+		if math.Abs(p[i]-want) > 1e-15 {
+			t.Errorf("pM[%d] = %v, want %v", i, p[i], want)
+		}
+	}
+}
+
+func TestOrderDescendingStable(t *testing.T) {
+	p := []float64{0.2, 0.9, 0.5, 0.9, 0.1}
+	ord := Order(p)
+	want := []int{1, 3, 2, 0, 4}
+	for i := range want {
+		if ord[i] != want[i] {
+			t.Fatalf("Order = %v, want %v", ord, want)
+		}
+	}
+}
+
+func TestCorrelationFromCovariance(t *testing.T) {
+	g := geo.RegularGrid(4, 4)
+	sigma := cov.Matrix(g, &cov.Exponential{Sigma2: 2.5, Range: 0.2})
+	corr, sd := CorrelationFromCovariance(sigma)
+	for i := 0; i < 16; i++ {
+		if math.Abs(corr.At(i, i)-1) > 1e-14 {
+			t.Fatalf("corr diagonal %v", corr.At(i, i))
+		}
+		if math.Abs(sd[i]-math.Sqrt(2.5)) > 1e-14 {
+			t.Fatalf("sd[%d] = %v", i, sd[i])
+		}
+	}
+	// Off-diagonal entries are Σij/(sd_i·sd_j).
+	if math.Abs(corr.At(0, 1)-sigma.At(0, 1)/2.5) > 1e-14 {
+		t.Error("off-diagonal scaling wrong")
+	}
+}
+
+func TestPrefixProbMonotone(t *testing.T) {
+	c, _, _, _, rt := setup(t, 5, 0.2, 0.3, mvn.Options{N: 3000})
+	defer rt.Shutdown()
+	prev := 1.0
+	for _, k := range []int{1, 3, 6, 10, 15, 20, 25} {
+		p := c.PrefixProb(k)
+		if p > prev+5e-3 {
+			t.Errorf("prefix prob increased at k=%d: %v > %v", k, p, prev)
+		}
+		prev = p
+	}
+	if p0 := c.PrefixProb(0); p0 != 1 {
+		t.Errorf("PrefixProb(0) = %v", p0)
+	}
+	// Out-of-range k clamps to n.
+	if pn, pm := c.PrefixProb(25), c.PrefixProb(99); pn != pm {
+		t.Errorf("clamp failed: %v vs %v", pn, pm)
+	}
+}
+
+func TestPrefixProbIndependentMatchesProduct(t *testing.T) {
+	// Identity correlation: prefix probability is the product of the
+	// ordered marginals.
+	rt := taskrt.New(2)
+	defer rt.Shutdown()
+	n := 9
+	tl := tile.FromDense(linalg.Eye(n), 3)
+	if err := tiledalg.Potrf(rt, tl); err != nil {
+		t.Fatal(err)
+	}
+	mean := make([]float64, n)
+	sd := make([]float64, n)
+	for i := range mean {
+		mean[i] = float64(i) * 0.2
+		sd[i] = 1
+	}
+	c, err := NewComputer(rt, mvn.NewDenseFactor(tl), mean, sd, 0.7, mvn.Options{N: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pM := c.MarginalProbs()
+	ord := c.Ordering()
+	for _, k := range []int{1, 3, 6, 9} {
+		want := 1.0
+		for _, loc := range ord[:k] {
+			want *= pM[loc]
+		}
+		got := c.PrefixProb(k)
+		if math.Abs(got-want) > 5e-3 {
+			t.Errorf("k=%d: prefix %v, product %v", k, got, want)
+		}
+	}
+}
+
+func TestConfidenceFunctionExactVsInterpolated(t *testing.T) {
+	cEx, _, _, _, rt := setup(t, 4, 0.25, 0.2, mvn.Options{N: 4000})
+	defer rt.Shutdown()
+	exact := cEx.ConfidenceFunction(0) // every prefix
+	interp := cEx.ConfidenceFunction(6)
+	for i := range exact.F {
+		if d := math.Abs(exact.F[i] - interp.F[i]); d > 0.05 {
+			t.Errorf("location %d: exact %v vs interpolated %v", i, exact.F[i], interp.F[i])
+		}
+	}
+	if len(exact.EvalK) != 16 {
+		t.Errorf("exact mode evaluated %d prefixes, want 16", len(exact.EvalK))
+	}
+	if len(interp.EvalK) >= 16 {
+		t.Errorf("interpolated mode evaluated %d prefixes", len(interp.EvalK))
+	}
+}
+
+func TestConfidenceFunctionFollowsOrdering(t *testing.T) {
+	c, _, _, _, rt := setup(t, 5, 0.2, 0.0, mvn.Options{N: 2000})
+	defer rt.Shutdown()
+	res := c.ConfidenceFunction(8)
+	// F must be non-increasing along the marginal ordering.
+	prev := 1.0
+	for _, loc := range res.Order {
+		if res.F[loc] > prev+1e-9 {
+			t.Fatalf("confidence function increases along ordering")
+		}
+		prev = res.F[loc]
+	}
+}
+
+func TestRegionNesting(t *testing.T) {
+	c, _, _, _, rt := setup(t, 5, 0.2, 0.1, mvn.Options{N: 3000})
+	defer rt.Shutdown()
+	r95 := c.Region(0.95)
+	r80 := c.Region(0.80)
+	r50 := c.Region(0.50)
+	if len(r95) > len(r80) || len(r80) > len(r50) {
+		t.Errorf("regions not nested: |r95|=%d |r80|=%d |r50|=%d", len(r95), len(r80), len(r50))
+	}
+	// Higher confidence region must be a prefix of the lower one.
+	for i, loc := range r95 {
+		if r80[i] != loc {
+			t.Fatal("r95 is not a prefix of r80")
+		}
+	}
+}
+
+func TestRegionMatchesExactScan(t *testing.T) {
+	c, _, _, _, rt := setup(t, 4, 0.25, 0.2, mvn.Options{N: 5000})
+	defer rt.Shutdown()
+	conf := 0.9
+	region := c.Region(conf)
+	// Exact scan over every prefix size using the same cached computer.
+	wantK := 0
+	for k := 1; k <= 16; k++ {
+		if c.PrefixProb(k) >= conf {
+			wantK = k
+		} else {
+			break
+		}
+	}
+	if len(region) != wantK {
+		t.Errorf("bisection found %d locations, exact scan %d", len(region), wantK)
+	}
+}
+
+func TestRegionEmptyAndFull(t *testing.T) {
+	// Threshold far above the field: no location qualifies at high
+	// confidence. Far below: every location qualifies.
+	cHigh, _, _, _, rt1 := setup(t, 4, 0.2, 50, mvn.Options{N: 500})
+	defer rt1.Shutdown()
+	if r := cHigh.Region(0.95); len(r) != 0 {
+		t.Errorf("u=50: region size %d, want 0", len(r))
+	}
+	cLow, _, _, _, rt2 := setup(t, 4, 0.2, -50, mvn.Options{N: 500})
+	defer rt2.Shutdown()
+	if r := cLow.Region(0.95); len(r) != 16 {
+		t.Errorf("u=-50: region size %d, want 16", len(r))
+	}
+}
+
+func TestMCValidateMatchesConfidence(t *testing.T) {
+	c, lCorr, mean, sd, rt := setup(t, 5, 0.25, 0.0, mvn.Options{N: 8000})
+	defer rt.Shutdown()
+	for _, conf := range []float64{0.5, 0.8, 0.95} {
+		region := c.Region(conf)
+		if len(region) == 0 {
+			continue
+		}
+		phat := MCValidate(region, mean, sd, c.U, lCorr, 40000, rand.New(rand.NewSource(9)))
+		// p̂ should be ≥ conf (region chosen conservatively) and close to the
+		// prefix probability at the boundary.
+		pk := c.PrefixProb(len(region))
+		if math.Abs(phat-pk) > 0.02 {
+			t.Errorf("conf %v: MC validation %v vs PMVN %v", conf, phat, pk)
+		}
+		if phat < conf-0.02 {
+			t.Errorf("conf %v: MC validation %v below confidence", conf, phat)
+		}
+	}
+}
+
+func TestMCValidateEmptyRegion(t *testing.T) {
+	if p := MCValidate(nil, nil, nil, 0, linalg.Eye(3), 100, rand.New(rand.NewSource(1))); p != 1 {
+		t.Errorf("empty region validation %v, want 1", p)
+	}
+}
+
+func TestNewComputerValidation(t *testing.T) {
+	rt := taskrt.New(1)
+	defer rt.Shutdown()
+	tl := tile.FromDense(linalg.Eye(4), 2)
+	if err := tiledalg.Potrf(rt, tl); err != nil {
+		t.Fatal(err)
+	}
+	f := mvn.NewDenseFactor(tl)
+	if _, err := NewComputer(rt, f, make([]float64, 3), make([]float64, 4), 0, mvn.Options{}); err == nil {
+		t.Error("want error for mean length mismatch")
+	}
+	bad := []float64{1, 1, 0, 1}
+	if _, err := NewComputer(rt, f, make([]float64, 4), bad, 0, mvn.Options{}); err == nil {
+		t.Error("want error for non-positive sd")
+	}
+}
+
+func TestNegativeRegionMirrorsPositive(t *testing.T) {
+	// By symmetry of the Gaussian field, E⁻ at threshold −u with mean −m
+	// equals E⁺ at u with mean m.
+	c, _, mean, sd, rt := setup(t, 4, 0.25, 0.2, mvn.Options{N: 4000})
+	defer rt.Shutdown()
+	negMean := make([]float64, len(mean))
+	for i, m := range mean {
+		negMean[i] = -m
+	}
+	cNeg, err := NewNegativeComputer(rt, c.Factor, negMean, sd, -0.2, mvn.Options{N: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Marginals mirror exactly.
+	pPos := c.MarginalProbs()
+	pNeg := cNeg.MarginalProbs()
+	for i := range pPos {
+		if math.Abs(pPos[i]-pNeg[i]) > 1e-12 {
+			t.Fatalf("marginal mirror broken at %d: %v vs %v", i, pPos[i], pNeg[i])
+		}
+	}
+	// Prefix probabilities mirror to QMC accuracy.
+	for _, k := range []int{1, 4, 9, 16} {
+		pp, pn := c.PrefixProb(k), cNeg.PrefixProb(k)
+		if math.Abs(pp-pn) > 5e-3 {
+			t.Errorf("prefix %d: %v vs %v", k, pp, pn)
+		}
+	}
+	// Regions mirror.
+	rp := c.Region(0.8)
+	rn := cNeg.Region(0.8)
+	if len(rp) != len(rn) {
+		t.Errorf("mirrored regions differ in size: %d vs %d", len(rp), len(rn))
+	}
+}
+
+func TestNegativeRegionDetectsLowField(t *testing.T) {
+	// With a mean surface that dips in the east, E⁻ at u=0 must select
+	// eastern (high-x) locations.
+	c, _, _, _, rt := setup(t, 5, 0.2, 0.0, mvn.Options{N: 3000})
+	defer rt.Shutdown()
+	cNeg, err := NewNegativeComputer(rt, c.Factor, c.Mean, c.SD, 0.0, mvn.Options{N: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	region := cNeg.Region(0.8)
+	if len(region) == 0 {
+		t.Fatal("empty negative region")
+	}
+	g := geo.RegularGrid(5, 5)
+	for _, loc := range region {
+		if g.Pts[loc].X < 0.5 {
+			t.Errorf("negative region contains western location %d (mean %.2f)", loc, c.Mean[loc])
+		}
+	}
+}
+
+func TestInterpMonotone(t *testing.T) {
+	ks := []int{1, 5, 9}
+	ps := []float64{1.0, 0.6, 0.2}
+	if v := interpMonotone(ks, ps, 5); v != 0.6 {
+		t.Errorf("exact node %v", v)
+	}
+	if v := interpMonotone(ks, ps, 3); math.Abs(v-0.8) > 1e-14 {
+		t.Errorf("midpoint %v, want 0.8", v)
+	}
+	if v := interpMonotone(ks, ps, 12); v != 0.2 {
+		t.Errorf("beyond range %v", v)
+	}
+}

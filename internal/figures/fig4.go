@@ -1,0 +1,125 @@
+package figures
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/mvn"
+	"repro/internal/taskrt"
+)
+
+// Fig4Row is one cell of the shared-memory performance sweep.
+type Fig4Row struct {
+	Dim     int
+	QMCSize int
+	Method  string // "dense" or "tlr"
+	Seconds float64
+}
+
+// Fig4 reproduces the shared-memory time-to-solution sweep (paper
+// Figure 4): one MVN integration operation (Cholesky factorization + tiled
+// QMC integration) across problem dimensions and QMC sample sizes, dense vs
+// TLR. The paper sweeps four architectures; on one host the architecture
+// axis collapses, but the dense/TLR and dimension/sample-size shapes are
+// preserved. TLR compression (pmvn_init in the paper) is excluded from the
+// timing, as in the paper.
+func Fig4(w io.Writer, cfg Config) ([]Fig4Row, error) {
+	sides := []int{20, 30, 40} // 400, 900, 1600
+	qmcSizes := []int{100, 1000}
+	if !cfg.Quick {
+		sides = []int{20, 30, 40, 50, 70} // up to 4900
+		qmcSizes = []int{100, 1000, 10000}
+	}
+	const (
+		corrRange = 0.1 // medium correlation
+		tlrTol    = 1e-3
+	)
+	var rows []Fig4Row
+	fmt.Fprintf(w, "Figure 4: one MVN integration, dense vs TLR (medium correlation, TLR acc %.0e)\n", tlrTol)
+	fmt.Fprintf(w, "%8s %8s %8s %12s\n", "dim", "QMC-N", "method", "seconds")
+	for _, side := range sides {
+		n := side * side
+		_, sigma := exponentialCorrelation(side, corrRange)
+		ts := n / 10
+		if ts < 25 {
+			ts = 25
+		}
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = -0.5
+			b[i] = math.Inf(1)
+		}
+		for _, qn := range qmcSizes {
+			for _, method := range []string{"dense", "tlr"} {
+				rt := taskrt.New(cfg.workers())
+				var sec float64
+				if method == "dense" {
+					sec = timeIt(func() {
+						f, err := denseFactor(rt, sigma, ts)
+						if err != nil {
+							panic(err)
+						}
+						mvn.PMVN(rt, f, a, b, mvn.Options{N: qn})
+					})
+				} else {
+					// Compress first (excluded from timing, like pmvn_init),
+					// then time TLR Cholesky + integration.
+					pre, _, err := tlrPrecompress(sigma, ts, tlrTol)
+					if err != nil {
+						rt.Shutdown()
+						return nil, err
+					}
+					sec = timeIt(func() {
+						if err := tlrPotrf(rt, pre); err != nil {
+							panic(err)
+						}
+						mvn.PMVN(rt, mvn.NewTLRFactor(pre), a, b, mvn.Options{N: qn})
+					})
+				}
+				rt.Shutdown()
+				row := Fig4Row{Dim: n, QMCSize: qn, Method: method, Seconds: sec}
+				rows = append(rows, row)
+				fmt.Fprintf(w, "%8d %8d %8s %12.3f\n", row.Dim, row.QMCSize, row.Method, row.Seconds)
+			}
+		}
+	}
+	return rows, nil
+}
+
+// Table2 derives the TLR-vs-dense speedup table (paper Table II) from the
+// Figure 4 rows, at the largest dimension of the sweep.
+func Table2(w io.Writer, rows []Fig4Row) map[int]float64 {
+	maxDim := 0
+	for _, r := range rows {
+		if r.Dim > maxDim {
+			maxDim = r.Dim
+		}
+	}
+	dense := map[int]float64{}
+	tlr := map[int]float64{}
+	var qmcs []int
+	for _, r := range rows {
+		if r.Dim != maxDim {
+			continue
+		}
+		switch r.Method {
+		case "dense":
+			dense[r.QMCSize] = r.Seconds
+			qmcs = append(qmcs, r.QMCSize)
+		case "tlr":
+			tlr[r.QMCSize] = r.Seconds
+		}
+	}
+	speedups := map[int]float64{}
+	fmt.Fprintf(w, "Table II: TLR speedup over dense at n=%d\n", maxDim)
+	fmt.Fprintf(w, "%8s %10s\n", "QMC-N", "speedup")
+	for _, q := range qmcs {
+		if tlr[q] > 0 {
+			speedups[q] = dense[q] / tlr[q]
+			fmt.Fprintf(w, "%8d %9.1fX\n", q, speedups[q])
+		}
+	}
+	return speedups
+}

@@ -1,0 +1,158 @@
+// Package figures regenerates every table and figure of the paper's
+// evaluation section as text: the synthetic-data accuracy assessment
+// (Fig. 1), the wind-speed application maps and dense-vs-TLR differences
+// (Figs. 2–3), the shared-memory performance sweep and TLR speedup table
+// (Fig. 4, Table II), the TLR rank-distribution maps (Fig. 5), the MC
+// validation cost (Fig. 6) and the simulated distributed-memory scaling
+// (Fig. 7, Table III). Each experiment has a Quick variant sized for a
+// laptop and a full variant closer to the paper's settings; absolute times
+// differ from the paper's hardware, but the comparative shapes are the
+// reproduction target.
+package figures
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"repro/internal/cov"
+	"repro/internal/excursion"
+	"repro/internal/geo"
+	"repro/internal/linalg"
+	"repro/internal/mvn"
+	"repro/internal/taskrt"
+	"repro/internal/tile"
+	"repro/internal/tiledalg"
+	"repro/internal/tlr"
+)
+
+// Config controls the harness.
+type Config struct {
+	// Quick shrinks every experiment to seconds-scale.
+	Quick bool
+	// Workers for the task runtime (default 4; on a single-core host the
+	// runtime still schedules correctly).
+	Workers int
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return 4
+}
+
+// Levels are the paper's three synthetic correlation levels.
+var Levels = []struct {
+	Name  string
+	Range float64
+}{
+	{"weak", 0.033},
+	{"medium", 0.1},
+	{"strong", 0.234},
+}
+
+// timeIt runs f once and returns the elapsed wall time in seconds.
+func timeIt(f func()) float64 {
+	start := time.Now()
+	f()
+	return time.Since(start).Seconds()
+}
+
+// denseFactor computes the dense tiled Cholesky factor of sigma.
+func denseFactor(rt *taskrt.Runtime, sigma *linalg.Matrix, ts int) (mvn.Factor, error) {
+	t := tile.FromDense(sigma, ts)
+	if err := tiledalg.Potrf(rt, t); err != nil {
+		return nil, err
+	}
+	return mvn.NewDenseFactor(t), nil
+}
+
+// tlrFactor compresses sigma at tol and computes the TLR Cholesky factor.
+func tlrFactor(rt *taskrt.Runtime, sigma *linalg.Matrix, ts int, tol float64) (mvn.Factor, *tlr.Matrix, error) {
+	a, err := tlr.CompressSPD(tile.FromDense(sigma, ts), tol, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := tlr.Potrf(rt, a); err != nil {
+		return nil, nil, err
+	}
+	return mvn.NewTLRFactor(a), a, nil
+}
+
+// asciiMap renders a scalar field on an nx×ny grid as a small character
+// map (row 0 at the bottom, like the paper's latitude axis).
+func asciiMap(w io.Writer, vals []float64, nx, ny int, lo, hi float64) {
+	const shades = " .:-=+*#%@"
+	span := hi - lo
+	if span <= 0 {
+		span = 1 // constant field: render everything at the low shade
+	}
+	for j := ny - 1; j >= 0; j-- {
+		for i := 0; i < nx; i++ {
+			v := vals[j*nx+i]
+			t := (v - lo) / span
+			if t < 0 {
+				t = 0
+			}
+			if t > 1 {
+				t = 1
+			}
+			idx := int(t * float64(len(shades)-1))
+			fmt.Fprintf(w, "%c", shades[idx])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func boolMap(region []int, n int) []float64 {
+	v := make([]float64, n)
+	for _, i := range region {
+		v[i] = 1
+	}
+	return v
+}
+
+func minMax(vals []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, v := range vals {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if lo == hi {
+		hi = lo + 1
+	}
+	return
+}
+
+// exponentialCorrelation builds the exponential-kernel covariance (which is
+// already a correlation matrix at σ²=1) on a side×side grid.
+func exponentialCorrelation(side int, rng float64) (*geo.Geom, *linalg.Matrix) {
+	g := geo.RegularGrid(side, side)
+	return g, cov.Matrix(g, &cov.Exponential{Sigma2: 1, Range: rng})
+}
+
+// tlrPrecompress builds the TLR representation of sigma without factorizing
+// it (the pmvn_init compression step, excluded from the paper's timings).
+func tlrPrecompress(sigma *linalg.Matrix, ts int, tol float64) (*tlr.Matrix, float64, error) {
+	a, err := tlr.CompressSPD(tile.FromDense(sigma, ts), tol, 0)
+	if err != nil {
+		return nil, 0, err
+	}
+	_, _, mean := a.RankStats()
+	return a, mean, nil
+}
+
+// tlrPotrf forwards to tlr.Potrf.
+func tlrPotrf(rt *taskrt.Runtime, a *tlr.Matrix) error { return tlr.Potrf(rt, a) }
+
+// posteriorOf forwards to cov.Posterior (eqs. 7–8).
+func posteriorOf(sigma *linalg.Matrix, mu []float64, obs []int, y []float64, tau2 float64) (*linalg.Matrix, []float64, error) {
+	return cov.Posterior(sigma, mu, obs, y, tau2)
+}
+
+// newComputer wraps excursion.NewComputer with the harness defaults.
+func newComputer(rt *taskrt.Runtime, f mvn.Factor, mean, sd []float64, u float64, qmcN int) (*excursion.Computer, error) {
+	return excursion.NewComputer(rt, f, mean, sd, u, mvn.Options{N: qmcN})
+}

@@ -1,0 +1,168 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegularGrid(t *testing.T) {
+	g := RegularGrid(3, 2)
+	if g.Len() != 6 {
+		t.Fatalf("Len = %d, want 6", g.Len())
+	}
+	if g.Pts[0] != (Point{0, 0}) || g.Pts[2] != (Point{1, 0}) || g.Pts[5] != (Point{1, 1}) {
+		t.Errorf("unexpected corner points: %+v", g.Pts)
+	}
+	if g.Nx != 3 || g.Ny != 2 {
+		t.Errorf("grid shape %dx%d, want 3x2", g.Nx, g.Ny)
+	}
+}
+
+func TestRegularGridSinglePoint(t *testing.T) {
+	g := RegularGrid(1, 1)
+	if g.Pts[0] != (Point{0.5, 0.5}) {
+		t.Errorf("1x1 grid should sit at the centre, got %+v", g.Pts[0])
+	}
+}
+
+func TestRegularGridPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("RegularGrid(0,3) should panic")
+		}
+	}()
+	RegularGrid(0, 3)
+}
+
+func TestDistSymmetryAndTriangle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := UniformRandom(40, rng)
+	for i := 0; i < g.Len(); i++ {
+		for j := 0; j < g.Len(); j++ {
+			dij, dji := g.Dist(i, j), g.Dist(j, i)
+			if dij != dji {
+				t.Fatalf("distance not symmetric at (%d,%d)", i, j)
+			}
+			if i == j && dij != 0 {
+				t.Fatalf("self distance nonzero at %d", i)
+			}
+		}
+	}
+	// Triangle inequality on random triples.
+	for k := 0; k < 200; k++ {
+		a, b, c := rng.Intn(40), rng.Intn(40), rng.Intn(40)
+		if g.Dist(a, c) > g.Dist(a, b)+g.Dist(b, c)+1e-12 {
+			t.Fatalf("triangle inequality violated for (%d,%d,%d)", a, b, c)
+		}
+	}
+}
+
+func TestJitteredGridStaysDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := JitteredGrid(8, 8, 0.4, rng)
+	if g.Len() != 64 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	for i := 0; i < g.Len(); i++ {
+		for j := i + 1; j < g.Len(); j++ {
+			if g.Dist(i, j) == 0 {
+				t.Fatalf("points %d and %d coincide", i, j)
+			}
+		}
+	}
+}
+
+func TestUniformRandomInUnitSquare(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := UniformRandom(500, rng)
+	for i, p := range g.Pts {
+		if p.X < 0 || p.X > 1 || p.Y < 0 || p.Y > 1 {
+			t.Fatalf("point %d outside unit square: %+v", i, p)
+		}
+	}
+}
+
+func TestRectMapsCorners(t *testing.T) {
+	g := RegularGrid(2, 2).Rect(34, 56, 16, 33)
+	want := []Point{{34, 16}, {56, 16}, {34, 33}, {56, 33}}
+	for i, w := range want {
+		if math.Abs(g.Pts[i].X-w.X) > 1e-12 || math.Abs(g.Pts[i].Y-w.Y) > 1e-12 {
+			t.Errorf("corner %d = %+v, want %+v", i, g.Pts[i], w)
+		}
+	}
+}
+
+func TestSubsetAndPermute(t *testing.T) {
+	g := RegularGrid(4, 4)
+	idx := []int{5, 0, 15}
+	s := g.Subset(idx)
+	for k, i := range idx {
+		if s.Pts[k] != g.Pts[i] {
+			t.Errorf("Subset[%d] = %+v, want %+v", k, s.Pts[k], g.Pts[i])
+		}
+	}
+	perm := make([]int, g.Len())
+	for i := range perm {
+		perm[i] = g.Len() - 1 - i
+	}
+	p := g.Permute(perm)
+	if p.Pts[0] != g.Pts[g.Len()-1] {
+		t.Error("Permute did not reorder")
+	}
+}
+
+func TestMortonOrderIsPermutation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := UniformRandom(100, rng)
+		ord := g.MortonOrder()
+		seen := make([]bool, 100)
+		for _, i := range ord {
+			if i < 0 || i >= 100 || seen[i] {
+				return false
+			}
+			seen[i] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMortonOrderImprovesLocality(t *testing.T) {
+	// Mean distance between index-neighbours should be smaller after Morton
+	// ordering than under a random permutation.
+	rng := rand.New(rand.NewSource(11))
+	g := UniformRandom(400, rng)
+	meanStep := func(idx []int) float64 {
+		s := 0.0
+		for k := 1; k < len(idx); k++ {
+			s += g.Dist(idx[k-1], idx[k])
+		}
+		return s / float64(len(idx)-1)
+	}
+	ord := g.MortonOrder()
+	randIdx := rng.Perm(g.Len())
+	if m, r := meanStep(ord), meanStep(randIdx); m >= r {
+		t.Errorf("Morton locality %v not better than random %v", m, r)
+	}
+}
+
+func TestMortonOrderDegenerateGeometry(t *testing.T) {
+	// All points identical: must still return a valid permutation.
+	g := &Geom{Pts: make([]Point, 10)}
+	ord := g.MortonOrder()
+	if len(ord) != 10 {
+		t.Fatalf("len = %d", len(ord))
+	}
+	seen := map[int]bool{}
+	for _, i := range ord {
+		seen[i] = true
+	}
+	if len(seen) != 10 {
+		t.Error("not a permutation")
+	}
+}

@@ -1,0 +1,284 @@
+package linalg
+
+import "fmt"
+
+// Dot returns xᵀy.
+func Dot(x, y []float64) float64 {
+	s := 0.0
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Axpy computes y += alpha·x.
+func Axpy(alpha float64, x, y []float64) {
+	if alpha == 0 {
+		return
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// Scal computes x *= alpha.
+func Scal(alpha float64, x []float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Nrm2 returns the Euclidean norm of x with overflow guarding.
+func Nrm2(x []float64) float64 {
+	return FromColMajor(len(x), 1, x).FrobNorm()
+}
+
+// Gemv computes y = alpha·op(A)·x + beta·y where op is the identity or the
+// transpose.
+func Gemv(transA bool, alpha float64, a *Matrix, x []float64, beta float64, y []float64) {
+	rows, cols := a.Rows, a.Cols
+	if transA {
+		rows, cols = cols, rows
+	}
+	if len(x) != cols || len(y) != rows {
+		panic("linalg: Gemv shape mismatch")
+	}
+	if beta != 1 {
+		if beta == 0 {
+			for i := range y {
+				y[i] = 0
+			}
+		} else {
+			Scal(beta, y)
+		}
+	}
+	if !transA {
+		// y += alpha * A x: accumulate column-wise (stride-1 on A and y).
+		for j := 0; j < a.Cols; j++ {
+			Axpy(alpha*x[j], a.Col(j), y)
+		}
+	} else {
+		// y += alpha * Aᵀ x: each y[j] is a column dot (stride-1 again).
+		for j := 0; j < a.Cols; j++ {
+			y[j] += alpha * Dot(a.Col(j), x)
+		}
+	}
+}
+
+// Gemm computes C = alpha·op(A)·op(B) + beta·C. op(A) is m×k, op(B) is k×n,
+// C is m×n. The kernel picks loop orders that keep the innermost accesses at
+// stride 1 in column-major storage.
+func Gemm(transA, transB bool, alpha float64, a, b *Matrix, beta float64, c *Matrix) {
+	m, k := a.Rows, a.Cols
+	if transA {
+		m, k = k, m
+	}
+	kb, n := b.Rows, b.Cols
+	if transB {
+		kb, n = n, kb
+	}
+	if k != kb || c.Rows != m || c.Cols != n {
+		panic(fmt.Sprintf("linalg: Gemm shape mismatch: op(A)=%dx%d op(B)=%dx%d C=%dx%d",
+			m, k, kb, n, c.Rows, c.Cols))
+	}
+	if beta != 1 {
+		if beta == 0 {
+			c.Zero()
+		} else {
+			for j := 0; j < n; j++ {
+				Scal(beta, c.Col(j))
+			}
+		}
+	}
+	if alpha == 0 || k == 0 {
+		return
+	}
+	switch {
+	case !transA && !transB:
+		// C(:,j) += alpha * A(:,l) * B(l,j): axpy panels, all stride-1.
+		for j := 0; j < n; j++ {
+			cc, bc := c.Col(j), b.Col(j)
+			for l := 0; l < k; l++ {
+				Axpy(alpha*bc[l], a.Col(l), cc)
+			}
+		}
+	case transA && !transB:
+		// C(i,j) += alpha * dot(A(:,i), B(:,j)).
+		for j := 0; j < n; j++ {
+			cc, bc := c.Col(j), b.Col(j)
+			for i := 0; i < m; i++ {
+				cc[i] += alpha * Dot(a.Col(i)[:k], bc[:k])
+			}
+		}
+	case !transA && transB:
+		// C(:,j) += alpha * A(:,l) * B(j,l): walk B rows; A columns stride-1.
+		for l := 0; l < k; l++ {
+			ac, bc := a.Col(l), b.Col(l)
+			for j := 0; j < n; j++ {
+				if bl := bc[j]; bl != 0 {
+					Axpy(alpha*bl, ac, c.Col(j))
+				}
+			}
+		}
+	default: // transA && transB
+		for j := 0; j < n; j++ {
+			cc := c.Col(j)
+			for i := 0; i < m; i++ {
+				ai := a.Col(i)
+				s := 0.0
+				for l := 0; l < k; l++ {
+					s += ai[l] * b.At(j, l)
+				}
+				cc[i] += alpha * s
+			}
+		}
+	}
+}
+
+// Syrk computes the lower triangle of C = alpha·A·Aᵀ + beta·C (trans=false)
+// or C = alpha·Aᵀ·A + beta·C (trans=true). Only the lower triangle of C is
+// referenced and updated, as in BLAS DSYRK with uplo='L'.
+func Syrk(trans bool, alpha float64, a *Matrix, beta float64, c *Matrix) {
+	n := a.Rows
+	if trans {
+		n = a.Cols
+	}
+	if c.Rows != n || c.Cols != n {
+		panic("linalg: Syrk shape mismatch")
+	}
+	if beta != 1 {
+		for j := 0; j < n; j++ {
+			cc := c.Col(j)
+			for i := j; i < n; i++ {
+				cc[i] *= beta
+			}
+		}
+	}
+	if alpha == 0 {
+		return
+	}
+	if !trans {
+		k := a.Cols
+		for l := 0; l < k; l++ {
+			al := a.Col(l)
+			for j := 0; j < n; j++ {
+				if v := alpha * al[j]; v != 0 {
+					cc := c.Col(j)
+					for i := j; i < n; i++ {
+						cc[i] += v * al[i]
+					}
+				}
+			}
+		}
+	} else {
+		k := a.Rows
+		for j := 0; j < n; j++ {
+			aj := a.Col(j)[:k]
+			cc := c.Col(j)
+			for i := j; i < n; i++ {
+				cc[i] += alpha * Dot(a.Col(i)[:k], aj)
+			}
+		}
+	}
+}
+
+// TrsmSide selects which side of the unknown the triangular matrix is on.
+type TrsmSide int
+
+// Triangular-solve sides.
+const (
+	Left  TrsmSide = iota // solve op(L)·X = alpha·B
+	Right                 // solve X·op(L) = alpha·B
+)
+
+// TrsmLower solves a triangular system with the lower-triangular matrix l,
+// overwriting b with the solution X:
+//
+//	side=Left,  trans=false:  L·X = alpha·B
+//	side=Left,  trans=true:   Lᵀ·X = alpha·B
+//	side=Right, trans=false:  X·L = alpha·B
+//	side=Right, trans=true:   X·Lᵀ = alpha·B
+//
+// Only the lower triangle of l is referenced.
+func TrsmLower(side TrsmSide, trans bool, alpha float64, l, b *Matrix) {
+	n := l.Rows
+	if l.Cols != n {
+		panic("linalg: TrsmLower needs square L")
+	}
+	if (side == Left && b.Rows != n) || (side == Right && b.Cols != n) {
+		panic("linalg: TrsmLower shape mismatch")
+	}
+	if alpha != 1 {
+		for j := 0; j < b.Cols; j++ {
+			Scal(alpha, b.Col(j))
+		}
+	}
+	switch {
+	case side == Left && !trans:
+		// Forward substitution, column-oriented over B.
+		for j := 0; j < b.Cols; j++ {
+			x := b.Col(j)
+			for k := 0; k < n; k++ {
+				x[k] /= l.At(k, k)
+				if xk := x[k]; xk != 0 {
+					lk := l.Col(k)
+					for i := k + 1; i < n; i++ {
+						x[i] -= xk * lk[i]
+					}
+				}
+			}
+		}
+	case side == Left && trans:
+		// Back substitution with Lᵀ (upper triangular).
+		for j := 0; j < b.Cols; j++ {
+			x := b.Col(j)
+			for k := n - 1; k >= 0; k-- {
+				lk := l.Col(k)
+				s := x[k]
+				for i := k + 1; i < n; i++ {
+					s -= lk[i] * x[i]
+				}
+				x[k] = s / lk[k]
+			}
+		}
+	case side == Right && !trans:
+		// X·L = B ⇒ columns resolved right-to-left:
+		// X(:,k) = (B(:,k) − Σ_{i>k} X(:,i)·L(i,k)) / L(k,k)
+		for k := n - 1; k >= 0; k-- {
+			lk := l.Col(k)
+			xk := b.Col(k)
+			for i := k + 1; i < n; i++ {
+				Axpy(-lk[i], b.Col(i), xk)
+			}
+			Scal(1/lk[k], xk)
+		}
+	default: // side == Right && trans
+		// X·Lᵀ = B ⇒ left-to-right:
+		// X(:,k) = (B(:,k) − Σ_{i<k} X(:,i)·Lᵀ(i,k)) / L(k,k),  Lᵀ(i,k)=L(k,i)
+		for k := 0; k < n; k++ {
+			xk := b.Col(k)
+			for i := 0; i < k; i++ {
+				Axpy(-l.At(k, i), b.Col(i), xk)
+			}
+			Scal(1/l.At(k, k), xk)
+		}
+	}
+}
+
+// TrmmLowerNoTrans computes B = L·B in place for lower-triangular l.
+func TrmmLowerNoTrans(l, b *Matrix) {
+	n := l.Rows
+	if l.Cols != n || b.Rows != n {
+		panic("linalg: TrmmLowerNoTrans shape mismatch")
+	}
+	for j := 0; j < b.Cols; j++ {
+		x := b.Col(j)
+		for i := n - 1; i >= 0; i-- {
+			s := 0.0
+			for k := 0; k <= i; k++ {
+				s += l.At(i, k) * x[k]
+			}
+			x[i] = s
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotPositiveDefinite reports that a Cholesky factorization encountered a
+// non-positive pivot; the input matrix is not (numerically) positive
+// definite.
+var ErrNotPositiveDefinite = errors.New("linalg: matrix not positive definite")
+
+// PotrfUnblocked overwrites the lower triangle of a with its Cholesky factor
+// L (A = L·Lᵀ) using the unblocked right-looking algorithm. The strict upper
+// triangle is left untouched. This is the per-tile kernel of the tiled
+// factorization.
+func PotrfUnblocked(a *Matrix) error {
+	n := a.Rows
+	if a.Cols != n {
+		panic("linalg: PotrfUnblocked needs square matrix")
+	}
+	for k := 0; k < n; k++ {
+		ck := a.Col(k)
+		d := ck[k]
+		if d <= 0 || math.IsNaN(d) {
+			return fmt.Errorf("%w (pivot %d = %g)", ErrNotPositiveDefinite, k, d)
+		}
+		d = math.Sqrt(d)
+		ck[k] = d
+		inv := 1 / d
+		for i := k + 1; i < n; i++ {
+			ck[i] *= inv
+		}
+		// Rank-1 update of the trailing lower triangle.
+		for j := k + 1; j < n; j++ {
+			if v := ck[j]; v != 0 {
+				cj := a.Col(j)
+				for i := j; i < n; i++ {
+					cj[i] -= v * ck[i]
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// PotrfBlocked overwrites the lower triangle of a with its Cholesky factor
+// using a right-looking blocked algorithm with block size nb. It is the
+// sequential reference for the task-parallel tiled version.
+func PotrfBlocked(a *Matrix, nb int) error {
+	n := a.Rows
+	if a.Cols != n {
+		panic("linalg: PotrfBlocked needs square matrix")
+	}
+	if nb <= 0 {
+		nb = 64
+	}
+	for k := 0; k < n; k += nb {
+		b := min(nb, n-k)
+		akk := a.View(k, k, b, b)
+		if err := PotrfUnblocked(akk); err != nil {
+			return err
+		}
+		rest := n - k - b
+		if rest == 0 {
+			continue
+		}
+		panel := a.View(k+b, k, rest, b)
+		TrsmLower(Right, true, 1, akk, panel)
+		Syrk(false, -1, panel, 1, a.View(k+b, k+b, rest, rest))
+	}
+	return nil
+}
+
+// Cholesky returns the lower Cholesky factor of the symmetric positive
+// definite matrix a (only the lower triangle of a is read). The input is not
+// modified.
+func Cholesky(a *Matrix) (*Matrix, error) {
+	l := a.Clone()
+	if err := PotrfBlocked(l, 64); err != nil {
+		return nil, err
+	}
+	l.LowerFromFull()
+	return l, nil
+}
+
+// SolveSPD solves A·X = B for symmetric positive definite A, returning X.
+// B is not modified.
+func SolveSPD(a, b *Matrix) (*Matrix, error) {
+	l, err := Cholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	x := b.Clone()
+	TrsmLower(Left, false, 1, l, x)
+	TrsmLower(Left, true, 1, l, x)
+	return x, nil
+}
+
+// InvSPD returns the inverse of a symmetric positive definite matrix.
+func InvSPD(a *Matrix) (*Matrix, error) {
+	return SolveSPD(a, Eye(a.Rows))
+}
+
+// LogDetFromChol returns log|A| given the lower Cholesky factor of A.
+func LogDetFromChol(l *Matrix) float64 {
+	s := 0.0
+	for i := 0; i < l.Rows; i++ {
+		s += math.Log(l.At(i, i))
+	}
+	return 2 * s
+}

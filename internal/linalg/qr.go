@@ -1,0 +1,134 @@
+package linalg
+
+import "math"
+
+// QRFactor holds a Householder QR factorization A = Q·R computed by QR.
+// The factors are stored compactly: reflectors in the strict lower part of
+// QR plus Tau, and R in the upper triangle.
+type QRFactor struct {
+	QR  *Matrix   // m×n packed factorization
+	Tau []float64 // n Householder scalars
+}
+
+// QR computes the Householder QR factorization of a (m×n, m ≥ n is typical
+// but not required). The input is not modified.
+func QR(a *Matrix) *QRFactor {
+	m, n := a.Rows, a.Cols
+	qr := a.Clone()
+	k := min(m, n)
+	tau := make([]float64, k)
+	for j := 0; j < k; j++ {
+		col := qr.Col(j)
+		// Build the Householder reflector annihilating col[j+1:].
+		alpha := col[j]
+		norm := Nrm2(col[j+1 : m])
+		if norm == 0 {
+			tau[j] = 0
+			continue
+		}
+		beta := -math.Copysign(math.Hypot(alpha, norm), alpha)
+		tau[j] = (beta - alpha) / beta
+		inv := 1 / (alpha - beta)
+		for i := j + 1; i < m; i++ {
+			col[i] *= inv
+		}
+		col[j] = beta
+		// Apply H = I − tau·v·vᵀ to the trailing columns.
+		for c := j + 1; c < n; c++ {
+			cc := qr.Col(c)
+			s := cc[j]
+			for i := j + 1; i < m; i++ {
+				s += col[i] * cc[i]
+			}
+			s *= tau[j]
+			cc[j] -= s
+			for i := j + 1; i < m; i++ {
+				cc[i] -= s * col[i]
+			}
+		}
+	}
+	return &QRFactor{QR: qr, Tau: tau}
+}
+
+// R returns the k×n upper-triangular factor, k = min(m,n).
+func (f *QRFactor) R() *Matrix {
+	m, n := f.QR.Rows, f.QR.Cols
+	k := min(m, n)
+	r := NewMatrix(k, n)
+	for j := 0; j < n; j++ {
+		src := f.QR.Col(j)
+		dst := r.Col(j)
+		for i := 0; i <= min(j, k-1); i++ {
+			dst[i] = src[i]
+		}
+	}
+	return r
+}
+
+// ApplyQ returns Q·[X; 0] for a k×c matrix X (k = min(m,n)): X is padded
+// with zero rows to height m and the Householder reflectors are applied in
+// reverse order. This is the cheap way to form Q·X without materializing
+// the thin Q (cost 2·m·k·c instead of 2·m·k² + a GEMM), used by the TLR
+// recompression kernel.
+func (f *QRFactor) ApplyQ(x *Matrix) *Matrix {
+	m, n := f.QR.Rows, f.QR.Cols
+	k := min(m, n)
+	if x.Rows != k {
+		panic("linalg: ApplyQ needs k rows")
+	}
+	out := NewMatrix(m, x.Cols)
+	for j := 0; j < x.Cols; j++ {
+		copy(out.Col(j)[:k], x.Col(j))
+	}
+	for j := k - 1; j >= 0; j-- {
+		tau := f.Tau[j]
+		if tau == 0 {
+			continue
+		}
+		v := f.QR.Col(j)
+		for c := 0; c < x.Cols; c++ {
+			cc := out.Col(c)
+			s := cc[j]
+			for i := j + 1; i < m; i++ {
+				s += v[i] * cc[i]
+			}
+			s *= tau
+			cc[j] -= s
+			for i := j + 1; i < m; i++ {
+				cc[i] -= s * v[i]
+			}
+		}
+	}
+	return out
+}
+
+// ThinQ returns the m×k orthonormal factor, k = min(m,n), by accumulating
+// the Householder reflectors against the identity.
+func (f *QRFactor) ThinQ() *Matrix {
+	m, n := f.QR.Rows, f.QR.Cols
+	k := min(m, n)
+	q := NewMatrix(m, k)
+	for j := 0; j < k; j++ {
+		q.Set(j, j, 1)
+	}
+	// Apply H_k-1 … H_0 to I (reverse order builds Q).
+	for j := k - 1; j >= 0; j-- {
+		if f.Tau[j] == 0 {
+			continue
+		}
+		v := f.QR.Col(j)
+		for c := 0; c < k; c++ {
+			cc := q.Col(c)
+			s := cc[j]
+			for i := j + 1; i < m; i++ {
+				s += v[i] * cc[i]
+			}
+			s *= f.Tau[j]
+			cc[j] -= s
+			for i := j + 1; i < m; i++ {
+				cc[i] -= s * v[i]
+			}
+		}
+	}
+	return q
+}

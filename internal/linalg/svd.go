@@ -1,0 +1,122 @@
+package linalg
+
+import (
+	"math"
+	"sort"
+)
+
+// SVDResult holds a thin singular value decomposition A = U·diag(S)·Vᵀ with
+// U m×k, S length k and V n×k where k = min(m,n). Singular values are sorted
+// in decreasing order.
+type SVDResult struct {
+	U *Matrix
+	S []float64
+	V *Matrix
+}
+
+// SVD computes the thin singular value decomposition of a using the
+// one-sided Jacobi method (Hestenes), which is simple, robust and accurate
+// for the small tile-sized matrices used by TLR compression. The input is
+// not modified.
+func SVD(a *Matrix) *SVDResult {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		// Work on the transpose and swap the factors back.
+		r := SVD(a.Transpose())
+		return &SVDResult{U: r.V, S: r.S, V: r.U}
+	}
+	// One-sided Jacobi: orthogonalize the columns of W = A·V by plane
+	// rotations accumulated into V.
+	w := a.Clone()
+	v := Eye(n)
+	const eps = 1e-15
+	for sweep := 0; sweep < 60; sweep++ {
+		off := 0.0
+		for p := 0; p < n-1; p++ {
+			wp := w.Col(p)
+			for q := p + 1; q < n; q++ {
+				wq := w.Col(q)
+				alpha := Dot(wp, wp)
+				beta := Dot(wq, wq)
+				gamma := Dot(wp, wq)
+				if gamma == 0 {
+					continue
+				}
+				denom := math.Sqrt(alpha * beta)
+				if denom == 0 || math.Abs(gamma) <= eps*denom {
+					continue
+				}
+				off = math.Max(off, math.Abs(gamma)/denom)
+				// Jacobi rotation eliminating the (p,q) inner product.
+				zeta := (beta - alpha) / (2 * gamma)
+				t := math.Copysign(1/(math.Abs(zeta)+math.Sqrt(1+zeta*zeta)), zeta)
+				c := 1 / math.Sqrt(1+t*t)
+				s := c * t
+				rotate(wp, wq, c, s)
+				rotate(v.Col(p), v.Col(q), c, s)
+			}
+		}
+		if off < 1e-14 {
+			break
+		}
+	}
+	// Column norms of W are the singular values; normalized columns are U.
+	s := make([]float64, n)
+	u := NewMatrix(m, n)
+	for j := 0; j < n; j++ {
+		s[j] = Nrm2(w.Col(j))
+		uc, wc := u.Col(j), w.Col(j)
+		if s[j] > 0 {
+			inv := 1 / s[j]
+			for i := range wc {
+				uc[i] = wc[i] * inv
+			}
+		}
+	}
+	// Sort by decreasing singular value.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return s[idx[a]] > s[idx[b]] })
+	us, vs, ss := NewMatrix(m, n), NewMatrix(n, n), make([]float64, n)
+	for k, j := range idx {
+		copy(us.Col(k), u.Col(j))
+		copy(vs.Col(k), v.Col(j))
+		ss[k] = s[j]
+	}
+	return &SVDResult{U: us, S: ss, V: vs}
+}
+
+func rotate(x, y []float64, c, s float64) {
+	for i := range x {
+		xi, yi := x[i], y[i]
+		x[i] = c*xi - s*yi
+		y[i] = s*xi + c*yi
+	}
+}
+
+// TruncationRank returns the smallest k such that the trailing singular
+// values satisfy ‖S[k:]‖₂ ≤ tol·‖S‖₂, i.e. a relative Frobenius-norm
+// truncation. It returns at least 1 when any singular value is nonzero.
+func TruncationRank(s []float64, tol float64) int {
+	total := 0.0
+	for _, v := range s {
+		total += v * v
+	}
+	if total == 0 {
+		return 0
+	}
+	thresh := tol * tol * total
+	tail := 0.0
+	k := len(s)
+	for k > 0 {
+		v := s[k-1]
+		if tail+v*v > thresh {
+			break
+		}
+		tail += v * v
+		k--
+	}
+	return max(k, 1)
+}

@@ -1,0 +1,57 @@
+package mvn
+
+import (
+	"math/rand"
+
+	"repro/internal/linalg"
+)
+
+// MCPlain estimates Φn(a,b;0,Σ) by naive Monte Carlo: draw x = L·z with
+// z ~ N(0,I) and count the fraction of draws inside the box [a,b]. This is
+// the "naive MC chains" baseline the paper validates against (and the
+// method its introduction argues is impractical at high accuracy).
+func MCPlain(a, b []float64, l *linalg.Matrix, samples int, rng *rand.Rand) float64 {
+	n := l.Rows
+	z := make([]float64, n)
+	x := make([]float64, n)
+	hits := 0
+	for s := 0; s < samples; s++ {
+		for i := range z {
+			z[i] = rng.NormFloat64()
+		}
+		// x = L·z via forward accumulation (L lower triangular).
+		inside := true
+		for i := 0; i < n; i++ {
+			acc := 0.0
+			for j := 0; j <= i; j++ {
+				acc += l.At(i, j) * z[j]
+			}
+			x[i] = acc
+			if acc <= a[i] || acc > b[i] {
+				inside = false
+				break
+			}
+		}
+		if inside {
+			hits++
+		}
+	}
+	return float64(hits) / float64(samples)
+}
+
+// SampleField draws one realization x = mu + L·z of the Gaussian field with
+// mean mu and Cholesky factor L, writing into dst (length n).
+func SampleField(dst, mu []float64, l *linalg.Matrix, rng *rand.Rand) {
+	n := l.Rows
+	z := make([]float64, n)
+	for i := range z {
+		z[i] = rng.NormFloat64()
+	}
+	for i := 0; i < n; i++ {
+		acc := mu[i]
+		for j := 0; j <= i; j++ {
+			acc += l.At(i, j) * z[j]
+		}
+		dst[i] = acc
+	}
+}

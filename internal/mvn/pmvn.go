@@ -1,0 +1,279 @@
+package mvn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/linalg"
+	"repro/internal/qmc"
+	"repro/internal/taskrt"
+)
+
+// Options configures a PMVN integration.
+type Options struct {
+	// N is the QMC sample size (number of chains). Default 1000.
+	N int
+	// SampleTile is the number of chains per tile column (the m of
+	// Algorithm 3 along the sample axis). Default: the factor tile size.
+	SampleTile int
+	// NewGen builds the point generator for a replicate given its shift;
+	// nil means the Richtmyer lattice (the paper's QMC choice).
+	NewGen func(dim int, shift []float64) qmc.Generator
+	// Replicates is the number of randomized-shift replicates used for the
+	// error estimate. Default 1 (no error estimate).
+	Replicates int
+	// Rng drives the replicate shifts. Default: deterministic seed 1.
+	Rng *rand.Rand
+}
+
+func (o Options) withDefaults(ts int) Options {
+	if o.N <= 0 {
+		o.N = 1000
+	}
+	if o.SampleTile <= 0 {
+		o.SampleTile = ts
+	}
+	if o.SampleTile > o.N {
+		o.SampleTile = o.N
+	}
+	if o.NewGen == nil {
+		o.NewGen = func(dim int, shift []float64) qmc.Generator {
+			return qmc.NewRichtmyerShifted(dim, shift)
+		}
+	}
+	if o.Replicates <= 0 {
+		o.Replicates = 1
+	}
+	if o.Rng == nil {
+		o.Rng = rand.New(rand.NewSource(1))
+	}
+	return o
+}
+
+// Result is a PMVN probability estimate with its randomized-QMC error
+// estimate (zero when Replicates < 2).
+type Result struct {
+	Prob   float64
+	StdErr float64
+}
+
+// PMVN evaluates Φn(a,b;0,Σ) = E[Π factors] given a Cholesky factor of Σ
+// (dense tiled or TLR), running the paper's Algorithm 2 as a task graph on
+// rt: per-tile QMC kernels on the diagonal rows and GEMM propagation tasks
+// below, parallel across sample-tile columns.
+func PMVN(rt *taskrt.Runtime, f Factor, a, b []float64, opt Options) Result {
+	n := f.N()
+	if len(a) != n || len(b) != n {
+		panic(fmt.Sprintf("mvn: limits length %d,%d != dimension %d", len(a), len(b), n))
+	}
+	o := opt.withDefaults(f.TS())
+	probs := make([]float64, o.Replicates)
+	for rep := 0; rep < o.Replicates; rep++ {
+		var shift []float64
+		if rep > 0 {
+			shift = qmc.RandomShift(n, o.Rng)
+		}
+		probs[rep] = pmvnOnce(rt, f, a, b, o.NewGen(n, shift), o.N, o.SampleTile)
+	}
+	mean := 0.0
+	for _, p := range probs {
+		mean += p
+	}
+	mean /= float64(o.Replicates)
+	res := Result{Prob: clampProb(mean)}
+	if o.Replicates >= 2 {
+		ss := 0.0
+		for _, p := range probs {
+			ss += (p - mean) * (p - mean)
+		}
+		res.StdErr = math.Sqrt(ss / float64(o.Replicates-1) / float64(o.Replicates))
+	}
+	return res
+}
+
+func clampProb(p float64) float64 { return math.Min(1, math.Max(0, p)) }
+
+// pmvnOnce runs one replicate of the tiled MVN integration.
+func pmvnOnce(rt *taskrt.Runtime, f Factor, a, b []float64, gen qmc.Generator, n, mc int) float64 {
+	return pmvnScaled(rt, f, a, b, gen, n, mc, 0)
+}
+
+// pmvnScaled runs one replicate of the tiled integration. With nu > 0 it
+// computes the Student-t variant: the generator then has dimension dim+1
+// and each chain's limits are scaled by s_j = √(χ²inv_ν(w₀)/ν); nu ≤ 0 is
+// the plain MVN path.
+func pmvnScaled(rt *taskrt.Runtime, f Factor, a, b []float64, gen qmc.Generator, n, mc int, nu float64) float64 {
+	dim := f.N()
+	nt := f.NT()
+	ts := f.TS()
+	kt := (n + mc - 1) / mc
+	tileCols := func(k int) int {
+		if k == kt-1 {
+			if c := n - k*mc; c > 0 {
+				return c
+			}
+		}
+		return min(mc, n)
+	}
+
+	// Per-(rowTile, colTile) work matrices. A and B start as the limit
+	// vectors replicated across chains (Algorithm 2 lines 2–3); R holds the
+	// QMC points; Y the conditioning values.
+	aT := make([][]*linalg.Matrix, nt)
+	bT := make([][]*linalg.Matrix, nt)
+	rT := make([][]*linalg.Matrix, nt)
+	yT := make([][]*linalg.Matrix, nt)
+	for r := 0; r < nt; r++ {
+		rows := f.TileRows(r)
+		aT[r] = make([]*linalg.Matrix, kt)
+		bT[r] = make([]*linalg.Matrix, kt)
+		rT[r] = make([]*linalg.Matrix, kt)
+		yT[r] = make([]*linalg.Matrix, kt)
+		for k := 0; k < kt; k++ {
+			cols := tileCols(k)
+			am := linalg.NewMatrix(rows, cols)
+			bm := linalg.NewMatrix(rows, cols)
+			for j := 0; j < cols; j++ {
+				ac, bc := am.Col(j), bm.Col(j)
+				for i := 0; i < rows; i++ {
+					ac[i] = a[r*ts+i]
+					bc[i] = b[r*ts+i]
+				}
+			}
+			aT[r][k] = am
+			bT[r][k] = bm
+			rT[r][k] = linalg.NewMatrix(rows, cols)
+			yT[r][k] = linalg.NewMatrix(rows, cols)
+		}
+	}
+	// Scatter the QMC points: point j is the j-th global sample column. In
+	// the Student-t variant the leading coordinate of each point fixes the
+	// chain's χ² scale, which is folded into that chain's A/B limits.
+	genDim := dim
+	if nu > 0 {
+		genDim = dim + 1
+	}
+	if gen.Dim() != genDim {
+		panic(fmt.Sprintf("mvn: generator dim %d, want %d", gen.Dim(), genDim))
+	}
+	point := make([]float64, genDim)
+	for j := 0; j < n; j++ {
+		gen.Next(point)
+		coords := point
+		s := 1.0
+		if nu > 0 {
+			s = chiScale(point[0], nu)
+			coords = point[1:]
+		}
+		k := j / mc
+		jj := j - k*mc
+		for r := 0; r < nt; r++ {
+			rows := f.TileRows(r)
+			copy(rT[r][k].Col(jj), coords[r*ts:r*ts+rows])
+			if nu > 0 {
+				ac := aT[r][k].Col(jj)
+				bc := bT[r][k].Col(jj)
+				for i := 0; i < rows; i++ {
+					ac[i] = scaleLimit(a[r*ts+i], s)
+					bc[i] = scaleLimit(b[r*ts+i], s)
+				}
+			}
+		}
+	}
+	// Per-column-tile probability accumulators.
+	p := make([][]float64, kt)
+	for k := range p {
+		p[k] = make([]float64, tileCols(k))
+		for j := range p[k] {
+			p[k][j] = 1
+		}
+	}
+
+	// Handles: one per (A,B) tile pair, one per Y tile, one per p segment.
+	hAB := make([][]*taskrt.Handle, nt)
+	hY := make([][]*taskrt.Handle, nt)
+	for r := 0; r < nt; r++ {
+		hAB[r] = make([]*taskrt.Handle, kt)
+		hY[r] = make([]*taskrt.Handle, kt)
+		for k := 0; k < kt; k++ {
+			hAB[r][k] = rt.NewHandle("AB(%d,%d)", r, k)
+			hY[r][k] = rt.NewHandle("Y(%d,%d)", r, k)
+		}
+	}
+	hP := make([]*taskrt.Handle, kt)
+	for k := range hP {
+		hP[k] = rt.NewHandle("p(%d)", k)
+	}
+
+	// Row 0: QMC kernels (Algorithm 2 lines 5–7, red box (b)).
+	for k := 0; k < kt; k++ {
+		k := k
+		rt.Submit("qmc", nt, func() {
+			qmcKernel(f.Diag(0), rT[0][k], aT[0][k], bT[0][k], yT[0][k], p[k])
+		}, taskrt.Read(hAB[0][k]), taskrt.Write(hY[0][k]), taskrt.ReadWrite(hP[k]))
+	}
+	// Rows 1..nt-1: propagation GEMMs then QMC (lines 8–18, boxes (c),(d)).
+	for r := 1; r < nt; r++ {
+		r := r
+		for j := r; j < nt; j++ {
+			j := j
+			for k := 0; k < kt; k++ {
+				k := k
+				rt.Submit("prop", nt-r, func() {
+					f.ApplyOffDiagPair(j, r-1, -1, yT[r-1][k], aT[j][k], bT[j][k])
+				}, taskrt.Read(hY[r-1][k]), taskrt.ReadWrite(hAB[j][k]))
+			}
+		}
+		for k := 0; k < kt; k++ {
+			k := k
+			rt.Submit("qmc", nt-r, func() {
+				qmcKernel(f.Diag(r), rT[r][k], aT[r][k], bT[r][k], yT[r][k], p[k])
+			}, taskrt.Read(hAB[r][k]), taskrt.Write(hY[r][k]), taskrt.ReadWrite(hP[k]))
+		}
+	}
+	rt.Wait()
+
+	sum := 0.0
+	for k := 0; k < kt; k++ {
+		for _, pj := range p[k] {
+			sum += pj
+		}
+	}
+	return sum / float64(n)
+}
+
+// qmcKernel is Algorithm 3: it advances every chain (column) of one tile by
+// the tile's rows, multiplying the interval-probability factors into p and
+// writing the conditioning values into the Y tile. The A and B tiles
+// already contain the limits minus all inter-tile contributions; intra-tile
+// contributions are accumulated through the lower triangle of lkk.
+func qmcKernel(lkk, rTile, aTile, bTile, yTile *linalg.Matrix, p []float64) {
+	m := lkk.Rows
+	mc := aTile.Cols
+	for j := 0; j < mc; j++ {
+		yCol := yTile.Col(j)
+		aCol := aTile.Col(j)
+		bCol := bTile.Col(j)
+		rCol := rTile.Col(j)
+		pj := p[j]
+		for i := 0; i < m; i++ {
+			if pj == 0 {
+				// Dead chain: keep Y finite, skip the special functions.
+				for t := i; t < m; t++ {
+					yCol[t] = 0
+				}
+				break
+			}
+			acc := 0.0
+			for t := 0; t < i; t++ {
+				acc += lkk.At(i, t) * yCol[t]
+			}
+			d := lkk.At(i, i)
+			factor, yi := chainStep(shiftLimit(aCol[i], acc, d), shiftLimit(bCol[i], acc, d), rCol[i])
+			pj *= factor
+			yCol[i] = yi
+		}
+		p[j] = pj
+	}
+}

@@ -1,0 +1,171 @@
+// Package optim provides the derivative-free Nelder–Mead simplex minimizer
+// used by the maximum-likelihood parameter estimation — the role NLopt
+// plays in the paper's toolchain.
+package optim
+
+import (
+	"math"
+)
+
+// Options controls the Nelder–Mead iteration.
+type Options struct {
+	// MaxEvals bounds the number of objective evaluations. Default 2000.
+	MaxEvals int
+	// TolF stops when the simplex function-value spread falls below it.
+	// Default 1e-8.
+	TolF float64
+	// TolX stops when the simplex diameter falls below it. Default 1e-8.
+	TolX float64
+	// Step is the initial simplex step per coordinate. Default 0.1
+	// (relative to the start point, with an absolute floor).
+	Step float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxEvals <= 0 {
+		o.MaxEvals = 2000
+	}
+	if o.TolF <= 0 {
+		o.TolF = 1e-8
+	}
+	if o.TolX <= 0 {
+		o.TolX = 1e-8
+	}
+	if o.Step <= 0 {
+		o.Step = 0.1
+	}
+	return o
+}
+
+// Result reports the minimizer found.
+type Result struct {
+	X     []float64
+	F     float64
+	Evals int
+	// Converged is false when the evaluation budget ran out first.
+	Converged bool
+}
+
+// Minimize runs Nelder–Mead from x0 on f and returns the best point found.
+func Minimize(f func([]float64) float64, x0 []float64, opt Options) Result {
+	o := opt.withDefaults()
+	n := len(x0)
+	if n == 0 {
+		return Result{X: nil, F: f(nil), Evals: 1, Converged: true}
+	}
+	const (
+		alpha = 1.0 // reflection
+		gamma = 2.0 // expansion
+		rho   = 0.5 // contraction
+		sigma = 0.5 // shrink
+	)
+	// Build the initial simplex.
+	pts := make([][]float64, n+1)
+	fv := make([]float64, n+1)
+	evals := 0
+	eval := func(x []float64) float64 {
+		evals++
+		v := f(x)
+		if math.IsNaN(v) {
+			return math.Inf(1)
+		}
+		return v
+	}
+	pts[0] = append([]float64(nil), x0...)
+	fv[0] = eval(pts[0])
+	for i := 0; i < n; i++ {
+		p := append([]float64(nil), x0...)
+		h := o.Step * math.Abs(p[i])
+		if h < o.Step*0.1 {
+			h = o.Step * 0.1
+		}
+		p[i] += h
+		pts[i+1] = p
+		fv[i+1] = eval(p)
+	}
+	order := func() {
+		// Insertion sort of the simplex by function value.
+		for i := 1; i <= n; i++ {
+			p, v := pts[i], fv[i]
+			j := i - 1
+			for j >= 0 && fv[j] > v {
+				pts[j+1], fv[j+1] = pts[j], fv[j]
+				j--
+			}
+			pts[j+1], fv[j+1] = p, v
+		}
+	}
+	centroid := make([]float64, n)
+	xr := make([]float64, n)
+	xe := make([]float64, n)
+	xc := make([]float64, n)
+	for evals < o.MaxEvals {
+		order()
+		// Convergence: value spread and simplex diameter.
+		if fv[n]-fv[0] < o.TolF {
+			diam := 0.0
+			for i := 1; i <= n; i++ {
+				for j := 0; j < n; j++ {
+					diam = math.Max(diam, math.Abs(pts[i][j]-pts[0][j]))
+				}
+			}
+			if diam < o.TolX {
+				return Result{X: pts[0], F: fv[0], Evals: evals, Converged: true}
+			}
+		}
+		// Centroid of all but the worst.
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for i := 0; i < n; i++ {
+				s += pts[i][j]
+			}
+			centroid[j] = s / float64(n)
+		}
+		for j := 0; j < n; j++ {
+			xr[j] = centroid[j] + alpha*(centroid[j]-pts[n][j])
+		}
+		fr := eval(xr)
+		switch {
+		case fr < fv[0]:
+			// Try expanding.
+			for j := 0; j < n; j++ {
+				xe[j] = centroid[j] + gamma*(xr[j]-centroid[j])
+			}
+			if fe := eval(xe); fe < fr {
+				copy(pts[n], xe)
+				fv[n] = fe
+			} else {
+				copy(pts[n], xr)
+				fv[n] = fr
+			}
+		case fr < fv[n-1]:
+			copy(pts[n], xr)
+			fv[n] = fr
+		default:
+			// Contract (outside if the reflection helped, inside otherwise).
+			if fr < fv[n] {
+				for j := 0; j < n; j++ {
+					xc[j] = centroid[j] + rho*(xr[j]-centroid[j])
+				}
+			} else {
+				for j := 0; j < n; j++ {
+					xc[j] = centroid[j] - rho*(centroid[j]-pts[n][j])
+				}
+			}
+			if fc := eval(xc); fc < math.Min(fr, fv[n]) {
+				copy(pts[n], xc)
+				fv[n] = fc
+			} else {
+				// Shrink toward the best point.
+				for i := 1; i <= n; i++ {
+					for j := 0; j < n; j++ {
+						pts[i][j] = pts[0][j] + sigma*(pts[i][j]-pts[0][j])
+					}
+					fv[i] = eval(pts[i])
+				}
+			}
+		}
+	}
+	order()
+	return Result{X: pts[0], F: fv[0], Evals: evals, Converged: false}
+}

@@ -1,0 +1,76 @@
+package optim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuadraticBowl(t *testing.T) {
+	f := func(x []float64) float64 {
+		return (x[0]-3)*(x[0]-3) + 2*(x[1]+1)*(x[1]+1)
+	}
+	res := Minimize(f, []float64{0, 0}, Options{})
+	if !res.Converged {
+		t.Error("did not converge")
+	}
+	if math.Abs(res.X[0]-3) > 1e-4 || math.Abs(res.X[1]+1) > 1e-4 {
+		t.Errorf("minimizer %v, want (3,-1)", res.X)
+	}
+}
+
+func TestRosenbrock(t *testing.T) {
+	f := func(x []float64) float64 {
+		a := 1 - x[0]
+		b := x[1] - x[0]*x[0]
+		return a*a + 100*b*b
+	}
+	res := Minimize(f, []float64{-1.2, 1}, Options{MaxEvals: 6000, TolF: 1e-12, TolX: 1e-9})
+	if math.Abs(res.X[0]-1) > 1e-3 || math.Abs(res.X[1]-1) > 1e-3 {
+		t.Errorf("Rosenbrock minimizer %v, want (1,1)", res.X)
+	}
+}
+
+func TestOneDimensional(t *testing.T) {
+	f := func(x []float64) float64 { return math.Cosh(x[0] - 0.7) }
+	res := Minimize(f, []float64{5}, Options{})
+	if math.Abs(res.X[0]-0.7) > 1e-4 {
+		t.Errorf("minimizer %v, want 0.7", res.X[0])
+	}
+}
+
+func TestNaNObjectiveTreatedAsInf(t *testing.T) {
+	// NaN regions (e.g. invalid covariance parameters) must repel the
+	// simplex, not poison it.
+	f := func(x []float64) float64 {
+		if x[0] < 0 {
+			return math.NaN()
+		}
+		return (x[0] - 2) * (x[0] - 2)
+	}
+	res := Minimize(f, []float64{0.5}, Options{})
+	if math.Abs(res.X[0]-2) > 1e-3 {
+		t.Errorf("minimizer %v, want 2", res.X[0])
+	}
+}
+
+func TestEvalBudgetRespected(t *testing.T) {
+	count := 0
+	f := func(x []float64) float64 {
+		count++
+		return x[0] * x[0]
+	}
+	res := Minimize(f, []float64{100}, Options{MaxEvals: 30, TolF: 1e-300, TolX: 1e-300})
+	if count > 33 { // initial simplex + a few per iteration over budget check
+		t.Errorf("objective evaluated %d times with budget 30", count)
+	}
+	if res.Converged {
+		t.Error("should report non-convergence on budget exhaustion")
+	}
+}
+
+func TestZeroDimensional(t *testing.T) {
+	res := Minimize(func([]float64) float64 { return 42 }, nil, Options{})
+	if res.F != 42 || !res.Converged {
+		t.Errorf("degenerate case: %+v", res)
+	}
+}

@@ -1,0 +1,313 @@
+// Package qmc provides the quasi-Monte Carlo point generators the SOV
+// integration consumes: the Richtmyer √prime lattice that Genz's classical
+// MVN code uses (it works at any dimension without direction-number
+// tables), a Halton sequence, and a plain pseudo-random generator as the MC
+// baseline. Randomized (Cranley–Patterson shifted) replicates provide the
+// error estimates.
+package qmc
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/linalg"
+)
+
+// Generator produces a deterministic or random sequence of points in
+// [0,1)^Dim.
+type Generator interface {
+	// Dim returns the dimensionality of generated points.
+	Dim() int
+	// Next fills dst (length Dim) with the next point in the sequence.
+	Next(dst []float64)
+	// Reset rewinds the sequence to its beginning.
+	Reset()
+}
+
+// Primes returns the first n primes (sieve of Eratosthenes with a grown
+// bound).
+func Primes(n int) []int {
+	if n <= 0 {
+		return nil
+	}
+	// Upper bound for the n-th prime: n(ln n + ln ln n) for n ≥ 6.
+	limit := 15
+	if n >= 6 {
+		f := float64(n)
+		limit = int(f*(math.Log(f)+math.Log(math.Log(f)))) + 10
+	}
+	for {
+		sieve := make([]bool, limit+1)
+		var out []int
+		for p := 2; p <= limit; p++ {
+			if sieve[p] {
+				continue
+			}
+			out = append(out, p)
+			if len(out) == n {
+				return out
+			}
+			for q := p * p; q <= limit; q += p {
+				sieve[q] = true
+			}
+		}
+		limit *= 2
+	}
+}
+
+// Richtmyer is the rank-1 lattice x_k[i] = frac(k·√p_i + Δ_i) with p_i the
+// i-th prime and Δ an optional Cranley–Patterson random shift. It is the
+// generator used by Genz's MVN implementations because it extends to
+// arbitrary dimension.
+type Richtmyer struct {
+	alpha []float64 // frac(√p_i)
+	shift []float64
+	k     float64
+}
+
+// NewRichtmyer returns an unshifted Richtmyer generator of dimension dim.
+func NewRichtmyer(dim int) *Richtmyer {
+	return NewRichtmyerShifted(dim, nil)
+}
+
+// NewRichtmyerShifted returns a Richtmyer generator with the given shift
+// (length dim); a nil shift means no shift. The shift slice is copied.
+func NewRichtmyerShifted(dim int, shift []float64) *Richtmyer {
+	if dim <= 0 {
+		panic(fmt.Sprintf("qmc: invalid dimension %d", dim))
+	}
+	if shift != nil && len(shift) != dim {
+		panic("qmc: shift length mismatch")
+	}
+	primes := Primes(dim)
+	r := &Richtmyer{alpha: make([]float64, dim), k: 1}
+	for i, p := range primes {
+		s := math.Sqrt(float64(p))
+		r.alpha[i] = s - math.Floor(s)
+	}
+	if shift != nil {
+		r.shift = append([]float64(nil), shift...)
+	}
+	return r
+}
+
+// Dim implements Generator.
+func (r *Richtmyer) Dim() int { return len(r.alpha) }
+
+// Next implements Generator.
+func (r *Richtmyer) Next(dst []float64) {
+	k := r.k
+	for i, a := range r.alpha {
+		v := k * a
+		v -= math.Floor(v)
+		if r.shift != nil {
+			v += r.shift[i]
+			if v >= 1 {
+				v--
+			}
+		}
+		// Clamp away from the endpoints: downstream Φ⁻¹ needs (0,1).
+		dst[i] = clamp01(v)
+	}
+	r.k++
+}
+
+// Reset implements Generator.
+func (r *Richtmyer) Reset() { r.k = 1 }
+
+// Halton is the van der Corput / Halton sequence in the first Dim prime
+// bases with an optional random shift.
+type Halton struct {
+	bases []int
+	shift []float64
+	k     int64
+}
+
+// NewHalton returns a Halton generator of dimension dim with optional shift.
+func NewHalton(dim int, shift []float64) *Halton {
+	if dim <= 0 {
+		panic(fmt.Sprintf("qmc: invalid dimension %d", dim))
+	}
+	if shift != nil && len(shift) != dim {
+		panic("qmc: shift length mismatch")
+	}
+	h := &Halton{bases: Primes(dim), k: 1}
+	if shift != nil {
+		h.shift = append([]float64(nil), shift...)
+	}
+	return h
+}
+
+// Dim implements Generator.
+func (h *Halton) Dim() int { return len(h.bases) }
+
+// Next implements Generator.
+func (h *Halton) Next(dst []float64) {
+	for i, b := range h.bases {
+		dst[i] = radicalInverse(h.k, b)
+		if h.shift != nil {
+			dst[i] += h.shift[i]
+			if dst[i] >= 1 {
+				dst[i]--
+			}
+		}
+		dst[i] = clamp01(dst[i])
+	}
+	h.k++
+}
+
+// Reset implements Generator.
+func (h *Halton) Reset() { h.k = 1 }
+
+func radicalInverse(k int64, base int) float64 {
+	inv := 1.0 / float64(base)
+	f := inv
+	v := 0.0
+	for k > 0 {
+		v += float64(k%int64(base)) * f
+		k /= int64(base)
+		f *= inv
+	}
+	return v
+}
+
+// ScrambledHalton is the Halton sequence with per-base random digit
+// permutations (Braaten–Weller scrambling). Plain Halton degrades badly in
+// high dimension because large prime bases produce long monotone runs;
+// scrambling restores uniformity while keeping the low-discrepancy
+// structure.
+type ScrambledHalton struct {
+	bases []int
+	perms [][]uint8 // perms[d][digit]: permuted digit, perms[d][0] == 0
+	k     int64
+}
+
+// NewScrambledHalton returns a scrambled Halton generator of dimension dim
+// seeded by seed.
+func NewScrambledHalton(dim int, seed int64) *ScrambledHalton {
+	if dim <= 0 {
+		panic(fmt.Sprintf("qmc: invalid dimension %d", dim))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	h := &ScrambledHalton{bases: Primes(dim), perms: make([][]uint8, dim), k: 1}
+	for d, b := range h.bases {
+		if b > 255 {
+			// Digits are stored as uint8; the 54th prime is 251, so this
+			// only matters beyond ~2500 dimensions — use a modular shift
+			// permutation there instead of an explicit table.
+			h.perms[d] = nil
+			continue
+		}
+		p := make([]uint8, b)
+		for i := range p {
+			p[i] = uint8(i)
+		}
+		// Permute the nonzero digits; digit 0 must stay fixed so that the
+		// radical inverse remains in [0,1).
+		for i := b - 1; i > 1; i-- {
+			j := 1 + rng.Intn(i)
+			p[i], p[j] = p[j], p[i]
+		}
+		h.perms[d] = p
+	}
+	return h
+}
+
+// Dim implements Generator.
+func (h *ScrambledHalton) Dim() int { return len(h.bases) }
+
+// Next implements Generator.
+func (h *ScrambledHalton) Next(dst []float64) {
+	for d, b := range h.bases {
+		dst[d] = clamp01(scrambledRadicalInverse(h.k, b, h.perms[d]))
+	}
+	h.k++
+}
+
+// Reset implements Generator.
+func (h *ScrambledHalton) Reset() { h.k = 1 }
+
+func scrambledRadicalInverse(k int64, base int, perm []uint8) float64 {
+	inv := 1.0 / float64(base)
+	f := inv
+	v := 0.0
+	b := int64(base)
+	for k > 0 {
+		digit := k % b
+		if perm != nil {
+			digit = int64(perm[digit])
+		} else {
+			// Modular-shift scrambling for bases beyond the table range.
+			if digit != 0 {
+				digit = 1 + (digit*7919+13)%(b-1)
+			}
+		}
+		v += float64(digit) * f
+		k /= b
+		f *= inv
+	}
+	return v
+}
+
+// Pseudo is the plain Monte Carlo baseline: i.i.d. U(0,1) points.
+type Pseudo struct {
+	dim  int
+	seed int64
+	rng  *rand.Rand
+}
+
+// NewPseudo returns a pseudo-random generator of dimension dim.
+func NewPseudo(dim int, seed int64) *Pseudo {
+	if dim <= 0 {
+		panic(fmt.Sprintf("qmc: invalid dimension %d", dim))
+	}
+	return &Pseudo{dim: dim, seed: seed, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Dim implements Generator.
+func (p *Pseudo) Dim() int { return p.dim }
+
+// Next implements Generator.
+func (p *Pseudo) Next(dst []float64) {
+	for i := range dst[:p.dim] {
+		dst[i] = clamp01(p.rng.Float64())
+	}
+}
+
+// Reset implements Generator.
+func (p *Pseudo) Reset() { p.rng = rand.New(rand.NewSource(p.seed)) }
+
+// clamp01 keeps u strictly inside (0,1) so that Φ⁻¹ stays finite.
+func clamp01(u float64) float64 {
+	const eps = 1e-15
+	if u < eps {
+		return eps
+	}
+	if u > 1-1e-12 {
+		return 1 - 1e-12
+	}
+	return u
+}
+
+// FillMatrix fills the n×N matrix R with samples: column j holds point j of
+// the sequence, so row i is QMC dimension i. This is the R matrix of the
+// paper's Algorithm 2 (line 4).
+func FillMatrix(g Generator, r *linalg.Matrix) {
+	if r.Rows != g.Dim() {
+		panic(fmt.Sprintf("qmc: matrix rows %d != generator dim %d", r.Rows, g.Dim()))
+	}
+	for j := 0; j < r.Cols; j++ {
+		g.Next(r.Col(j))
+	}
+}
+
+// RandomShift draws a uniform shift vector of length dim for randomized QMC
+// replicates.
+func RandomShift(dim int, rng *rand.Rand) []float64 {
+	s := make([]float64, dim)
+	for i := range s {
+		s[i] = rng.Float64()
+	}
+	return s
+}

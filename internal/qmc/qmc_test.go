@@ -1,0 +1,275 @@
+package qmc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+func TestPrimes(t *testing.T) {
+	want := []int{2, 3, 5, 7, 11, 13, 17, 19, 23, 29}
+	got := Primes(10)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Primes(10) = %v", got)
+		}
+	}
+	if p := Primes(1000); p[999] != 7919 {
+		t.Errorf("1000th prime = %d, want 7919", p[999])
+	}
+	if Primes(0) != nil {
+		t.Error("Primes(0) should be nil")
+	}
+}
+
+func TestGeneratorsInUnitInterval(t *testing.T) {
+	gens := map[string]Generator{
+		"richtmyer": NewRichtmyer(13),
+		"halton":    NewHalton(13, nil),
+		"pseudo":    NewPseudo(13, 1),
+	}
+	for name, g := range gens {
+		dst := make([]float64, 13)
+		for k := 0; k < 5000; k++ {
+			g.Next(dst)
+			for i, v := range dst {
+				if v <= 0 || v >= 1 {
+					t.Fatalf("%s: point %d dim %d = %v outside (0,1)", name, k, i, v)
+				}
+			}
+		}
+	}
+}
+
+func TestResetReproduces(t *testing.T) {
+	for name, g := range map[string]Generator{
+		"richtmyer": NewRichtmyerShifted(4, []float64{0.1, 0.2, 0.3, 0.4}),
+		"halton":    NewHalton(4, nil),
+		"pseudo":    NewPseudo(4, 42),
+	} {
+		a := make([]float64, 4)
+		b := make([]float64, 4)
+		first := make([][]float64, 10)
+		for k := range first {
+			g.Next(a)
+			first[k] = append([]float64(nil), a...)
+		}
+		g.Reset()
+		for k := range first {
+			g.Next(b)
+			for i := range b {
+				if b[i] != first[k][i] {
+					t.Fatalf("%s: Reset not reproducible at point %d", name, k)
+				}
+			}
+		}
+	}
+}
+
+func TestRichtmyerLatticeStructure(t *testing.T) {
+	// Point k must equal frac(k·√p + shift); spot-check dimension 0 (p=2).
+	g := NewRichtmyer(1)
+	dst := make([]float64, 1)
+	sqrt2 := math.Sqrt(2)
+	for k := 1; k <= 100; k++ {
+		g.Next(dst)
+		want := float64(k) * (sqrt2 - 1)
+		want -= math.Floor(want)
+		if math.Abs(dst[0]-want) > 1e-9 {
+			t.Fatalf("point %d = %v, want %v", k, dst[0], want)
+		}
+	}
+}
+
+func TestHaltonBase2Sequence(t *testing.T) {
+	g := NewHalton(1, nil)
+	want := []float64{0.5, 0.25, 0.75, 0.125, 0.625, 0.375, 0.875}
+	dst := make([]float64, 1)
+	for i, w := range want {
+		g.Next(dst)
+		if math.Abs(dst[0]-w) > 1e-15 {
+			t.Fatalf("halton point %d = %v, want %v", i+1, dst[0], w)
+		}
+	}
+}
+
+func TestUniformMean(t *testing.T) {
+	// Sample means converge to 1/2 in every dimension.
+	for name, g := range map[string]Generator{
+		"richtmyer": NewRichtmyer(5),
+		"halton":    NewHalton(5, nil),
+	} {
+		const n = 20000
+		sums := make([]float64, 5)
+		dst := make([]float64, 5)
+		for k := 0; k < n; k++ {
+			g.Next(dst)
+			for i, v := range dst {
+				sums[i] += v
+			}
+		}
+		for i, s := range sums {
+			if m := s / n; math.Abs(m-0.5) > 0.01 {
+				t.Errorf("%s dim %d mean %v", name, i, m)
+			}
+		}
+	}
+}
+
+func TestQMCBeatsMCOnSmoothIntegrand(t *testing.T) {
+	// ∫ Π 12(x_i−1/2)² dx over [0,1]^d: exact value 1 for each factor...
+	// use f = Π (1 + (x_i−1/2)) with exact integral 1. QMC error at N=4096
+	// should be well below MC error averaged over seeds.
+	const dim, n = 6, 4096
+	integrate := func(g Generator) float64 {
+		dst := make([]float64, dim)
+		s := 0.0
+		for k := 0; k < n; k++ {
+			g.Next(dst)
+			f := 1.0
+			for _, v := range dst {
+				f *= 1 + (v - 0.5)
+			}
+			s += f
+		}
+		return s / n
+	}
+	qmcErr := math.Abs(integrate(NewRichtmyer(dim)) - 1)
+	mcErr := 0.0
+	const trials = 10
+	for s := int64(0); s < trials; s++ {
+		mcErr += math.Abs(integrate(NewPseudo(dim, s)) - 1)
+	}
+	mcErr /= trials
+	if qmcErr > mcErr {
+		t.Errorf("QMC error %v not better than MC error %v", qmcErr, mcErr)
+	}
+}
+
+func TestShiftedReplicatesDiffer(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g1 := NewRichtmyerShifted(3, RandomShift(3, rng))
+	g2 := NewRichtmyerShifted(3, RandomShift(3, rng))
+	a, b := make([]float64, 3), make([]float64, 3)
+	g1.Next(a)
+	g2.Next(b)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("differently shifted generators produced identical points")
+	}
+}
+
+func TestFillMatrix(t *testing.T) {
+	g := NewHalton(4, nil)
+	r := linalg.NewMatrix(4, 10)
+	FillMatrix(g, r)
+	// Column j must equal point j.
+	g.Reset()
+	dst := make([]float64, 4)
+	for j := 0; j < 10; j++ {
+		g.Next(dst)
+		for i := range dst {
+			if r.At(i, j) != dst[i] {
+				t.Fatalf("FillMatrix mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestFillMatrixDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic on dim mismatch")
+		}
+	}()
+	FillMatrix(NewHalton(3, nil), linalg.NewMatrix(4, 2))
+}
+
+func TestScrambledHaltonBasics(t *testing.T) {
+	g := NewScrambledHalton(8, 1)
+	dst := make([]float64, 8)
+	for k := 0; k < 3000; k++ {
+		g.Next(dst)
+		for i, v := range dst {
+			if v <= 0 || v >= 1 {
+				t.Fatalf("point %d dim %d = %v", k, i, v)
+			}
+		}
+	}
+	// Reset reproducibility.
+	g.Reset()
+	first := make([]float64, 8)
+	g.Next(first)
+	g.Reset()
+	again := make([]float64, 8)
+	g.Next(again)
+	for i := range first {
+		if first[i] != again[i] {
+			t.Fatal("Reset not reproducible")
+		}
+	}
+}
+
+func TestScrambledHaltonFixesHighDimUniformity(t *testing.T) {
+	// In dimension ~50 the plain Halton base-229 coordinate is badly
+	// non-uniform over short runs; the scrambled version's mean must be
+	// much closer to 1/2.
+	const dim, n = 50, 2000
+	meanLast := func(g Generator) float64 {
+		dst := make([]float64, dim)
+		s := 0.0
+		for k := 0; k < n; k++ {
+			g.Next(dst)
+			s += dst[dim-1]
+		}
+		return s / n
+	}
+	plain := math.Abs(meanLast(NewHalton(dim, nil)) - 0.5)
+	scram := math.Abs(meanLast(NewScrambledHalton(dim, 3)) - 0.5)
+	if scram > plain {
+		t.Errorf("scrambling did not improve uniformity: plain %v, scrambled %v", plain, scram)
+	}
+	if scram > 0.05 {
+		t.Errorf("scrambled Halton still biased: %v", scram)
+	}
+}
+
+func TestScrambledHaltonLargeDimension(t *testing.T) {
+	// Beyond the uint8 table range (primes > 255) the modular-shift path
+	// must still produce valid points.
+	g := NewScrambledHalton(60, 7) // 60th prime is 281
+	dst := make([]float64, 60)
+	for k := 0; k < 500; k++ {
+		g.Next(dst)
+		for i, v := range dst {
+			if v <= 0 || v >= 1 {
+				t.Fatalf("point %d dim %d = %v", k, i, v)
+			}
+		}
+	}
+}
+
+func TestConstructorsPanicOnBadDim(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewRichtmyer(0) },
+		func() { NewHalton(-1, nil) },
+		func() { NewPseudo(0, 1) },
+		func() { NewRichtmyerShifted(2, []float64{0.5}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("constructor should panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

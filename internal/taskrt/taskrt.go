@@ -1,0 +1,278 @@
+// Package taskrt is a task-based runtime in the style of StarPU: the
+// algorithm is written as a sequence of task submissions, each declaring how
+// it accesses named data handles (read, write or read-write), and the
+// runtime infers the dependency DAG from those declarations — the
+// "sequential task flow" model. Ready tasks are executed by a pool of worker
+// goroutines, highest priority first.
+//
+// This is the substrate on which the tiled Cholesky factorization and the
+// tiled PMVN integration (Algorithms 1–3 of the paper, red boxes (a)–(d))
+// are parallelized.
+package taskrt
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Access declares how a task uses a data handle.
+type Access int
+
+// Access modes. W and RW are distinguished only for documentation; both
+// serialize against all earlier readers and the earlier writer.
+const (
+	R Access = iota
+	W
+	RW
+)
+
+// Handle identifies a piece of data (typically one tile) whose access
+// sequence defines task dependencies. Handles are created by
+// Runtime.NewHandle and are only mutated during task submission, which is
+// single-threaded by the STF contract.
+type Handle struct {
+	name       string
+	lastWriter *task
+	readers    []*task
+}
+
+// String returns the debug name of the handle.
+func (h *Handle) String() string { return h.name }
+
+// Dep pairs a handle with an access mode in a Submit call.
+type Dep struct {
+	H    *Handle
+	Mode Access
+}
+
+// Read declares read access to h.
+func Read(h *Handle) Dep { return Dep{H: h, Mode: R} }
+
+// Write declares write access to h.
+func Write(h *Handle) Dep { return Dep{H: h, Mode: W} }
+
+// ReadWrite declares read-write access to h.
+func ReadWrite(h *Handle) Dep { return Dep{H: h, Mode: RW} }
+
+type task struct {
+	name     string
+	fn       func()
+	priority int
+	seq      int64 // submission order, tie-breaker for determinism
+
+	mu         sync.Mutex
+	remaining  int
+	done       bool
+	successors []*task
+}
+
+// addSuccessor registers succ to run after t; it reports whether t is still
+// pending (true = the dependency counts).
+func (t *task) addSuccessor(succ *task) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.done {
+		return false
+	}
+	t.successors = append(t.successors, succ)
+	return true
+}
+
+// Stats aggregates per-task-kind execution counts and busy time.
+type Stats struct {
+	Tasks    map[string]int
+	BusyTime map[string]time.Duration
+}
+
+// Runtime schedules tasks over a fixed worker pool. Create one with New,
+// submit tasks from a single goroutine, then Wait. A Runtime may be reused
+// for several algorithm phases; call Shutdown when finished.
+type Runtime struct {
+	workers int
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	ready  taskHeap
+	closed bool
+	seq    int64
+
+	wg sync.WaitGroup
+
+	statsMu sync.Mutex
+	stats   Stats
+
+	trace tracer
+}
+
+// New returns a runtime with the given number of worker goroutines
+// (at least 1).
+func New(workers int) *Runtime {
+	if workers < 1 {
+		workers = 1
+	}
+	r := &Runtime{
+		workers: workers,
+		stats:   Stats{Tasks: map[string]int{}, BusyTime: map[string]time.Duration{}},
+	}
+	r.cond = sync.NewCond(&r.mu)
+	for i := 0; i < workers; i++ {
+		go r.worker(i)
+	}
+	return r
+}
+
+// Workers returns the size of the worker pool.
+func (r *Runtime) Workers() int { return r.workers }
+
+// NewHandle registers a named data handle.
+func (r *Runtime) NewHandle(format string, args ...any) *Handle {
+	return &Handle{name: fmt.Sprintf(format, args...)}
+}
+
+// Submit enqueues a task. The runtime derives its dependencies from how
+// earlier tasks accessed the same handles: readers wait for the last writer;
+// writers wait for the last writer and all readers since. Submit must be
+// called from a single goroutine (the STF master), mirroring StarPU's
+// starpu_task_insert.
+func (r *Runtime) Submit(name string, priority int, fn func(), deps ...Dep) {
+	t := &task{name: name, fn: fn, priority: priority}
+	r.wg.Add(1)
+
+	// Collect unique predecessor tasks.
+	preds := map[*task]struct{}{}
+	for _, d := range deps {
+		switch d.Mode {
+		case R:
+			if w := d.H.lastWriter; w != nil && w != t {
+				preds[w] = struct{}{}
+			}
+			d.H.readers = append(d.H.readers, t)
+		case W, RW:
+			if w := d.H.lastWriter; w != nil && w != t {
+				preds[w] = struct{}{}
+			}
+			for _, rd := range d.H.readers {
+				if rd != t {
+					preds[rd] = struct{}{}
+				}
+			}
+			d.H.lastWriter = t
+			d.H.readers = nil
+		default:
+			panic("taskrt: invalid access mode")
+		}
+	}
+	n := 0
+	for p := range preds {
+		if p.addSuccessor(t) {
+			n++
+		}
+	}
+	t.mu.Lock()
+	t.remaining += n
+	ready := t.remaining == 0
+	t.mu.Unlock()
+	if ready {
+		r.push(t)
+	}
+}
+
+func (r *Runtime) push(t *task) {
+	r.mu.Lock()
+	t.seq = r.seq
+	r.seq++
+	heap.Push(&r.ready, t)
+	r.mu.Unlock()
+	r.cond.Signal()
+}
+
+func (r *Runtime) worker(id int) {
+	for {
+		r.mu.Lock()
+		for len(r.ready) == 0 && !r.closed {
+			r.cond.Wait()
+		}
+		if r.closed && len(r.ready) == 0 {
+			r.mu.Unlock()
+			return
+		}
+		t := heap.Pop(&r.ready).(*task)
+		r.mu.Unlock()
+
+		start := time.Now()
+		t.fn()
+		elapsed := time.Since(start)
+		r.trace.record(t.name, id, start, elapsed)
+
+		r.statsMu.Lock()
+		r.stats.Tasks[t.name]++
+		r.stats.BusyTime[t.name] += elapsed
+		r.statsMu.Unlock()
+
+		t.mu.Lock()
+		t.done = true
+		succ := t.successors
+		t.successors = nil
+		t.mu.Unlock()
+		for _, s := range succ {
+			s.mu.Lock()
+			s.remaining--
+			ready := s.remaining == 0
+			s.mu.Unlock()
+			if ready {
+				r.push(s)
+			}
+		}
+		r.wg.Done()
+	}
+}
+
+// Wait blocks until every submitted task has completed.
+func (r *Runtime) Wait() { r.wg.Wait() }
+
+// Shutdown waits for outstanding tasks and stops the workers. The runtime
+// must not be used afterwards.
+func (r *Runtime) Shutdown() {
+	r.wg.Wait()
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
+	r.cond.Broadcast()
+}
+
+// Snapshot returns a copy of the accumulated execution statistics.
+func (r *Runtime) Snapshot() Stats {
+	r.statsMu.Lock()
+	defer r.statsMu.Unlock()
+	s := Stats{Tasks: map[string]int{}, BusyTime: map[string]time.Duration{}}
+	for k, v := range r.stats.Tasks {
+		s.Tasks[k] = v
+	}
+	for k, v := range r.stats.BusyTime {
+		s.BusyTime[k] = v
+	}
+	return s
+}
+
+// taskHeap is a max-heap on (priority, earlier submission wins ties).
+type taskHeap []*task
+
+func (h taskHeap) Len() int { return len(h) }
+func (h taskHeap) Less(i, j int) bool {
+	if h[i].priority != h[j].priority {
+		return h[i].priority > h[j].priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h taskHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *taskHeap) Push(x any)   { *h = append(*h, x.(*task)) }
+func (h *taskHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
+}

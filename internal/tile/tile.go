@@ -1,0 +1,125 @@
+// Package tile provides the tiled-matrix descriptor used by the
+// task-parallel algorithms: an m×n matrix stored as an array of independent
+// column-major tiles, each of which can be owned, locked and computed on by
+// one task at a time. It plays the role of the Chameleon/HiCMA matrix
+// descriptors the paper initializes in pmvn_init().
+package tile
+
+import (
+	"fmt"
+
+	"repro/internal/linalg"
+)
+
+// Matrix is an M×N matrix partitioned into TS×TS tiles (boundary tiles are
+// smaller), stored as separately allocated column-major tiles so two tasks
+// touching different tiles never share storage: tiles[i + j*MT] is tile
+// (i,j).
+type Matrix struct {
+	M, N   int
+	TS     int
+	MT, NT int // number of tile rows / columns
+	tiles  []*linalg.Matrix
+}
+
+// New returns an M×N tiled matrix with tile size ts, all tiles allocated and
+// zeroed.
+func New(m, n, ts int) *Matrix {
+	if m < 0 || n < 0 || ts <= 0 {
+		panic(fmt.Sprintf("tile: invalid descriptor %dx%d ts=%d", m, n, ts))
+	}
+	mt, nt := ceilDiv(m, ts), ceilDiv(n, ts)
+	t := &Matrix{M: m, N: n, TS: ts, MT: mt, NT: nt, tiles: make([]*linalg.Matrix, mt*nt)}
+	for j := 0; j < nt; j++ {
+		for i := 0; i < mt; i++ {
+			t.tiles[i+j*mt] = linalg.NewMatrix(t.TileRows(i), t.TileCols(j))
+		}
+	}
+	return t
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// TileRows returns the row count of tile row i.
+func (t *Matrix) TileRows(i int) int {
+	if i == t.MT-1 {
+		if r := t.M - i*t.TS; r > 0 {
+			return r
+		}
+	}
+	return min(t.TS, t.M)
+}
+
+// TileCols returns the column count of tile column j.
+func (t *Matrix) TileCols(j int) int {
+	if j == t.NT-1 {
+		if c := t.N - j*t.TS; c > 0 {
+			return c
+		}
+	}
+	return min(t.TS, t.N)
+}
+
+// Tile returns tile (i,j).
+func (t *Matrix) Tile(i, j int) *linalg.Matrix {
+	if i < 0 || i >= t.MT || j < 0 || j >= t.NT {
+		panic(fmt.Sprintf("tile: tile (%d,%d) out of %dx%d grid", i, j, t.MT, t.NT))
+	}
+	return t.tiles[i+j*t.MT]
+}
+
+// SetTile replaces tile (i,j); the replacement must have the same shape.
+func (t *Matrix) SetTile(i, j int, m *linalg.Matrix) {
+	cur := t.Tile(i, j)
+	if m.Rows != cur.Rows || m.Cols != cur.Cols {
+		panic("tile: SetTile shape mismatch")
+	}
+	t.tiles[i+j*t.MT] = m
+}
+
+// At returns global element (i,j).
+func (t *Matrix) At(i, j int) float64 {
+	return t.Tile(i/t.TS, j/t.TS).At(i%t.TS, j%t.TS)
+}
+
+// Set assigns global element (i,j).
+func (t *Matrix) Set(i, j int, v float64) {
+	t.Tile(i/t.TS, j/t.TS).Set(i%t.TS, j%t.TS, v)
+}
+
+// FromDense partitions a dense matrix into tiles (copying).
+func FromDense(a *linalg.Matrix, ts int) *Matrix {
+	t := New(a.Rows, a.Cols, ts)
+	for tj := 0; tj < t.NT; tj++ {
+		for ti := 0; ti < t.MT; ti++ {
+			dst := t.Tile(ti, tj)
+			src := a.View(ti*ts, tj*ts, dst.Rows, dst.Cols)
+			dst.CopyFrom(src)
+		}
+	}
+	return t
+}
+
+// ToDense reassembles the tiles into a compact dense matrix (copying).
+func (t *Matrix) ToDense() *linalg.Matrix {
+	a := linalg.NewMatrix(t.M, t.N)
+	for tj := 0; tj < t.NT; tj++ {
+		for ti := 0; ti < t.MT; ti++ {
+			src := t.Tile(ti, tj)
+			a.View(ti*t.TS, tj*t.TS, src.Rows, src.Cols).CopyFrom(src)
+		}
+	}
+	return a
+}
+
+// Fill assembles every tile through fn(dst, rowOffset, colOffset); fn writes
+// the tile contents for the global sub-block starting at that offset. This
+// is how covariance matrices are built tile-by-tile without ever
+// materializing the dense matrix.
+func (t *Matrix) Fill(fn func(dst *linalg.Matrix, row0, col0 int)) {
+	for tj := 0; tj < t.NT; tj++ {
+		for ti := 0; ti < t.MT; ti++ {
+			fn(t.Tile(ti, tj), ti*t.TS, tj*t.TS)
+		}
+	}
+}

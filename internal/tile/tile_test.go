@@ -1,0 +1,128 @@
+package tile
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/linalg"
+)
+
+func randDense(r, c int, rng *rand.Rand) *linalg.Matrix {
+	m := linalg.NewMatrix(r, c)
+	for j := 0; j < c; j++ {
+		col := m.Col(j)
+		for i := range col {
+			col[i] = rng.NormFloat64()
+		}
+	}
+	return m
+}
+
+func TestRoundTripDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, tc := range []struct{ m, n, ts int }{
+		{8, 8, 4}, {10, 7, 3}, {5, 5, 8}, {1, 1, 4}, {9, 4, 4}, {16, 16, 16},
+	} {
+		a := randDense(tc.m, tc.n, rng)
+		tm := FromDense(a, tc.ts)
+		back := tm.ToDense()
+		if d := back.MaxAbsDiff(a); d != 0 {
+			t.Errorf("%dx%d ts=%d roundtrip diff %v", tc.m, tc.n, tc.ts, d)
+		}
+	}
+}
+
+func TestTileShapes(t *testing.T) {
+	tm := New(10, 7, 4) // 3x2 tile grid; boundary tiles 2 rows / 3 cols
+	if tm.MT != 3 || tm.NT != 2 {
+		t.Fatalf("grid %dx%d, want 3x2", tm.MT, tm.NT)
+	}
+	if r := tm.TileRows(2); r != 2 {
+		t.Errorf("last tile rows %d, want 2", r)
+	}
+	if c := tm.TileCols(1); c != 3 {
+		t.Errorf("last tile cols %d, want 3", c)
+	}
+	if r := tm.TileRows(0); r != 4 {
+		t.Errorf("interior tile rows %d, want 4", r)
+	}
+}
+
+func TestAtSetGlobalIndexing(t *testing.T) {
+	tm := New(9, 9, 4)
+	tm.Set(8, 8, 3.5)
+	tm.Set(0, 5, -1)
+	if tm.At(8, 8) != 3.5 || tm.At(0, 5) != -1 {
+		t.Error("global At/Set failed")
+	}
+	if tm.Tile(2, 2).At(0, 0) != 3.5 {
+		t.Error("global write did not land in the right tile")
+	}
+}
+
+func TestFillMatchesGlobal(t *testing.T) {
+	tm := New(7, 7, 3)
+	tm.Fill(func(dst *linalg.Matrix, r0, c0 int) {
+		for j := 0; j < dst.Cols; j++ {
+			for i := 0; i < dst.Rows; i++ {
+				dst.Set(i, j, float64((r0+i)*100+(c0+j)))
+			}
+		}
+	})
+	for i := 0; i < 7; i++ {
+		for j := 0; j < 7; j++ {
+			if got := tm.At(i, j); got != float64(i*100+j) {
+				t.Fatalf("Fill mismatch at (%d,%d): %v", i, j, got)
+			}
+		}
+	}
+}
+
+func TestSetTile(t *testing.T) {
+	tm := New(6, 6, 3)
+	repl := linalg.NewMatrix(3, 3)
+	repl.Fill(2)
+	tm.SetTile(1, 0, repl)
+	if tm.At(3, 0) != 2 {
+		t.Error("SetTile content not visible")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("SetTile with wrong shape should panic")
+		}
+	}()
+	tm.SetTile(0, 0, linalg.NewMatrix(2, 2))
+}
+
+func TestTileBounds(t *testing.T) {
+	tm := New(6, 6, 3)
+	defer func() {
+		if recover() == nil {
+			t.Error("Tile out of range should panic")
+		}
+	}()
+	tm.Tile(2, 0)
+}
+
+func TestNewPanicsOnBadArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New with ts=0 should panic")
+		}
+	}()
+	New(4, 4, 0)
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, n := 1+rng.Intn(20), 1+rng.Intn(20)
+		ts := 1 + rng.Intn(8)
+		a := randDense(m, n, rng)
+		return FromDense(a, ts).ToDense().MaxAbsDiff(a) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

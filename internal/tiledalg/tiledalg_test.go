@@ -1,0 +1,138 @@
+package tiledalg
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/taskrt"
+	"repro/internal/tile"
+)
+
+func randSPD(n int, rng *rand.Rand) *linalg.Matrix {
+	g := linalg.NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		col := g.Col(j)
+		for i := range col {
+			col[i] = rng.NormFloat64()
+		}
+	}
+	a := linalg.NewMatrix(n, n)
+	linalg.Gemm(true, false, 1, g, g, 0, a)
+	for i := 0; i < n; i++ {
+		a.Add(i, i, float64(n))
+	}
+	return a
+}
+
+func TestPotrfMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	rt := taskrt.New(4)
+	defer rt.Shutdown()
+	for _, tc := range []struct{ n, ts int }{
+		{8, 4}, {12, 4}, {13, 4}, {20, 7}, {5, 8}, {32, 8}, {1, 4},
+	} {
+		a := randSPD(tc.n, rng)
+		want, err := linalg.Cholesky(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ta := tile.FromDense(a, tc.ts)
+		if err := Potrf(rt, ta); err != nil {
+			t.Fatalf("n=%d ts=%d: %v", tc.n, tc.ts, err)
+		}
+		got := ta.ToDense()
+		if d := got.MaxAbsDiff(want); d > 1e-9 {
+			t.Errorf("n=%d ts=%d: tiled vs dense Cholesky diff %v", tc.n, tc.ts, d)
+		}
+	}
+}
+
+func TestPotrfReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	rt := taskrt.New(3)
+	defer rt.Shutdown()
+	n := 25
+	a := randSPD(n, rng)
+	ta := tile.FromDense(a, 6)
+	if err := Potrf(rt, ta); err != nil {
+		t.Fatal(err)
+	}
+	l := ta.ToDense()
+	rec := linalg.NewMatrix(n, n)
+	linalg.Gemm(false, true, 1, l, l, 0, rec)
+	if d := rec.MaxAbsDiff(a); d > 1e-9 {
+		t.Errorf("LLᵀ reconstruction diff %v", d)
+	}
+}
+
+func TestPotrfNonSquare(t *testing.T) {
+	rt := taskrt.New(1)
+	defer rt.Shutdown()
+	if err := Potrf(rt, tile.New(4, 6, 2)); err == nil {
+		t.Error("want error for non-square input")
+	}
+}
+
+func TestPotrfIndefiniteReportsError(t *testing.T) {
+	rt := taskrt.New(2)
+	defer rt.Shutdown()
+	a := linalg.Eye(8)
+	a.Set(5, 5, -2)
+	ta := tile.FromDense(a, 3)
+	err := Potrf(rt, ta)
+	if !errors.Is(err, linalg.ErrNotPositiveDefinite) {
+		t.Errorf("want ErrNotPositiveDefinite, got %v", err)
+	}
+}
+
+func TestPotrfManyWorkersDeterministic(t *testing.T) {
+	// The factor must be identical regardless of worker count: the task
+	// graph fully orders every tile update.
+	rng := rand.New(rand.NewSource(3))
+	a := randSPD(30, rng)
+	var results []*linalg.Matrix
+	for _, w := range []int{1, 2, 8} {
+		rt := taskrt.New(w)
+		ta := tile.FromDense(a, 5)
+		if err := Potrf(rt, ta); err != nil {
+			t.Fatal(err)
+		}
+		rt.Shutdown()
+		results = append(results, ta.ToDense())
+	}
+	for i := 1; i < len(results); i++ {
+		if d := results[i].MaxAbsDiff(results[0]); d != 0 {
+			t.Errorf("worker count changed the result by %v", d)
+		}
+	}
+}
+
+func TestGemmCounts(t *testing.T) {
+	for _, tc := range []struct{ nt, p, tr, sy, ge int }{
+		{1, 1, 0, 0, 0},
+		{2, 2, 1, 1, 0},
+		{3, 3, 3, 3, 1},
+		{4, 4, 6, 6, 4},
+	} {
+		p, tr, sy, ge := GemmCounts(tc.nt)
+		if p != tc.p || tr != tc.tr || sy != tc.sy || ge != tc.ge {
+			t.Errorf("GemmCounts(%d) = (%d,%d,%d,%d), want (%d,%d,%d,%d)",
+				tc.nt, p, tr, sy, ge, tc.p, tc.tr, tc.sy, tc.ge)
+		}
+	}
+	// Counts must match what the runtime actually executed.
+	rng := rand.New(rand.NewSource(4))
+	rt := taskrt.New(2)
+	defer rt.Shutdown()
+	ta := tile.FromDense(randSPD(20, rng), 5) // nt = 4
+	if err := Potrf(rt, ta); err != nil {
+		t.Fatal(err)
+	}
+	s := rt.Snapshot()
+	p, tr, sy, ge := GemmCounts(4)
+	if s.Tasks["potrf"] != p || s.Tasks["trsm"] != tr || s.Tasks["syrk"] != sy || s.Tasks["gemm"] != ge {
+		t.Errorf("executed %v, want potrf=%d trsm=%d syrk=%d gemm=%d", s.Tasks, p, tr, sy, ge)
+	}
+}

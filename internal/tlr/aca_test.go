@@ -1,0 +1,131 @@
+package tlr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cov"
+	"repro/internal/geo"
+	"repro/internal/linalg"
+	"repro/internal/taskrt"
+)
+
+func entryOf(a *linalg.Matrix) func(i, j int) float64 {
+	return func(i, j int) float64 { return a.At(i, j) }
+}
+
+func TestACAExactForLowRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	u := randMat(18, 3, rng)
+	v := randMat(14, 3, rng)
+	a := linalg.NewMatrix(18, 14)
+	linalg.Gemm(false, true, 1, u, v, 0, a)
+	lt := CompressACA(18, 14, entryOf(a), 1e-10, 0)
+	if lt.Rank() > 4 {
+		t.Errorf("rank-3 matrix compressed to ACA rank %d", lt.Rank())
+	}
+	if d := lt.Dense().MaxAbsDiff(a); d > 1e-8*a.FrobNorm() {
+		t.Errorf("ACA reconstruction diff %v", d)
+	}
+}
+
+func TestACAOnCovarianceTile(t *testing.T) {
+	g := geo.RegularGrid(12, 12)
+	sigma := cov.Matrix(g, &cov.Exponential{Sigma2: 1, Range: 0.1})
+	blk := sigma.View(72, 0, 72, 72).Clone()
+	for _, tol := range []float64{1e-2, 1e-4, 1e-7} {
+		lt := CompressACA(72, 72, entryOf(blk), tol, 0)
+		err := lt.Dense().MaxAbsDiff(blk)
+		// ACA's stopping rule is heuristic; allow a modest constant over the
+		// requested tolerance.
+		if err > 20*tol*blk.FrobNorm() {
+			t.Errorf("tol=%g: ACA error %v (rank %d)", tol, err, lt.Rank())
+		}
+	}
+}
+
+func TestACARankComparableToSVD(t *testing.T) {
+	g := geo.RegularGrid(12, 12)
+	sigma := cov.Matrix(g, &cov.Exponential{Sigma2: 1, Range: 0.234})
+	blk := sigma.View(72, 0, 72, 72).Clone()
+	svdRank := Compress(blk, 1e-4, 0).Rank()
+	acaRank := CompressACA(72, 72, entryOf(blk), 1e-4, 0).Rank()
+	// The post-ACA recompression should bring the rank close to optimal.
+	if acaRank > 2*svdRank+4 {
+		t.Errorf("ACA rank %d far above SVD rank %d", acaRank, svdRank)
+	}
+}
+
+func TestACAZeroMatrix(t *testing.T) {
+	lt := CompressACA(6, 8, func(i, j int) float64 { return 0 }, 1e-6, 0)
+	if lt.Rank() != 0 {
+		t.Errorf("zero matrix ACA rank %d", lt.Rank())
+	}
+}
+
+func TestACAMaxRankCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randMat(16, 16, rng)
+	lt := CompressACA(16, 16, entryOf(a), 1e-15, 5)
+	if lt.Rank() > 5 {
+		t.Errorf("rank %d exceeds cap 5", lt.Rank())
+	}
+}
+
+func TestACADegenerateShapes(t *testing.T) {
+	// Single row / column tiles.
+	row := CompressACA(1, 6, func(i, j int) float64 { return float64(j + 1) }, 1e-12, 0)
+	if row.Rank() != 1 {
+		t.Errorf("1×6 rank %d", row.Rank())
+	}
+	want := linalg.NewMatrix(1, 6)
+	for j := 0; j < 6; j++ {
+		want.Set(0, j, float64(j+1))
+	}
+	if d := row.Dense().MaxAbsDiff(want); d > 1e-10 {
+		t.Errorf("1×6 reconstruction diff %v", d)
+	}
+	col := CompressACA(5, 1, func(i, j int) float64 { return float64(i) - 2 }, 1e-12, 0)
+	if col.Rank() != 1 {
+		t.Errorf("5×1 rank %d", col.Rank())
+	}
+}
+
+func TestBuildFromKernelACAMatchesSVDBuild(t *testing.T) {
+	g := geo.RegularGrid(10, 10)
+	k := &cov.Exponential{Sigma2: 1, Range: 0.15}
+	ts := 25
+	svd := BuildFromKernel(g, k, ts, 1e-6, 0)
+	aca := BuildFromKernelACA(g, k, ts, 1e-6, 0)
+	d := aca.SymmetrizeDense().MaxAbsDiff(svd.SymmetrizeDense())
+	if d > 1e-4 {
+		t.Errorf("ACA vs SVD assembly differ by %v", d)
+	}
+}
+
+func TestACAPotrfEndToEnd(t *testing.T) {
+	// An ACA-assembled matrix must factorize and reconstruct like the
+	// SVD-assembled one.
+	g := geo.RegularGrid(10, 10)
+	k := &cov.Exponential{Sigma2: 1, Range: 0.2}
+	sigma := cov.Matrix(g, k)
+	a := BuildFromKernelACA(g, k, 25, 1e-8, 0)
+	rt := taskrt.New(2)
+	defer rt.Shutdown()
+	if err := Potrf(rt, a); err != nil {
+		t.Fatal(err)
+	}
+	l := a.ToDense()
+	rec := linalg.NewMatrix(100, 100)
+	linalg.Gemm(false, true, 1, l, l, 0, rec)
+	res := 0.0
+	for j := 0; j < 100; j++ {
+		for i := j; i < 100; i++ {
+			res = math.Max(res, math.Abs(rec.At(i, j)-sigma.At(i, j)))
+		}
+	}
+	if res > 1e-5 {
+		t.Errorf("ACA TLR Cholesky residual %v", res)
+	}
+}

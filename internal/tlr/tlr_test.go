@@ -1,0 +1,304 @@
+package tlr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cov"
+	"repro/internal/geo"
+	"repro/internal/linalg"
+	"repro/internal/taskrt"
+	"repro/internal/tile"
+)
+
+func randMat(r, c int, rng *rand.Rand) *linalg.Matrix {
+	m := linalg.NewMatrix(r, c)
+	for j := 0; j < c; j++ {
+		col := m.Col(j)
+		for i := range col {
+			col[i] = rng.NormFloat64()
+		}
+	}
+	return m
+}
+
+// covGrid builds an exponential-kernel covariance on a k×k grid — the tile
+// structure the paper compresses.
+func covGrid(k int, rang float64) (*geo.Geom, *linalg.Matrix) {
+	g := geo.RegularGrid(k, k)
+	return g, cov.Matrix(g, &cov.Exponential{Sigma2: 1, Range: rang})
+}
+
+func TestCompressExactForLowRankInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	u := randMat(20, 3, rng)
+	v := randMat(15, 3, rng)
+	a := linalg.NewMatrix(20, 15)
+	linalg.Gemm(false, true, 1, u, v, 0, a)
+	lt := Compress(a, 1e-12, 0)
+	if lt.Rank() > 3 {
+		t.Errorf("rank-3 matrix compressed to rank %d", lt.Rank())
+	}
+	if d := lt.Dense().MaxAbsDiff(a); d > 1e-10 {
+		t.Errorf("reconstruction diff %v", d)
+	}
+}
+
+func TestCompressRespectsTolerance(t *testing.T) {
+	_, sigma := covGrid(12, 0.1)
+	blk := sigma.View(72, 0, 72, 72).Clone()
+	for _, tol := range []float64{1e-1, 1e-3, 1e-6, 1e-9} {
+		lt := Compress(blk, tol, 0)
+		err := lt.Dense().MaxAbsDiff(blk)
+		// Frobenius-relative truncation bounds the max error loosely.
+		bound := tol * blk.FrobNorm()
+		if err > bound+1e-12 {
+			t.Errorf("tol=%g: error %v exceeds bound %v (rank %d)", tol, err, bound, lt.Rank())
+		}
+	}
+	// Ranks must grow as the tolerance tightens.
+	r1 := Compress(blk, 1e-1, 0).Rank()
+	r2 := Compress(blk, 1e-6, 0).Rank()
+	if r1 >= r2 {
+		t.Errorf("rank did not grow with accuracy: %d vs %d", r1, r2)
+	}
+}
+
+func TestCompressMaxRankCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randMat(16, 16, rng) // full rank
+	lt := Compress(a, 1e-12, 5)
+	if lt.Rank() != 5 {
+		t.Errorf("rank %d, want capped at 5", lt.Rank())
+	}
+}
+
+func TestCompressZeroTile(t *testing.T) {
+	lt := Compress(linalg.NewMatrix(8, 6), 1e-3, 0)
+	if lt.Rank() != 0 {
+		t.Errorf("zero tile rank %d", lt.Rank())
+	}
+	if d := lt.Dense().FrobNorm(); d != 0 {
+		t.Errorf("zero tile dense norm %v", d)
+	}
+}
+
+func TestAddLowRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randMat(12, 10, rng)
+	lt := Compress(a, 1e-12, 0)
+	u2, v2 := randMat(12, 2, rng), randMat(10, 2, rng)
+	want := a.Clone()
+	linalg.Gemm(false, true, -2.5, u2, v2, 1, want)
+	lt.AddLowRank(-2.5, u2, v2, 1e-12, 0)
+	if d := lt.Dense().MaxAbsDiff(want); d > 1e-9 {
+		t.Errorf("AddLowRank diff %v", d)
+	}
+}
+
+func TestAddLowRankCancellation(t *testing.T) {
+	// Adding the exact negative must collapse the rank to ~0.
+	rng := rand.New(rand.NewSource(4))
+	u, v := randMat(10, 4, rng), randMat(8, 4, rng)
+	a := linalg.NewMatrix(10, 8)
+	linalg.Gemm(false, true, 1, u, v, 0, a)
+	lt := Compress(a, 1e-12, 0)
+	lt.AddLowRank(-1, u, v, 1e-10, 0)
+	if d := lt.Dense().FrobNorm(); d > 1e-8 {
+		t.Errorf("cancellation left norm %v (rank %d)", d, lt.Rank())
+	}
+}
+
+func TestApplyToMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randMat(9, 7, rng)
+	lt := Compress(a, 1e-13, 0)
+	b := randMat(7, 5, rng)
+	c := randMat(9, 5, rng)
+	want := c.Clone()
+	linalg.Gemm(false, false, -1, a, b, 1, want)
+	lt.ApplyTo(-1, b, c)
+	if d := c.MaxAbsDiff(want); d > 1e-9 {
+		t.Errorf("ApplyTo diff %v", d)
+	}
+	// Zero-rank tile: ApplyTo is a no-op.
+	z := &LRTile{M: 9, N: 7}
+	before := c.Clone()
+	z.ApplyTo(1, b, c)
+	if d := c.MaxAbsDiff(before); d != 0 {
+		t.Error("zero-rank ApplyTo modified output")
+	}
+}
+
+func TestApplyToPairMatchesTwoApplies(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	a := randMat(9, 7, rng)
+	lt := Compress(a, 1e-13, 0)
+	b := randMat(7, 5, rng)
+	c1, c2 := randMat(9, 5, rng), randMat(9, 5, rng)
+	w1, w2 := c1.Clone(), c2.Clone()
+	lt.ApplyTo(-1, b, w1)
+	lt.ApplyTo(-1, b, w2)
+	lt.ApplyToPair(-1, b, c1, c2)
+	if d := c1.MaxAbsDiff(w1); d > 1e-12 {
+		t.Errorf("pair dst1 diff %v", d)
+	}
+	if d := c2.MaxAbsDiff(w2); d > 1e-12 {
+		t.Errorf("pair dst2 diff %v", d)
+	}
+}
+
+func TestCompressSPDRoundTrip(t *testing.T) {
+	_, sigma := covGrid(10, 0.1) // n=100
+	ts := 25
+	tm := tile.FromDense(sigma, ts)
+	a, err := CompressSPD(tm, 1e-9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := a.SymmetrizeDense()
+	if d := back.MaxAbsDiff(sigma); d > 1e-7 {
+		t.Errorf("TLR roundtrip diff %v", d)
+	}
+}
+
+func TestBuildFromKernelMatchesCompressSPD(t *testing.T) {
+	g, sigma := covGrid(9, 0.15)
+	k := &cov.Exponential{Sigma2: 1, Range: 0.15}
+	ts := 27
+	a := BuildFromKernel(g, k, ts, 1e-8, 0)
+	b, _ := CompressSPD(tile.FromDense(sigma, ts), 1e-8, 0)
+	if d := a.SymmetrizeDense().MaxAbsDiff(b.SymmetrizeDense()); d > 1e-7 {
+		t.Errorf("assembly paths differ by %v", d)
+	}
+}
+
+func TestRanksDecayWithDistance(t *testing.T) {
+	// In a spatially ordered covariance matrix, tiles far from the diagonal
+	// should have rank no larger than near-diagonal tiles (the paper's
+	// Figure 5 structure).
+	g := geo.RegularGrid(16, 16)
+	k := &cov.Exponential{Sigma2: 1, Range: 0.234}
+	a := BuildFromKernel(g, k, 32, 1e-3, 0)
+	if a.NT != 8 {
+		t.Fatalf("NT = %d", a.NT)
+	}
+	near := a.Low[1][0].Rank()
+	far := a.Low[a.NT-1][0].Rank()
+	if far > near {
+		t.Errorf("far tile rank %d exceeds near tile rank %d", far, near)
+	}
+	mn, mx, mean := a.RankStats()
+	if mn < 0 || mx > 32 || mean <= 0 {
+		t.Errorf("rank stats (%d,%d,%v) implausible", mn, mx, mean)
+	}
+	// Strong compression: mean rank well below the tile size.
+	if mean > 16 {
+		t.Errorf("mean rank %v too high for 1e-3 accuracy", mean)
+	}
+}
+
+func TestMemoryFloatsCompresses(t *testing.T) {
+	g := geo.RegularGrid(16, 16)
+	a := BuildFromKernel(g, &cov.Exponential{Sigma2: 1, Range: 0.1}, 32, 1e-3, 0)
+	denseFloats := 256 * 256
+	if m := a.MemoryFloats(); m >= denseFloats {
+		t.Errorf("TLR stores %d floats, dense lower needs %d", m, denseFloats)
+	}
+}
+
+func TestPotrfMatchesDenseHighAccuracy(t *testing.T) {
+	_, sigma := covGrid(12, 0.1) // n=144
+	want, err := linalg.Cholesky(sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := CompressSPD(tile.FromDense(sigma, 36), 1e-12, 0)
+	rt := taskrt.New(3)
+	defer rt.Shutdown()
+	if err := Potrf(rt, a); err != nil {
+		t.Fatal(err)
+	}
+	got := a.ToDense()
+	if d := got.MaxAbsDiff(want); d > 1e-6 {
+		t.Errorf("TLR factor vs dense factor diff %v", d)
+	}
+}
+
+func TestPotrfResidualScalesWithTolerance(t *testing.T) {
+	_, sigma := covGrid(12, 0.234)
+	norm := sigma.FrobNorm()
+	var prev float64 = math.Inf(1)
+	for _, tol := range []float64{1e-2, 1e-5, 1e-9} {
+		a, _ := CompressSPD(tile.FromDense(sigma, 36), tol, 0)
+		rt := taskrt.New(2)
+		if err := Potrf(rt, a); err != nil {
+			rt.Shutdown()
+			t.Fatalf("tol=%g: %v", tol, err)
+		}
+		rt.Shutdown()
+		l := a.ToDense()
+		rec := linalg.NewMatrix(sigma.Rows, sigma.Rows)
+		linalg.Gemm(false, true, 1, l, l, 0, rec)
+		// Compare lower triangles.
+		res := 0.0
+		for j := 0; j < sigma.Cols; j++ {
+			for i := j; i < sigma.Rows; i++ {
+				res = math.Max(res, math.Abs(rec.At(i, j)-sigma.At(i, j)))
+			}
+		}
+		relRes := res / norm
+		if relRes > 50*tol {
+			t.Errorf("tol=%g: relative residual %v too large", tol, relRes)
+		}
+		if relRes > prev*1.5 {
+			t.Errorf("residual did not improve with tighter tol: %v after %v", relRes, prev)
+		}
+		prev = relRes
+	}
+}
+
+func TestPotrfDeterministicAcrossWorkers(t *testing.T) {
+	_, sigma := covGrid(10, 0.1)
+	var ref *linalg.Matrix
+	for _, w := range []int{1, 4} {
+		a, _ := CompressSPD(tile.FromDense(sigma, 25), 1e-8, 0)
+		rt := taskrt.New(w)
+		if err := Potrf(rt, a); err != nil {
+			rt.Shutdown()
+			t.Fatal(err)
+		}
+		rt.Shutdown()
+		d := a.ToDense()
+		if ref == nil {
+			ref = d
+		} else if diff := d.MaxAbsDiff(ref); diff != 0 {
+			t.Errorf("worker count changed TLR factor by %v", diff)
+		}
+	}
+}
+
+func TestPotrfIndefiniteFails(t *testing.T) {
+	bad := linalg.Eye(40)
+	bad.Set(30, 30, -5)
+	a, _ := CompressSPD(tile.FromDense(bad, 10), 1e-9, 0)
+	rt := taskrt.New(2)
+	defer rt.Shutdown()
+	if err := Potrf(rt, a); err == nil {
+		t.Error("want error for indefinite matrix")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := randMat(6, 6, rng)
+	lt := Compress(a, 1e-12, 0)
+	cl := lt.Clone()
+	if lt.Rank() > 0 {
+		lt.U.Set(0, 0, 999)
+		if cl.U.At(0, 0) == 999 {
+			t.Error("clone shares storage")
+		}
+	}
+}
