@@ -86,28 +86,45 @@ type KernelSpec struct {
 	Nugget float64
 }
 
-func (k KernelSpec) build() (cov.Kernel, error) {
-	s2 := k.Sigma2
-	if s2 == 0 {
-		s2 = 1
+// normalized returns the spec with defaults applied and family-irrelevant
+// fields zeroed, so that specs building identical kernels compare equal.
+// build derives the kernel from this form and the factor-cache key uses it,
+// which keeps the two definitionally consistent.
+func (k KernelSpec) normalized() KernelSpec {
+	if k.Family == "" {
+		k.Family = "exponential"
 	}
+	if k.Sigma2 == 0 {
+		k.Sigma2 = 1
+	}
+	if k.Family == "exponential" {
+		k.Nu = 0
+	}
+	if k.Nugget <= 0 {
+		k.Nugget = 0
+	}
+	return k
+}
+
+func (k KernelSpec) build() (cov.Kernel, error) {
+	k = k.normalized()
 	if k.Range <= 0 {
 		return nil, fmt.Errorf("parmvn: kernel range must be positive, got %g", k.Range)
 	}
 	var base cov.Kernel
 	switch k.Family {
-	case "exponential", "":
-		base = &cov.Exponential{Sigma2: s2, Range: k.Range}
+	case "exponential":
+		base = &cov.Exponential{Sigma2: k.Sigma2, Range: k.Range}
 	case "matern":
 		if k.Nu <= 0 {
 			return nil, fmt.Errorf("parmvn: matern needs Nu > 0")
 		}
-		base = cov.NewMatern(s2, k.Range, k.Nu)
+		base = cov.NewMatern(k.Sigma2, k.Range, k.Nu)
 	case "powexp":
 		if k.Nu <= 0 || k.Nu > 2 {
 			return nil, fmt.Errorf("parmvn: powexp needs 0 < Nu ≤ 2")
 		}
-		base = &cov.PoweredExponential{Sigma2: s2, Range: k.Range, Power: k.Nu}
+		base = &cov.PoweredExponential{Sigma2: k.Sigma2, Range: k.Range, Power: k.Nu}
 	default:
 		return nil, fmt.Errorf("parmvn: unknown kernel family %q", k.Family)
 	}
@@ -135,6 +152,18 @@ type Config struct {
 	// Replicates is the number of randomized QMC replicates used for error
 	// estimates (default 1).
 	Replicates int
+	// NoFactorCache disables the session factor cache, re-assembling and
+	// re-factorizing Σ on every query (the pre-batching behavior; useful as
+	// a benchmarking baseline).
+	NoFactorCache bool
+	// FactorCacheCap bounds how many Cholesky factors the session keeps
+	// (LRU eviction; each dense factor is O(n²) memory). Default 8; 0
+	// keeps the default, negative means unbounded.
+	FactorCacheCap int
+	// SequentialBatch evaluates batched queries (and the repeated prefix
+	// probabilities of DetectRegion) one after another instead of fanning
+	// them out across the runtime — a debugging / baseline knob.
+	SequentialBatch bool
 }
 
 func (c Config) withDefaults() Config {
@@ -159,6 +188,12 @@ func (c Config) withDefaults() Config {
 	if c.Replicates <= 0 {
 		c.Replicates = 1
 	}
+	switch {
+	case c.FactorCacheCap == 0:
+		c.FactorCacheCap = 8
+	case c.FactorCacheCap < 0:
+		c.FactorCacheCap = 0 // unbounded
+	}
 	return c
 }
 
@@ -169,18 +204,24 @@ type Result struct {
 	StdErr float64
 }
 
-// Session owns a task-runtime worker pool and a configuration; it is safe
-// to run many computations on one session, but not concurrently.
+// Session owns a task-runtime worker pool, a configuration and a factor
+// cache. Computations on one session may run concurrently from multiple
+// goroutines: each query's task graph lives in its own runtime group and the
+// factor cache serializes factorization per covariance.
 type Session struct {
-	cfg Config
-	rt  *taskrt.Runtime
+	cfg   Config
+	rt    *taskrt.Runtime
+	cache *FactorCache
 }
 
 // NewSession starts a session with the given configuration.
 func NewSession(cfg Config) *Session {
 	c := cfg.withDefaults()
-	return &Session{cfg: c, rt: taskrt.New(c.Workers)}
+	return &Session{cfg: c, rt: taskrt.New(c.Workers), cache: newFactorCache(c.FactorCacheCap)}
 }
+
+// Cache exposes the session's factor cache (hit/miss statistics, purging).
+func (s *Session) Cache() *FactorCache { return s.cache }
 
 // Config returns the session's effective (defaulted) configuration.
 func (s *Session) Config() Config { return s.cfg }
@@ -219,21 +260,24 @@ func denseFromRows(sigma [][]float64) (*linalg.Matrix, error) {
 }
 
 // factorize builds the Cholesky factor of sigma according to the session
-// method and wraps it as an mvn.Factor.
+// method and wraps it as an mvn.Factor. The factorization task graph runs
+// in its own runtime group, so concurrent queries never wait on each
+// other's barriers.
 func (s *Session) factorize(sigma *linalg.Matrix) (mvn.Factor, error) {
+	g := s.rt.NewGroup()
 	switch s.cfg.Method {
 	case TLR:
 		a, err := tlr.CompressSPD(tile.FromDense(sigma, s.cfg.TileSize), s.cfg.TLRTol, s.cfg.TLRMaxRank)
 		if err != nil {
 			return nil, err
 		}
-		if err := tlr.Potrf(s.rt, a); err != nil {
+		if err := tlr.Potrf(g, a); err != nil {
 			return nil, err
 		}
 		return mvn.NewTLRFactor(a), nil
 	default:
 		t := tile.FromDense(sigma, s.cfg.TileSize)
-		if err := tiledalg.Potrf(s.rt, t); err != nil {
+		if err := tiledalg.Potrf(g, t); err != nil {
 			return nil, err
 		}
 		return mvn.NewDenseFactor(t), nil
@@ -245,37 +289,25 @@ func (s *Session) mvnOpts() mvn.Options {
 }
 
 // MVNProb computes Φn(a,b;0,Σ) where Σ is assembled from the kernel at the
-// given locations.
+// given locations. Repeated queries against the same locations and kernel
+// reuse the session's cached Cholesky factor; for many queries at once
+// prefer MVNProbBatch, which also parallelizes across queries.
 func (s *Session) MVNProb(locs []Point, kernel KernelSpec, a, b []float64) (Result, error) {
-	k, err := kernel.build()
+	res, err := s.MVNProbBatch(locs, kernel, []Bounds{{A: a, B: b}})
 	if err != nil {
 		return Result{}, err
 	}
-	sigma := cov.Matrix(toGeom(locs), k)
-	return s.mvnProbSigma(sigma, a, b)
+	return res[0], nil
 }
 
 // MVNProbCov computes Φn(a,b;0,Σ) for an explicit covariance matrix given
 // as rows.
 func (s *Session) MVNProbCov(sigma [][]float64, a, b []float64) (Result, error) {
-	m, err := denseFromRows(sigma)
+	res, err := s.MVNProbCovBatch(sigma, []Bounds{{A: a, B: b}})
 	if err != nil {
 		return Result{}, err
 	}
-	return s.mvnProbSigma(m, a, b)
-}
-
-func (s *Session) mvnProbSigma(sigma *linalg.Matrix, a, b []float64) (Result, error) {
-	n := sigma.Rows
-	if len(a) != n || len(b) != n {
-		return Result{}, fmt.Errorf("parmvn: limits length (%d,%d) != dimension %d", len(a), len(b), n)
-	}
-	f, err := s.factorize(sigma)
-	if err != nil {
-		return Result{}, err
-	}
-	r := mvn.PMVN(s.rt, f, a, b, s.mvnOpts())
-	return Result{Prob: r.Prob, StdErr: r.StdErr}, nil
+	return res[0], nil
 }
 
 // MVTProb computes the multivariate Student-t probability T_n(a,b;Σ,ν)
@@ -290,12 +322,10 @@ func (s *Session) MVTProb(locs []Point, kernel KernelSpec, nu float64, a, b []fl
 	if err != nil {
 		return Result{}, err
 	}
-	sigma := cov.Matrix(toGeom(locs), k)
-	n := sigma.Rows
-	if len(a) != n || len(b) != n {
+	if n := len(locs); len(a) != n || len(b) != n {
 		return Result{}, fmt.Errorf("parmvn: limits length (%d,%d) != dimension %d", len(a), len(b), n)
 	}
-	f, err := s.factorize(sigma)
+	f, err := s.factorForKernel(locs, kernel, k)
 	if err != nil {
 		return Result{}, err
 	}
@@ -359,7 +389,7 @@ func (s *Session) detectSigma(sigma *linalg.Matrix, mean []float64, u, conf floa
 		return nil, fmt.Errorf("parmvn: confidence %g must be in (0,1)", conf)
 	}
 	corr, sd := excursion.CorrelationFromCovariance(sigma)
-	f, err := s.factorize(corr)
+	f, err := s.factorForSigma(corr)
 	if err != nil {
 		return nil, err
 	}
@@ -367,6 +397,7 @@ func (s *Session) detectSigma(sigma *linalg.Matrix, mean []float64, u, conf floa
 	if err != nil {
 		return nil, err
 	}
+	c.Sequential = s.cfg.SequentialBatch
 	res := c.ConfidenceFunction(fPoints)
 	region := c.Region(conf)
 	return &Excursion{

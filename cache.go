@@ -1,0 +1,193 @@
+package parmvn
+
+import (
+	"hash"
+	"hash/fnv"
+	"math"
+	"sync"
+
+	"repro/internal/cov"
+	"repro/internal/linalg"
+	"repro/internal/mvn"
+)
+
+// factorKey identifies one factorization: what matrix was factorized (a
+// content hash of the locations or of the explicit covariance entries, plus
+// the kernel for the assembled path) and how (method, tile size, TLR
+// accuracy). Two queries with equal keys can share one Cholesky factor; the
+// 128-bit content hash plus the dimension makes an accidental collision —
+// which would silently serve the wrong factor — astronomically unlikely.
+type factorKey struct {
+	kind    byte      // 'k' = kernel at locations, 'c' = explicit matrix content
+	hash    [2]uint64 // FNV-1a/128 over the defining float64 bits
+	n       int       // problem dimension, cheap collision guard
+	kernel  KernelSpec
+	method  Method
+	tile    int
+	tol     float64
+	maxRank int
+}
+
+// cacheEntry builds its factor exactly once; concurrent requesters for the
+// same key block on the first build instead of duplicating it.
+type cacheEntry struct {
+	once    sync.Once
+	f       mvn.Factor
+	err     error
+	lastUse int64 // LRU stamp, guarded by FactorCache.mu
+}
+
+// FactorCache memoizes Cholesky factors (dense tiled or TLR) across the
+// queries of a Session, so a batch of MVN probabilities against one
+// covariance pays the factorization cost once. Keys combine a content hash
+// of the inputs with every configuration knob that changes the factor;
+// entries whose build failed stay cached (factorization errors, e.g. a
+// non-SPD matrix, are deterministic). The cache holds at most cap factors
+// (least-recently-used eviction; cap ≤ 0 means unbounded), since a dense
+// factor is O(n²) memory and workflows that stream ever-new covariances
+// would otherwise grow the session without limit. Safe for concurrent use.
+type FactorCache struct {
+	mu      sync.Mutex
+	cap     int
+	tick    int64
+	entries map[factorKey]*cacheEntry
+	hits    int
+	misses  int
+}
+
+func newFactorCache(cap int) *FactorCache {
+	return &FactorCache{cap: cap, entries: map[factorKey]*cacheEntry{}}
+}
+
+// getOrBuild returns the factor for key, invoking build at most once per key
+// across all goroutines.
+func (c *FactorCache) getOrBuild(key factorKey, build func() (mvn.Factor, error)) (mvn.Factor, error) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if ok {
+		c.hits++
+	} else {
+		e = &cacheEntry{}
+		c.entries[key] = e
+		c.misses++
+		if c.cap > 0 && len(c.entries) > c.cap {
+			c.evictOldest(key)
+		}
+	}
+	c.tick++
+	e.lastUse = c.tick
+	c.mu.Unlock()
+	e.once.Do(func() { e.f, e.err = build() })
+	return e.f, e.err
+}
+
+// evictOldest removes the least-recently-used entry other than keep. A
+// build still running on an evicted entry completes normally for its
+// waiters; the entry is simply no longer findable. Called with mu held.
+func (c *FactorCache) evictOldest(keep factorKey) {
+	var victim factorKey
+	var vAge int64 = math.MaxInt64
+	found := false
+	for k, e := range c.entries {
+		if k != keep && e.lastUse < vAge {
+			victim, vAge, found = k, e.lastUse, true
+		}
+	}
+	if found {
+		delete(c.entries, victim)
+	}
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (c *FactorCache) Stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len returns the number of cached factors.
+func (c *FactorCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Purge drops every cached factor (the counters are kept).
+func (c *FactorCache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = map[factorKey]*cacheEntry{}
+}
+
+// hashPoints content-hashes a location set.
+func hashPoints(locs []Point) [2]uint64 {
+	h := fnv.New128a()
+	var buf [16]byte
+	for _, p := range locs {
+		putFloat(buf[:8], p.X)
+		putFloat(buf[8:], p.Y)
+		h.Write(buf[:])
+	}
+	return sum128(h)
+}
+
+// hashMatrix content-hashes a dense matrix column by column.
+func hashMatrix(m *linalg.Matrix) [2]uint64 {
+	h := fnv.New128a()
+	var buf [8]byte
+	for j := 0; j < m.Cols; j++ {
+		for _, v := range m.Col(j) {
+			putFloat(buf[:], v)
+			h.Write(buf[:])
+		}
+	}
+	return sum128(h)
+}
+
+func sum128(h hash.Hash) [2]uint64 {
+	var out [2]uint64
+	for i, c := range h.Sum(nil) {
+		out[i/8] = out[i/8]<<8 | uint64(c)
+	}
+	return out
+}
+
+func putFloat(b []byte, v float64) {
+	u := math.Float64bits(v)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(u >> (8 * i))
+	}
+}
+
+// key assembles the cache key for the session's current configuration.
+func (s *Session) key(kind byte, hash [2]uint64, n int, spec KernelSpec) factorKey {
+	return factorKey{
+		kind: kind, hash: hash, n: n, kernel: spec,
+		method: s.cfg.Method, tile: s.cfg.TileSize,
+		tol: s.cfg.TLRTol, maxRank: s.cfg.TLRMaxRank,
+	}
+}
+
+// factorForKernel returns the (possibly cached) factor of the covariance of
+// kernel k at locs. Assembly of Σ itself is also skipped on a cache hit.
+// The spec is normalized before keying so equivalent specs (defaulted
+// Sigma2, implicit exponential family, family-irrelevant Nu) share a factor.
+func (s *Session) factorForKernel(locs []Point, spec KernelSpec, k cov.Kernel) (mvn.Factor, error) {
+	build := func() (mvn.Factor, error) {
+		return s.factorize(cov.Matrix(toGeom(locs), k))
+	}
+	if s.cfg.NoFactorCache {
+		return build()
+	}
+	return s.cache.getOrBuild(s.key('k', hashPoints(locs), len(locs), spec.normalized()), build)
+}
+
+// factorForSigma returns the (possibly cached) factor of an explicit matrix,
+// keyed by its content hash.
+func (s *Session) factorForSigma(sigma *linalg.Matrix) (mvn.Factor, error) {
+	build := func() (mvn.Factor, error) { return s.factorize(sigma) }
+	if s.cfg.NoFactorCache {
+		return build()
+	}
+	return s.cache.getOrBuild(s.key('c', hashMatrix(sigma), sigma.Rows, KernelSpec{}), build)
+}

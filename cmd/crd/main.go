@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"time"
 
 	"repro"
 	"repro/internal/datagen"
@@ -28,6 +29,7 @@ func main() {
 	obs := flag.Float64("obs", 0.25, "fraction of locations observed")
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", 0, "worker goroutines")
+	batch := flag.Bool("batch", true, "fan the confidence-function probability queries out in parallel (false = sequential baseline)")
 	flag.Parse()
 
 	die := func(err error) {
@@ -47,6 +49,7 @@ func main() {
 	}
 	s := parmvn.NewSession(parmvn.Config{
 		Method: m, Workers: *workers, TileSize: max(16, n/8), QMCSize: *qmc, TLRTol: 1e-4,
+		SequentialBatch: !*batch,
 	})
 	defer s.Close()
 
@@ -58,10 +61,12 @@ func main() {
 			sigma[i][j] = ds.PostCov.At(i, j)
 		}
 	}
+	start := time.Now()
 	exc, err := s.DetectRegionCov(sigma, ds.PostMu, *u, *conf, 16)
 	if err != nil {
 		die(err)
 	}
+	elapsed := time.Since(start)
 
 	mask := exc.InRegion(n)
 	marginal := 0
@@ -70,8 +75,8 @@ func main() {
 			marginal++
 		}
 	}
-	fmt.Printf("confidence region at u=%g, 1-alpha=%g (%s): %d of %d locations\n",
-		*u, *conf, m, len(exc.Region), n)
+	fmt.Printf("confidence region at u=%g, 1-alpha=%g (%s, %.3fs): %d of %d locations\n",
+		*u, *conf, m, elapsed.Seconds(), len(exc.Region), n)
 	fmt.Printf("naive marginal region (pM >= %g): %d locations\n\n", *conf, marginal)
 	fmt.Println("legend: # in region, + marginal-only, . outside")
 	for j := *grid - 1; j >= 0; j-- {

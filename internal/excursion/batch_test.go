@@ -1,0 +1,78 @@
+package excursion
+
+import (
+	"testing"
+
+	"repro/internal/mvn"
+)
+
+// TestPrefixProbsMatchesPrefixProb checks the batched (parallel) prefix
+// evaluation is element-for-element identical to the sequential path,
+// including degenerate and duplicate sizes, and that it fills the cache.
+func TestPrefixProbsMatchesPrefixProb(t *testing.T) {
+	opts := mvn.Options{N: 400}
+	cSeq, _, _, _, rtSeq := setup(t, 5, 0.2, 0.3, opts)
+	defer rtSeq.Shutdown()
+	cPar, _, _, _, rtPar := setup(t, 5, 0.2, 0.3, opts)
+	defer rtPar.Shutdown()
+	cSeq.Sequential = true
+
+	n := cSeq.Factor.N()
+	ks := []int{-1, 0, 1, 3, 3, 7, n, n + 5}
+	want := cSeq.PrefixProbs(ks)
+	got := cPar.PrefixProbs(ks)
+	for i := range ks {
+		if got[i] != want[i] {
+			t.Errorf("k=%d: parallel %v != sequential %v", ks[i], got[i], want[i])
+		}
+		if p := cPar.PrefixProb(ks[i]); p != got[i] {
+			t.Errorf("k=%d: cached PrefixProb %v != batched %v", ks[i], p, got[i])
+		}
+	}
+}
+
+// TestConfidenceFunctionOnePoint regresses the points==1 division by zero:
+// a single interpolation point must degrade to the {1, n} endpoints, not to
+// NaN-derived prefix sizes that report the whole domain as confident.
+func TestConfidenceFunctionOnePoint(t *testing.T) {
+	opts := mvn.Options{N: 300}
+	c, _, _, _, rt := setup(t, 4, 0.2, 0.3, opts)
+	defer rt.Shutdown()
+	res := c.ConfidenceFunction(1)
+	n := c.Factor.N()
+	if len(res.EvalK) != 2 || res.EvalK[0] != 1 || res.EvalK[1] != n {
+		t.Fatalf("EvalK = %v, want [1 %d]", res.EvalK, n)
+	}
+	for i, f := range res.F {
+		if f < 0 || f > 1 || f != f {
+			t.Fatalf("F[%d] = %v out of [0,1]", i, f)
+		}
+	}
+}
+
+// TestConfidenceFunctionParallelMatchesSequential checks the batched
+// ConfidenceFunction produces exactly the sequential result.
+func TestConfidenceFunctionParallelMatchesSequential(t *testing.T) {
+	opts := mvn.Options{N: 300}
+	cSeq, _, _, _, rtSeq := setup(t, 5, 0.25, 0.2, opts)
+	defer rtSeq.Shutdown()
+	cPar, _, _, _, rtPar := setup(t, 5, 0.25, 0.2, opts)
+	defer rtPar.Shutdown()
+	cSeq.Sequential = true
+
+	want := cSeq.ConfidenceFunction(9)
+	got := cPar.ConfidenceFunction(9)
+	if len(got.F) != len(want.F) {
+		t.Fatalf("F sizes differ: %d vs %d", len(got.F), len(want.F))
+	}
+	for i := range want.F {
+		if got.F[i] != want.F[i] {
+			t.Errorf("F[%d]: parallel %v != sequential %v", i, got.F[i], want.F[i])
+		}
+	}
+	for i := range want.EvalP {
+		if got.EvalP[i] != want.EvalP[i] {
+			t.Errorf("EvalP[%d]: parallel %v != sequential %v", i, got.EvalP[i], want.EvalP[i])
+		}
+	}
+}

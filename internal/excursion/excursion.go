@@ -78,6 +78,10 @@ type Computer struct {
 	U      float64
 	Opts   mvn.Options
 
+	// Sequential evaluates PrefixProbs one prefix at a time instead of
+	// fanning the independent PMVN queries out across the runtime.
+	Sequential bool
+
 	// negative selects E⁻ (regions where X < u) instead of E⁺.
 	negative bool
 
@@ -144,6 +148,16 @@ func (c *Computer) PrefixProb(k int) float64 {
 	if p, ok := c.cache[k]; ok {
 		return p
 	}
+	p := c.prefixProbUncached(k)
+	c.cache[k] = p
+	return p
+}
+
+// prefixProbUncached runs the single PMVN evaluation for prefix size k
+// (1 ≤ k ≤ n). It only reads the Computer, so independent prefix sizes may
+// evaluate concurrently.
+func (c *Computer) prefixProbUncached(k int) float64 {
+	n := c.Factor.N()
 	a := make([]float64, n)
 	b := make([]float64, n)
 	for i := range a {
@@ -158,9 +172,68 @@ func (c *Computer) PrefixProb(k int) float64 {
 			a[loc] = lim // P(X > u) on the prefix
 		}
 	}
-	p := mvn.PMVN(c.RT, c.Factor, a, b, c.Opts).Prob
-	c.cache[k] = p
-	return p
+	return mvn.PMVN(c.RT, c.Factor, a, b, c.Opts).Prob
+}
+
+// PrefixProbs evaluates the joint prefix probability at every size in ks —
+// the batched counterpart of PrefixProb. Sizes missing from the cache are
+// independent MVN queries against the one shared factor, so they fan out
+// across the runtime (unless Sequential is set); results land in the cache.
+// The output is identical to calling PrefixProb per element.
+func (c *Computer) PrefixProbs(ks []int) []float64 {
+	n := c.Factor.N()
+	out := make([]float64, len(ks))
+	// Resolve degenerate and cached sizes; collect distinct misses.
+	miss := make([]int, 0, len(ks))
+	missSet := map[int]struct{}{}
+	for _, k := range ks {
+		if k <= 0 {
+			continue
+		}
+		if k > n {
+			k = n
+		}
+		if _, ok := c.cache[k]; ok {
+			continue
+		}
+		if _, ok := missSet[k]; !ok {
+			missSet[k] = struct{}{}
+			miss = append(miss, k)
+		}
+	}
+	// A caller-supplied shared Opts.Rng is consumed when Replicates ≥ 2
+	// (it draws the replicate shifts inside each PMVN call), so those
+	// evaluations must stay sequential to avoid racing on it; with the
+	// default nil Rng every query seeds its own.
+	sharedRng := c.Opts.Rng != nil && c.Opts.Replicates >= 2
+	probs := make([]float64, len(miss))
+	if c.Sequential || sharedRng || len(miss) <= 1 {
+		for i, k := range miss {
+			probs[i] = c.prefixProbUncached(k)
+		}
+	} else {
+		// Fan out bounded by the worker count: each PMVN allocates its
+		// whole O(n·N) working set up front, so an unbounded fan-out over
+		// many prefixes (fPoints=0, the literal Algorithm 1 loop) would
+		// blow memory long before the pool could drain it.
+		taskrt.ForEachLimit(len(miss), c.RT.Workers(), func(i int) {
+			probs[i] = c.prefixProbUncached(miss[i])
+		})
+	}
+	for i, k := range miss {
+		c.cache[k] = probs[i]
+	}
+	for i, k := range ks {
+		switch {
+		case k <= 0:
+			out[i] = 1
+			continue
+		case k > n:
+			k = n
+		}
+		out[i] = c.cache[k]
+	}
+	return out
 }
 
 // Result is the output of a confidence-function evaluation.
@@ -189,6 +262,9 @@ func (c *Computer) ConfidenceFunction(points int) *Result {
 			ks = append(ks, k)
 		}
 	} else {
+		if points == 1 {
+			points = 2 // the endpoints 1 and n are always evaluated
+		}
 		seen := map[int]bool{}
 		for i := 0; i < points; i++ {
 			k := 1 + int(math.Round(float64(i)*float64(n-1)/float64(points-1)))
@@ -198,9 +274,10 @@ func (c *Computer) ConfidenceFunction(points int) *Result {
 			}
 		}
 	}
-	ps := make([]float64, len(ks))
-	for i, k := range ks {
-		ps[i] = c.PrefixProb(k)
+	// Batched evaluation: the prefix probabilities are independent MVN
+	// queries against the shared factor, so they run in parallel.
+	ps := c.PrefixProbs(ks)
+	for i := range ps {
 		// Enforce monotonicity against QMC noise.
 		if i > 0 && ps[i] > ps[i-1] {
 			ps[i] = ps[i-1]

@@ -123,6 +123,9 @@ func TestFig4AndTable2(t *testing.T) {
 }
 
 func TestFig5RankMaps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig5 is heavy")
+	}
 	var buf bytes.Buffer
 	res, err := Fig5(&buf, quick)
 	if err != nil {

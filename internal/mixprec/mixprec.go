@@ -198,7 +198,7 @@ func (f *Factorization) Tile64(i, j int) bool { return i-j <= f.Band }
 // only far-from-diagonal tiles executed in float32. band is the number of
 // sub-diagonals kept in float64 (band ≥ nt-1 degenerates to the full
 // double-precision factorization).
-func Potrf(rt *taskrt.Runtime, a *tile.Matrix, band int) (*Factorization, error) {
+func Potrf(rt taskrt.Submitter, a *tile.Matrix, band int) (*Factorization, error) {
 	if a.M != a.N {
 		return nil, fmt.Errorf("mixprec: Potrf needs square matrix, got %dx%d", a.M, a.N)
 	}

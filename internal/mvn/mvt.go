@@ -80,7 +80,8 @@ func scaleLimit(v, s float64) float64 {
 
 // PMVT evaluates the MVT probability T_n(a,b;Σ,ν) on the tiled task-parallel
 // backend: identical task graph to PMVN, with each chain's limits pre-scaled
-// by its χ² draw.
+// by its χ² draw. Like PMVN, the randomized replicates run concurrently in
+// their own runtime groups, with all shifts pre-drawn from Options.Rng.
 func PMVT(rt *taskrt.Runtime, f Factor, a, b []float64, nu float64, opt Options) Result {
 	n := f.N()
 	if len(a) != n || len(b) != n {
@@ -90,27 +91,9 @@ func PMVT(rt *taskrt.Runtime, f Factor, a, b []float64, nu float64, opt Options)
 		panic("mvn: degrees of freedom must be positive")
 	}
 	o := opt.withDefaults(f.TS())
-	probs := make([]float64, o.Replicates)
-	for rep := 0; rep < o.Replicates; rep++ {
-		var shift []float64
-		if rep > 0 {
-			shift = qmc.RandomShift(n+1, o.Rng)
-		}
-		gen := o.NewGen(n+1, shift)
-		probs[rep] = pmvnScaled(rt, f, a, b, gen, o.N, o.SampleTile, nu)
-	}
-	mean := 0.0
-	for _, p := range probs {
-		mean += p
-	}
-	mean /= float64(o.Replicates)
-	res := Result{Prob: clampProb(mean)}
-	if o.Replicates >= 2 {
-		ss := 0.0
-		for _, p := range probs {
-			ss += (p - mean) * (p - mean)
-		}
-		res.StdErr = math.Sqrt(ss / float64(o.Replicates-1) / float64(o.Replicates))
-	}
-	return res
+	gens := drawGenerators(n+1, o)
+	probs := runReplicates(rt, gens, func(sub taskrt.Submitter, gen qmc.Generator) float64 {
+		return pmvnScaled(sub, f, a, b, gen, o.N, o.SampleTile, nu)
+	})
+	return reduceReplicates(probs)
 }

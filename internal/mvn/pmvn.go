@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"repro/internal/linalg"
 	"repro/internal/qmc"
@@ -61,49 +62,86 @@ type Result struct {
 // PMVN evaluates Φn(a,b;0,Σ) = E[Π factors] given a Cholesky factor of Σ
 // (dense tiled or TLR), running the paper's Algorithm 2 as a task graph on
 // rt: per-tile QMC kernels on the diagonal rows and GEMM propagation tasks
-// below, parallel across sample-tile columns.
+// below, parallel across sample-tile columns. Randomized-QMC replicates run
+// concurrently, each as its own task-graph instance in its own runtime
+// group; PMVN itself is safe to call from multiple goroutines on one
+// runtime (the Factor is only read).
 func PMVN(rt *taskrt.Runtime, f Factor, a, b []float64, opt Options) Result {
 	n := f.N()
 	if len(a) != n || len(b) != n {
 		panic(fmt.Sprintf("mvn: limits length %d,%d != dimension %d", len(a), len(b), n))
 	}
 	o := opt.withDefaults(f.TS())
-	probs := make([]float64, o.Replicates)
-	for rep := 0; rep < o.Replicates; rep++ {
+	gens := drawGenerators(n, o)
+	probs := runReplicates(rt, gens, func(sub taskrt.Submitter, gen qmc.Generator) float64 {
+		return pmvnScaled(sub, f, a, b, gen, o.N, o.SampleTile, 0)
+	})
+	return reduceReplicates(probs)
+}
+
+// drawGenerators pre-draws all replicate shifts from the (shared, not
+// goroutine-safe) Options.Rng up front, so the replicates themselves can run
+// concurrently without touching it.
+func drawGenerators(dim int, o Options) []qmc.Generator {
+	gens := make([]qmc.Generator, o.Replicates)
+	for rep := range gens {
 		var shift []float64
 		if rep > 0 {
-			shift = qmc.RandomShift(n, o.Rng)
+			shift = qmc.RandomShift(dim, o.Rng)
 		}
-		probs[rep] = pmvnOnce(rt, f, a, b, o.NewGen(n, shift), o.N, o.SampleTile)
+		gens[rep] = o.NewGen(dim, shift)
 	}
+	return gens
+}
+
+// runReplicates evaluates one integration per generator, concurrently when
+// there is more than one, each inside its own runtime group.
+func runReplicates(rt *taskrt.Runtime, gens []qmc.Generator, eval func(taskrt.Submitter, qmc.Generator) float64) []float64 {
+	probs := make([]float64, len(gens))
+	if len(gens) == 1 {
+		probs[0] = eval(rt.NewGroup(), gens[0])
+		return probs
+	}
+	var wg sync.WaitGroup
+	for rep := range gens {
+		rep := rep
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			probs[rep] = eval(rt.NewGroup(), gens[rep])
+		}()
+	}
+	wg.Wait()
+	return probs
+}
+
+// reduceReplicates averages the replicate estimates and, with ≥2 replicates,
+// attaches the randomized-QMC standard error.
+func reduceReplicates(probs []float64) Result {
 	mean := 0.0
 	for _, p := range probs {
 		mean += p
 	}
-	mean /= float64(o.Replicates)
+	mean /= float64(len(probs))
 	res := Result{Prob: clampProb(mean)}
-	if o.Replicates >= 2 {
+	if len(probs) >= 2 {
 		ss := 0.0
 		for _, p := range probs {
 			ss += (p - mean) * (p - mean)
 		}
-		res.StdErr = math.Sqrt(ss / float64(o.Replicates-1) / float64(o.Replicates))
+		res.StdErr = math.Sqrt(ss / float64(len(probs)-1) / float64(len(probs)))
 	}
 	return res
 }
 
 func clampProb(p float64) float64 { return math.Min(1, math.Max(0, p)) }
 
-// pmvnOnce runs one replicate of the tiled MVN integration.
-func pmvnOnce(rt *taskrt.Runtime, f Factor, a, b []float64, gen qmc.Generator, n, mc int) float64 {
-	return pmvnScaled(rt, f, a, b, gen, n, mc, 0)
-}
-
-// pmvnScaled runs one replicate of the tiled integration. With nu > 0 it
-// computes the Student-t variant: the generator then has dimension dim+1
-// and each chain's limits are scaled by s_j = √(χ²inv_ν(w₀)/ν); nu ≤ 0 is
-// the plain MVN path.
-func pmvnScaled(rt *taskrt.Runtime, f Factor, a, b []float64, gen qmc.Generator, n, mc int, nu float64) float64 {
+// pmvnScaled runs one replicate of the tiled integration, submitting its
+// task graph through rt — a runtime group when replicates or batched
+// queries run concurrently. With nu > 0 it computes the Student-t variant:
+// the generator then has dimension dim+1 and each chain's limits are scaled
+// by s_j = √(χ²inv_ν(w₀)/ν); nu ≤ 0 is the plain MVN path.
+func pmvnScaled(rt taskrt.Submitter, f Factor, a, b []float64, gen qmc.Generator, n, mc int, nu float64) float64 {
 	dim := f.N()
 	nt := f.NT()
 	ts := f.TS()

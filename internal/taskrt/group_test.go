@@ -1,0 +1,115 @@
+package taskrt
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestGroupWaitScopesToOwnTasks checks Group.Wait returns once the group's
+// tasks are done, even while another group's task is still blocked.
+func TestGroupWaitScopesToOwnTasks(t *testing.T) {
+	rt := New(2)
+	defer rt.Shutdown()
+
+	release := make(chan struct{})
+	slow := rt.NewGroup()
+	slow.Submit("slow", 0, func() { <-release })
+
+	fast := rt.NewGroup()
+	var ran atomic.Int32
+	for i := 0; i < 8; i++ {
+		h := fast.NewHandle("f(%d)", i)
+		fast.Submit("fast", 0, func() { ran.Add(1) }, ReadWrite(h))
+	}
+	fast.Wait() // must not require the slow group's task to finish
+	if got := ran.Load(); got != 8 {
+		t.Errorf("fast group ran %d tasks, want 8", got)
+	}
+	close(release)
+	slow.Wait()
+}
+
+// TestGroupDependenciesWithinGroup checks handle-derived ordering still holds
+// for tasks submitted through a group.
+func TestGroupDependenciesWithinGroup(t *testing.T) {
+	rt := New(4)
+	defer rt.Shutdown()
+
+	g := rt.NewGroup()
+	h := g.NewHandle("x")
+	order := make([]int, 0, 3)
+	var mu sync.Mutex
+	for i := 0; i < 3; i++ {
+		i := i
+		g.Submit("step", 0, func() {
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+		}, ReadWrite(h))
+	}
+	g.Wait()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("RW chain executed out of order: %v", order)
+		}
+	}
+}
+
+// TestConcurrentGroups submits independent task graphs from many goroutines
+// at once — the batched-query pattern — and checks per-group counts and that
+// Runtime.Wait covers everything.
+func TestConcurrentGroups(t *testing.T) {
+	rt := New(4)
+	defer rt.Shutdown()
+
+	const groups, tasks = 16, 50
+	var total atomic.Int32
+	var wg sync.WaitGroup
+	for gi := 0; gi < groups; gi++ {
+		gi := gi
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g := rt.NewGroup()
+			var local atomic.Int32
+			var prev *Handle
+			for ti := 0; ti < tasks; ti++ {
+				deps := []Dep{}
+				if prev != nil {
+					deps = append(deps, Read(prev))
+				}
+				h := g.NewHandle("g%d t%d", gi, ti)
+				deps = append(deps, Write(h))
+				g.Submit("t", ti%3, func() {
+					local.Add(1)
+					total.Add(1)
+				}, deps...)
+				prev = h
+			}
+			g.Wait()
+			if got := local.Load(); got != tasks {
+				t.Errorf("group %d ran %d tasks, want %d", gi, got, tasks)
+			}
+		}()
+	}
+	wg.Wait()
+	rt.Wait() // must be a no-op barrier now
+	if got := total.Load(); got != groups*tasks {
+		t.Errorf("total %d, want %d", got, groups*tasks)
+	}
+}
+
+// TestRuntimeWaitCoversGroups checks the global barrier includes tasks
+// submitted through groups.
+func TestRuntimeWaitCoversGroups(t *testing.T) {
+	rt := New(2)
+	defer rt.Shutdown()
+	var done atomic.Bool
+	g := rt.NewGroup()
+	g.Submit("t", 0, func() { done.Store(true) })
+	rt.Wait()
+	if !done.Load() {
+		t.Error("Runtime.Wait returned before group task finished")
+	}
+}

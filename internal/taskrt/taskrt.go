@@ -60,7 +60,8 @@ type task struct {
 	name     string
 	fn       func()
 	priority int
-	seq      int64 // submission order, tie-breaker for determinism
+	seq      int64  // submission order, tie-breaker for determinism
+	onDone   func() // completion callback (group bookkeeping), may be nil
 
 	mu         sync.Mutex
 	remaining  int
@@ -86,19 +87,38 @@ type Stats struct {
 	BusyTime map[string]time.Duration
 }
 
+// Submitter is the common task-submission surface of Runtime and Group:
+// algorithms written against it can run either on the global runtime scope
+// or inside an isolated completion group.
+type Submitter interface {
+	// NewHandle registers a named data handle.
+	NewHandle(format string, args ...any) *Handle
+	// Submit enqueues a task with declared handle accesses.
+	Submit(name string, priority int, fn func(), deps ...Dep)
+	// Wait blocks until every task submitted through this Submitter has
+	// completed.
+	Wait()
+}
+
 // Runtime schedules tasks over a fixed worker pool. Create one with New,
-// submit tasks from a single goroutine, then Wait. A Runtime may be reused
-// for several algorithm phases; call Shutdown when finished.
+// submit tasks, then Wait. A Runtime may be reused for several algorithm
+// phases; call Shutdown when finished.
+//
+// Submissions that share data handles must come from a single goroutine (the
+// STF master). Independent task graphs — disjoint handle sets — may be
+// submitted concurrently from multiple goroutines, each through its own
+// Group, which is how batched MVN queries and randomized-QMC replicates
+// share one worker pool.
 type Runtime struct {
 	workers int
 
-	mu     sync.Mutex
-	cond   *sync.Cond
-	ready  taskHeap
-	closed bool
-	seq    int64
-
-	wg sync.WaitGroup
+	mu       sync.Mutex
+	cond     *sync.Cond // workers: ready-queue not empty / closed
+	idle     *sync.Cond // waiters: inflight dropped to zero
+	ready    taskHeap
+	closed   bool
+	seq      int64
+	inflight int // tasks submitted but not yet finished
 
 	statsMu sync.Mutex
 	stats   Stats
@@ -117,6 +137,7 @@ func New(workers int) *Runtime {
 		stats:   Stats{Tasks: map[string]int{}, BusyTime: map[string]time.Duration{}},
 	}
 	r.cond = sync.NewCond(&r.mu)
+	r.idle = sync.NewCond(&r.mu)
 	for i := 0; i < workers; i++ {
 		go r.worker(i)
 	}
@@ -133,12 +154,19 @@ func (r *Runtime) NewHandle(format string, args ...any) *Handle {
 
 // Submit enqueues a task. The runtime derives its dependencies from how
 // earlier tasks accessed the same handles: readers wait for the last writer;
-// writers wait for the last writer and all readers since. Submit must be
-// called from a single goroutine (the STF master), mirroring StarPU's
-// starpu_task_insert.
+// writers wait for the last writer and all readers since. Tasks sharing
+// handles must be submitted from a single goroutine (the STF master),
+// mirroring StarPU's starpu_task_insert; independent graphs may submit
+// concurrently (see Group).
 func (r *Runtime) Submit(name string, priority int, fn func(), deps ...Dep) {
-	t := &task{name: name, fn: fn, priority: priority}
-	r.wg.Add(1)
+	r.submit(name, priority, fn, nil, deps)
+}
+
+func (r *Runtime) submit(name string, priority int, fn func(), onDone func(), deps []Dep) {
+	t := &task{name: name, fn: fn, priority: priority, onDone: onDone}
+	r.mu.Lock()
+	r.inflight++
+	r.mu.Unlock()
 
 	// Collect unique predecessor tasks.
 	preds := map[*task]struct{}{}
@@ -225,21 +253,90 @@ func (r *Runtime) worker(id int) {
 				r.push(s)
 			}
 		}
-		r.wg.Done()
+		if t.onDone != nil {
+			t.onDone()
+		}
+		r.mu.Lock()
+		r.inflight--
+		if r.inflight == 0 {
+			r.idle.Broadcast()
+		}
+		r.mu.Unlock()
 	}
 }
 
-// Wait blocks until every submitted task has completed.
-func (r *Runtime) Wait() { r.wg.Wait() }
+// Wait blocks until every submitted task has completed — across all groups
+// and master submissions. For a barrier over one batch only, use Group.Wait.
+func (r *Runtime) Wait() {
+	r.mu.Lock()
+	for r.inflight > 0 {
+		r.idle.Wait()
+	}
+	r.mu.Unlock()
+}
 
 // Shutdown waits for outstanding tasks and stops the workers. The runtime
 // must not be used afterwards.
 func (r *Runtime) Shutdown() {
-	r.wg.Wait()
+	r.Wait()
 	r.mu.Lock()
 	r.closed = true
 	r.mu.Unlock()
 	r.cond.Broadcast()
+}
+
+// Group scopes a set of task submissions to their own completion barrier:
+// tasks submitted through a Group run on the shared worker pool, but
+// Group.Wait blocks only until the group's own tasks have finished, not the
+// whole runtime. Concurrent goroutines may each submit through their own
+// Group as long as their handle sets are disjoint — this is the per-batch
+// wait scope used by batched MVN queries and parallel QMC replicates.
+type Group struct {
+	rt *Runtime
+	wg sync.WaitGroup
+}
+
+// NewGroup returns a fresh completion group on the runtime's worker pool.
+func (r *Runtime) NewGroup() *Group { return &Group{rt: r} }
+
+// NewHandle registers a named data handle (handles are runtime-global; the
+// group only scopes completion).
+func (g *Group) NewHandle(format string, args ...any) *Handle {
+	return g.rt.NewHandle(format, args...)
+}
+
+// Submit enqueues a task whose completion is tracked by this group. Like
+// Runtime.Submit, tasks sharing handles must be submitted from a single
+// goroutine.
+func (g *Group) Submit(name string, priority int, fn func(), deps ...Dep) {
+	g.wg.Add(1)
+	g.rt.submit(name, priority, fn, g.wg.Done, deps)
+}
+
+// Wait blocks until every task submitted through this group has completed.
+func (g *Group) Wait() { g.wg.Wait() }
+
+// ForEachLimit runs fn(i) for every i in [0,n) with at most limit calls in
+// flight — the fan-out shape of batched queries, where each item allocates
+// its whole working set up front, so unbounded spawning would exhaust
+// memory long before the worker pool could drain it. limit < 1 means 1.
+func ForEachLimit(n, limit int, fn func(int)) {
+	if limit < 1 {
+		limit = 1
+	}
+	sem := make(chan struct{}, limit)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			fn(i)
+		}()
+	}
+	wg.Wait()
 }
 
 // Snapshot returns a copy of the accumulated execution statistics.

@@ -16,13 +16,13 @@ import (
 // Handles caches one runtime handle per tile of a tiled matrix, so repeated
 // algorithm phases reuse the same dependency chains.
 type Handles struct {
-	rt *taskrt.Runtime
+	rt taskrt.Submitter
 	hs []*taskrt.Handle
 	mt int
 }
 
 // NewHandles creates a handle grid for an mt×nt tile grid.
-func NewHandles(rt *taskrt.Runtime, name string, mt, nt int) *Handles {
+func NewHandles(rt taskrt.Submitter, name string, mt, nt int) *Handles {
 	h := &Handles{rt: rt, hs: make([]*taskrt.Handle, mt*nt), mt: mt}
 	for j := 0; j < nt; j++ {
 		for i := 0; i < mt; i++ {
@@ -49,7 +49,7 @@ func (h *Handles) At(i, j int) *taskrt.Handle { return h.hs[i+j*h.mt] }
 //
 // Priorities favor the critical path (panel column) as StarPU's
 // heteroprio-style schedulers do.
-func Potrf(rt *taskrt.Runtime, a *tile.Matrix) error {
+func Potrf(rt taskrt.Submitter, a *tile.Matrix) error {
 	if a.M != a.N {
 		return fmt.Errorf("tiledalg: Potrf needs square matrix, got %dx%d", a.M, a.N)
 	}

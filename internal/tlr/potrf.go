@@ -20,7 +20,7 @@ import (
 //	GEMM   Low[i][j] ← Low[i][j] − U_i(V_iᵀV_j)U_jᵀ   (concat + recompress)
 //
 // It is executed task-parallel on the given runtime.
-func Potrf(rt *taskrt.Runtime, a *Matrix) error {
+func Potrf(rt taskrt.Submitter, a *Matrix) error {
 	nt := a.NT
 	diagH := make([]*taskrt.Handle, nt)
 	lowH := make([][]*taskrt.Handle, nt)
