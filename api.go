@@ -26,6 +26,7 @@ import (
 	"runtime"
 
 	"repro/internal/cov"
+	"repro/internal/engine"
 	"repro/internal/excursion"
 	"repro/internal/geo"
 	"repro/internal/linalg"
@@ -47,14 +48,24 @@ const (
 	// TLR compresses off-diagonal tiles to low rank (the HiCMA path),
 	// trading a user-chosen accuracy for large speedups.
 	TLR
+	// MethodAdaptive chooses every tile's representation individually: dense
+	// float64 on the diagonal band, low rank where the tile compresses at
+	// TLRTol, dense float32 for small incompressible tiles — the per-tile
+	// policy runs on the unified factorization engine. Thresholds come from
+	// AdaptiveBand, AdaptiveRankFrac and AdaptiveF32Norm.
+	MethodAdaptive
 )
 
-// String returns "dense" or "tlr".
+// String returns "dense", "tlr" or "adaptive".
 func (m Method) String() string {
-	if m == TLR {
+	switch m {
+	case TLR:
 		return "tlr"
+	case MethodAdaptive:
+		return "adaptive"
+	default:
+		return "dense"
 	}
-	return "dense"
 }
 
 // Point is a spatial location.
@@ -164,6 +175,21 @@ type Config struct {
 	// probabilities of DetectRegion) one after another instead of fanning
 	// them out across the runtime — a debugging / baseline knob.
 	SequentialBatch bool
+	// AdaptiveBand is the number of sub-diagonals MethodAdaptive keeps in
+	// dense float64 (default 1).
+	AdaptiveBand int
+	// AdaptiveRankFrac makes MethodAdaptive store an off-band tile low-rank
+	// when its compressed rank at TLRTol is at most this fraction of the
+	// tile size (default 0.5) — beyond that the factors outweigh the tile.
+	AdaptiveRankFrac float64
+	// AdaptiveF32Norm makes MethodAdaptive store an incompressible off-band
+	// tile in float32 when its Frobenius norm, relative to its diagonal
+	// blocks', is at most this threshold (default 0.1), keeping the f32
+	// rounding commensurate with TLRTol.
+	AdaptiveF32Norm float64
+	// CollectStats attaches a snapshot of the runtime scheduler statistics
+	// (tasks executed per kind, peak ready-queue depth) to each Result.
+	CollectStats bool
 }
 
 func (c Config) withDefaults() Config {
@@ -194,6 +220,15 @@ func (c Config) withDefaults() Config {
 	case c.FactorCacheCap < 0:
 		c.FactorCacheCap = 0 // unbounded
 	}
+	// The engine's policy owns the adaptive defaults; Tol is already
+	// defaulted above through TLRTol.
+	pol := engine.Policy{
+		Band: c.AdaptiveBand, Tol: c.TLRTol,
+		RankFrac: c.AdaptiveRankFrac, F32Norm: c.AdaptiveF32Norm,
+	}.WithDefaults()
+	c.AdaptiveBand = pol.Band
+	c.AdaptiveRankFrac = pol.RankFrac
+	c.AdaptiveF32Norm = pol.F32Norm
 	return c
 }
 
@@ -202,6 +237,10 @@ func (c Config) withDefaults() Config {
 type Result struct {
 	Prob   float64
 	StdErr float64
+	// Stats, populated only when Config.CollectStats is set, is a snapshot
+	// of the session runtime's cumulative scheduler statistics taken when
+	// the query's batch completed (shared across the batch's results).
+	Stats *taskrt.Stats
 }
 
 // Session owns a task-runtime worker pool, a configuration and a factor
@@ -260,9 +299,10 @@ func denseFromRows(sigma [][]float64) (*linalg.Matrix, error) {
 }
 
 // factorize builds the Cholesky factor of sigma according to the session
-// method and wraps it as an mvn.Factor. The factorization task graph runs
-// in its own runtime group, so concurrent queries never wait on each
-// other's barriers.
+// method and wraps it as an mvn.Factor. All three methods route through the
+// unified factorization engine — they differ only in the tile layout they
+// construct. The factorization task graph runs in its own runtime group, so
+// concurrent queries never wait on each other's barriers.
 func (s *Session) factorize(sigma *linalg.Matrix) (mvn.Factor, error) {
 	g := s.rt.NewGroup()
 	switch s.cfg.Method {
@@ -275,6 +315,18 @@ func (s *Session) factorize(sigma *linalg.Matrix) (mvn.Factor, error) {
 			return nil, err
 		}
 		return mvn.NewTLRFactor(a), nil
+	case MethodAdaptive:
+		grid := engine.AssembleAdaptive(tile.FromDense(sigma, s.cfg.TileSize), engine.Policy{
+			Band:     s.cfg.AdaptiveBand,
+			Tol:      s.cfg.TLRTol,
+			MaxRank:  s.cfg.TLRMaxRank,
+			RankFrac: s.cfg.AdaptiveRankFrac,
+			F32Norm:  s.cfg.AdaptiveF32Norm,
+		})
+		if err := engine.Potrf(g, grid, engine.Config{Tol: s.cfg.TLRTol, MaxRank: s.cfg.TLRMaxRank}); err != nil {
+			return nil, err
+		}
+		return mvn.NewGridFactor(grid), nil
 	default:
 		t := tile.FromDense(sigma, s.cfg.TileSize)
 		if err := tiledalg.Potrf(g, t); err != nil {
@@ -282,6 +334,20 @@ func (s *Session) factorize(sigma *linalg.Matrix) (mvn.Factor, error) {
 		}
 		return mvn.NewDenseFactor(t), nil
 	}
+}
+
+// validateTileSize checks the configured tile size against the problem
+// dimension, uniformly at every Session entry point, so a bad configuration
+// fails with a clear error instead of deep inside tiling.
+func (s *Session) validateTileSize(n int) error {
+	ts := s.cfg.TileSize
+	if ts <= 0 {
+		return fmt.Errorf("parmvn: TileSize must be positive, got %d", ts)
+	}
+	if n > 0 && ts > n {
+		return fmt.Errorf("parmvn: TileSize %d exceeds problem dimension %d", ts, n)
+	}
+	return nil
 }
 
 func (s *Session) mvnOpts() mvn.Options {
@@ -325,12 +391,26 @@ func (s *Session) MVTProb(locs []Point, kernel KernelSpec, nu float64, a, b []fl
 	if n := len(locs); len(a) != n || len(b) != n {
 		return Result{}, fmt.Errorf("parmvn: limits length (%d,%d) != dimension %d", len(a), len(b), n)
 	}
+	if err := s.validateTileSize(len(locs)); err != nil {
+		return Result{}, err
+	}
 	f, err := s.factorForKernel(locs, kernel, k)
 	if err != nil {
 		return Result{}, err
 	}
 	r := mvn.PMVT(s.rt, f, a, b, nu, s.mvnOpts())
-	return Result{Prob: r.Prob, StdErr: r.StdErr}, nil
+	res := Result{Prob: r.Prob, StdErr: r.StdErr}
+	s.attachStats(&res)
+	return res, nil
+}
+
+// attachStats snapshots the runtime scheduler statistics onto a result when
+// the session is configured to collect them.
+func (s *Session) attachStats(r *Result) {
+	if s.cfg.CollectStats {
+		snap := s.rt.Snapshot()
+		r.Stats = &snap
+	}
 }
 
 // Excursion is the output of confidence-region detection.
@@ -387,6 +467,9 @@ func (s *Session) detectSigma(sigma *linalg.Matrix, mean []float64, u, conf floa
 	}
 	if conf <= 0 || conf >= 1 {
 		return nil, fmt.Errorf("parmvn: confidence %g must be in (0,1)", conf)
+	}
+	if err := s.validateTileSize(n); err != nil {
+		return nil, err
 	}
 	corr, sd := excursion.CorrelationFromCovariance(sigma)
 	f, err := s.factorForSigma(corr)

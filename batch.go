@@ -26,6 +26,9 @@ func (s *Session) MVNProbBatch(locs []Point, kernel KernelSpec, queries []Bounds
 	if err := validateQueries(len(locs), queries); err != nil {
 		return nil, err
 	}
+	if err := s.validateTileSize(len(locs)); err != nil {
+		return nil, err
+	}
 	f, err := s.factorForKernel(locs, kernel, k)
 	if err != nil {
 		return nil, err
@@ -41,6 +44,9 @@ func (s *Session) MVNProbCovBatch(sigma [][]float64, queries []Bounds) ([]Result
 		return nil, err
 	}
 	if err := validateQueries(m.Rows, queries); err != nil {
+		return nil, err
+	}
+	if err := s.validateTileSize(m.Rows); err != nil {
 		return nil, err
 	}
 	f, err := s.factorForSigma(m)
@@ -72,7 +78,7 @@ func (s *Session) evalBatch(f mvn.Factor, queries []Bounds) ([]Result, error) {
 			r := mvn.PMVN(s.rt, f, q.A, q.B, s.mvnOpts())
 			out[i] = Result{Prob: r.Prob, StdErr: r.StdErr}
 		}
-		return out, nil
+		return s.finishBatch(out), nil
 	}
 	// Fan out with at most Workers queries in flight, bounding the working
 	// memory while keeping the pool saturated (each query is itself a
@@ -81,5 +87,17 @@ func (s *Session) evalBatch(f mvn.Factor, queries []Bounds) ([]Result, error) {
 		r := mvn.PMVN(s.rt, f, queries[i].A, queries[i].B, s.mvnOpts())
 		out[i] = Result{Prob: r.Prob, StdErr: r.StdErr}
 	})
-	return out, nil
+	return s.finishBatch(out), nil
+}
+
+// finishBatch attaches one shared scheduler-statistics snapshot to every
+// result of the batch when the session collects stats.
+func (s *Session) finishBatch(out []Result) []Result {
+	if s.cfg.CollectStats {
+		snap := s.rt.Snapshot()
+		for i := range out {
+			out[i].Stats = &snap
+		}
+	}
+	return out
 }

@@ -26,6 +26,10 @@ type factorKey struct {
 	tile    int
 	tol     float64
 	maxRank int
+	// Adaptive-policy thresholds; zero for the other methods so their keys
+	// are unaffected.
+	band             int
+	rankFrac, f32Cut float64
 }
 
 // cacheEntry builds its factor exactly once; concurrent requesters for the
@@ -161,11 +165,17 @@ func putFloat(b []byte, v float64) {
 
 // key assembles the cache key for the session's current configuration.
 func (s *Session) key(kind byte, hash [2]uint64, n int, spec KernelSpec) factorKey {
-	return factorKey{
+	k := factorKey{
 		kind: kind, hash: hash, n: n, kernel: spec,
 		method: s.cfg.Method, tile: s.cfg.TileSize,
 		tol: s.cfg.TLRTol, maxRank: s.cfg.TLRMaxRank,
 	}
+	if s.cfg.Method == MethodAdaptive {
+		k.band = s.cfg.AdaptiveBand
+		k.rankFrac = s.cfg.AdaptiveRankFrac
+		k.f32Cut = s.cfg.AdaptiveF32Norm
+	}
+	return k
 }
 
 // factorForKernel returns the (possibly cached) factor of the covariance of

@@ -24,7 +24,7 @@ func main() {
 	level := flag.String("level", "medium", "correlation level: weak, medium, strong")
 	u := flag.Float64("u", 0.0, "exceedance threshold")
 	conf := flag.Float64("conf", 0.95, "confidence level 1-alpha")
-	method := flag.String("method", "dense", "factorization: dense or tlr")
+	method := flag.String("method", "dense", "factorization: dense, tlr or adaptive")
 	qmc := flag.Int("qmc", 3000, "QMC sample size")
 	obs := flag.Float64("obs", 0.25, "fraction of locations observed")
 	seed := flag.Int64("seed", 1, "random seed")
@@ -44,11 +44,14 @@ func main() {
 	}
 
 	m := parmvn.Dense
-	if *method == "tlr" {
+	switch *method {
+	case "tlr":
 		m = parmvn.TLR
+	case "adaptive":
+		m = parmvn.MethodAdaptive
 	}
 	s := parmvn.NewSession(parmvn.Config{
-		Method: m, Workers: *workers, TileSize: max(16, n/8), QMCSize: *qmc, TLRTol: 1e-4,
+		Method: m, Workers: *workers, TileSize: min(max(16, n/8), n), QMCSize: *qmc, TLRTol: 1e-4,
 		SequentialBatch: !*batch,
 	})
 	defer s.Close()

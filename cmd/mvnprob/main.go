@@ -18,10 +18,30 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"sort"
 	"time"
 
 	"repro"
 )
+
+// printStats reports the scheduler behavior of the run when the session
+// collected statistics (the -stats flag).
+func printStats(res parmvn.Result) {
+	if res.Stats == nil {
+		return
+	}
+	fmt.Printf("scheduler      %d tasks executed, peak ready-queue depth %d\n",
+		res.Stats.Total(), res.Stats.PeakReady)
+	kinds := make([]string, 0, len(res.Stats.Tasks))
+	for k := range res.Stats.Tasks {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Printf("  %-12s %8d tasks  %10.3fms busy\n",
+			k, res.Stats.Tasks[k], float64(res.Stats.BusyTime[k].Microseconds())/1000)
+	}
+}
 
 func main() {
 	grid := flag.Int("grid", 20, "grid side (dimension = grid²)")
@@ -30,7 +50,7 @@ func main() {
 	nu := flag.Float64("nu", 1.5, "Matérn smoothness / powexp exponent")
 	lower := flag.Float64("lower", -0.5, "common lower integration limit (upper is +Inf)")
 	upper := flag.Float64("upper", math.Inf(1), "common upper integration limit")
-	method := flag.String("method", "dense", "factorization: dense or tlr")
+	method := flag.String("method", "dense", "factorization: dense, tlr or adaptive")
 	tol := flag.Float64("tlr-tol", 1e-4, "TLR compression accuracy")
 	qmc := flag.Int("qmc", 2000, "QMC sample size")
 	reps := flag.Int("reps", 3, "randomized QMC replicates for the error estimate")
@@ -39,19 +59,25 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome trace of the task execution to this file")
 	batch := flag.Int("batch", 0, "evaluate this many lower-limit thresholds as one batched query (0 = single query)")
 	batchSpan := flag.Float64("batch-span", 1.0, "lower-limit span covered by the -batch thresholds")
+	stats := flag.Bool("stats", false, "report runtime scheduler statistics (tasks executed, peak ready-queue depth)")
 	flag.Parse()
 
 	m := parmvn.Dense
-	if *method == "tlr" {
+	switch *method {
+	case "tlr":
 		m = parmvn.TLR
+	case "adaptive":
+		m = parmvn.MethodAdaptive
 	}
 	ts := *tile
 	if ts == 0 {
-		ts = max(16, (*grid)*(*grid)/10)
+		// Auto tile size, clamped to the dimension so tiny grids still run.
+		ts = min(max(16, (*grid)*(*grid)/10), (*grid)*(*grid))
 	}
 	s := parmvn.NewSession(parmvn.Config{
 		Method: m, Workers: *workers, TileSize: ts,
 		TLRTol: *tol, QMCSize: *qmc, Replicates: *reps,
+		CollectStats: *stats,
 	})
 	defer s.Close()
 
@@ -90,6 +116,7 @@ func main() {
 		fmt.Printf("batch          %d queries, 1 factorization (cache %d hit / %d miss)\n",
 			*batch, hits, misses)
 		fmt.Printf("elapsed        %.3fs\n", time.Since(start).Seconds())
+		printStats(results[len(results)-1])
 	} else {
 		a := make([]float64, n)
 		b := make([]float64, n)
@@ -106,6 +133,7 @@ func main() {
 		fmt.Printf("probability    %.8g\n", res.Prob)
 		fmt.Printf("std error      %.2e\n", res.StdErr)
 		fmt.Printf("elapsed        %.3fs\n", time.Since(start).Seconds())
+		printStats(res)
 	}
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)

@@ -50,7 +50,7 @@ func main() {
 
 	for _, method := range []parmvn.Method{parmvn.Dense, parmvn.TLR} {
 		s := parmvn.NewSession(parmvn.Config{
-			Method: method, Workers: *workers, TileSize: max(16, n/10),
+			Method: method, Workers: *workers, TileSize: min(max(16, n/10), n),
 			QMCSize: *qmc, TLRTol: 1e-4,
 		})
 		start := time.Now()

@@ -1,0 +1,376 @@
+// Package engine is the single tile-Cholesky task-graph builder of the
+// repository: one right-looking POTRF/TRSM/SYRK/GEMM dependency graph,
+// submitted once, whose kernels dispatch over polymorphic tile
+// representations (dense float64, dense float32, low rank). The dense
+// (Chameleon-style), TLR (HiCMA-style) and mixed-precision factorizations
+// are thin layout constructors over this engine, and the per-tile adaptive
+// representation the paper names as future work falls out of mixing
+// representations freely within one grid.
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/linalg"
+	"repro/internal/taskrt"
+	"repro/internal/tile"
+)
+
+// Grid is a square symmetric tiled matrix holding only its lower triangle,
+// each tile in an arbitrary representation. After Potrf it holds the lower
+// Cholesky factor in the same per-tile representations.
+type Grid struct {
+	N, TS, NT int
+	tiles     [][]tile.Tile // tiles[i][j] valid for j ≤ i
+}
+
+// NewGrid returns an empty n×n grid with tile size ts; every tile must be
+// assigned with Set before factorizing.
+func NewGrid(n, ts int) *Grid {
+	if n < 0 || ts <= 0 {
+		panic(fmt.Sprintf("engine: invalid grid %d ts=%d", n, ts))
+	}
+	nt := (n + ts - 1) / ts
+	g := &Grid{N: n, TS: ts, NT: nt, tiles: make([][]tile.Tile, nt)}
+	for i := range g.tiles {
+		g.tiles[i] = make([]tile.Tile, i+1)
+	}
+	return g
+}
+
+// TileRows returns the number of rows of tile row i.
+func (g *Grid) TileRows(i int) int {
+	if i == g.NT-1 {
+		if r := g.N - i*g.TS; r > 0 {
+			return r
+		}
+	}
+	return min(g.TS, g.N)
+}
+
+// Set assigns tile (i,j), j ≤ i.
+func (g *Grid) Set(i, j int, t tile.Tile) {
+	if j > i || i >= g.NT || i < 0 || j < 0 {
+		panic(fmt.Sprintf("engine: tile (%d,%d) outside lower triangle of %d grid", i, j, g.NT))
+	}
+	g.tiles[i][j] = t
+}
+
+// At returns tile (i,j), j ≤ i.
+func (g *Grid) At(i, j int) tile.Tile { return g.tiles[i][j] }
+
+// Diag returns the dense float64 diagonal tile k; the engine requires
+// diagonal tiles in that representation (they carry the Cholesky pivots).
+func (g *Grid) Diag(k int) *linalg.Matrix {
+	d, ok := g.tiles[k][k].(*tile.DenseF64)
+	if !ok {
+		panic(fmt.Sprintf("engine: diagonal tile %d is not dense float64", k))
+	}
+	return d.D
+}
+
+// Mix counts the tiles of the lower triangle by representation — the
+// footprint report behind the adaptive policy.
+type Mix struct {
+	Dense64, Dense32, LowRank int
+	MaxRank                   int // largest low-rank tile rank
+}
+
+// Mix reports the grid's representation mix.
+func (g *Grid) Mix() Mix {
+	var m Mix
+	for i := 0; i < g.NT; i++ {
+		for j := 0; j <= i; j++ {
+			switch t := g.tiles[i][j].(type) {
+			case *tile.DenseF32:
+				m.Dense32++
+			case *tile.LowRank:
+				m.LowRank++
+				if r := t.Rank(); r > m.MaxRank {
+					m.MaxRank = r
+				}
+			default:
+				m.Dense64++
+			}
+		}
+	}
+	return m
+}
+
+// Config tunes the engine kernels.
+type Config struct {
+	// Tol is the recompression tolerance applied when a GEMM lands in a
+	// low-rank destination tile.
+	Tol float64
+	// MaxRank caps low-rank tile ranks after recompression (0 = uncapped).
+	MaxRank int
+}
+
+// Potrf factorizes the SPD matrix held by the grid in place: one task graph,
+// the classical right-looking tile Cholesky, whatever each tile's
+// representation —
+//
+//	POTRF(T[k][k])
+//	TRSM(T[k][k], T[i][k])            i > k
+//	SYRK(T[i][k], T[i][i])            i > k
+//	GEMM(T[i][k], T[j][k], T[i][j])   i > j > k
+//
+// with critical-path (panel-first) priorities as StarPU heteroprio-style
+// schedulers use. Kernel arithmetic per representation combination matches
+// the historical dense, TLR and mixed-precision implementations exactly, so
+// layout constructors routing through the engine reproduce their results
+// bit for bit. Errors (non-positive-definite pivots) propagate through the
+// submitter's SubmitErr/Err scope.
+func Potrf(rt taskrt.Submitter, g *Grid, cfg Config) error {
+	nt := g.NT
+	for k := 0; k < nt; k++ {
+		for j := 0; j <= k; j++ {
+			if g.tiles[k][j] == nil {
+				return fmt.Errorf("engine: tile (%d,%d) unassigned", k, j)
+			}
+		}
+		if _, ok := g.tiles[k][k].(*tile.DenseF64); !ok {
+			return fmt.Errorf("engine: diagonal tile %d must be dense float64, got %s", k, g.tiles[k][k].Kind())
+		}
+	}
+	h := make([][]*taskrt.Handle, nt)
+	for i := 0; i < nt; i++ {
+		h[i] = make([]*taskrt.Handle, i+1)
+		for j := 0; j <= i; j++ {
+			h[i][j] = rt.NewHandle("T(%d,%d)", i, j)
+		}
+	}
+	for k := 0; k < nt; k++ {
+		k := k
+		dk := g.Diag(k)
+		rt.SubmitErr("potrf", 3*nt-3*k, func() error {
+			if err := linalg.PotrfUnblocked(dk); err != nil {
+				return fmt.Errorf("engine: diagonal tile (%d,%d): %w", k, k, err)
+			}
+			return nil
+		}, taskrt.ReadWrite(h[k][k]))
+
+		// Single-precision panel tiles solve against a float32 copy of the
+		// factored diagonal, converted once per panel by its own task.
+		var dk32 *tile.Matrix32
+		var dk32H *taskrt.Handle
+		for i := k + 1; i < nt; i++ {
+			if g.tiles[i][k].Kind() == tile.KindDenseF32 {
+				dk32H = rt.NewHandle("T32(%d)", k)
+				rt.Submit("convert", 3*nt-3*k, func() {
+					dk32 = tile.ToSingle(dk)
+				}, taskrt.Read(h[k][k]), taskrt.Write(dk32H))
+				break
+			}
+		}
+		for i := k + 1; i < nt; i++ {
+			switch t := g.tiles[i][k].(type) {
+			case *tile.DenseF64:
+				d := t.D
+				rt.Submit("trsm", 3*nt-3*k-1, func() {
+					linalg.TrsmLower(linalg.Right, true, 1, dk, d)
+				}, taskrt.Read(h[k][k]), taskrt.ReadWrite(h[i][k]))
+			case *tile.LowRank:
+				lr := t
+				rt.Submit("trsm", 3*nt-3*k-1, func() {
+					if lr.Rank() > 0 {
+						linalg.TrsmLower(linalg.Left, false, 1, dk, lr.V)
+					}
+				}, taskrt.Read(h[k][k]), taskrt.ReadWrite(h[i][k]))
+			case *tile.DenseF32:
+				d := t.D
+				rt.Submit("trsm32", 3*nt-3*k-1, func() {
+					tile.TrsmRightLowerTrans32(dk32, d)
+				}, taskrt.Read(dk32H), taskrt.ReadWrite(h[i][k]))
+			}
+		}
+		for i := k + 1; i < nt; i++ {
+			i := i
+			a := g.tiles[i][k]
+			di := g.Diag(i)
+			rt.Submit("syrk", 3*nt-3*k-2, func() {
+				syrkInto(a, di)
+			}, taskrt.Read(h[i][k]), taskrt.ReadWrite(h[i][i]))
+			for j := k + 1; j < i; j++ {
+				j := j
+				b := g.tiles[j][k]
+				c := g.tiles[i][j]
+				rt.Submit("gemm", 3*nt-3*k-2, func() {
+					gemmInto(a, b, c, cfg)
+				}, taskrt.Read(h[i][k]), taskrt.Read(h[j][k]), taskrt.ReadWrite(h[i][j]))
+			}
+		}
+	}
+	rt.Wait()
+	if err := rt.Err(); err != nil {
+		return err
+	}
+	for k := 0; k < nt; k++ {
+		g.Diag(k).LowerFromFull()
+	}
+	return nil
+}
+
+// syrkInto applies D ← D − A·Aᵀ for the panel tile a into the dense float64
+// diagonal tile d, in the representation-appropriate form.
+func syrkInto(a tile.Tile, d *linalg.Matrix) {
+	switch a := a.(type) {
+	case *tile.DenseF64:
+		linalg.Syrk(false, -1, a.D, 1, d)
+	case *tile.DenseF32:
+		// Diagonal updates run in double precision whatever the operand
+		// (the banded mixed-precision semantics: destination chooses).
+		linalg.Syrk(false, -1, a.D.ToDouble(), 1, d)
+	case *tile.LowRank:
+		k := a.Rank()
+		if k == 0 {
+			return
+		}
+		// D ← D − U·(VᵀV)·Uᵀ without densifying the tile.
+		s := getMat(k, k)
+		linalg.Gemm(true, false, 1, a.V, a.V, 0, s)
+		us := getMat(a.M, k)
+		linalg.Gemm(false, false, 1, a.U, s, 0, us)
+		linalg.Gemm(false, true, -1, us, a.U, 1, d)
+		putMat(us)
+		putMat(s)
+	}
+}
+
+// gemmInto applies C ← C − A·Bᵀ, dispatching on the destination
+// representation: the destination decides the arithmetic (f64, f32 or
+// low-rank concat-and-recompress), the operands are adapted to it.
+func gemmInto(a, b, c tile.Tile, cfg Config) {
+	switch c := c.(type) {
+	case *tile.DenseF64:
+		gemmIntoDense64(a, b, c.D)
+	case *tile.DenseF32:
+		tile.Gemm32(true, -1, as32(a), as32(b), c.D)
+	case *tile.LowRank:
+		gemmIntoLowRank(a, b, c, cfg)
+	}
+}
+
+// gemmIntoDense64 accumulates dst −= A·Bᵀ in double precision, using the
+// cheap U·(…)·Vᵀ forms when an operand is low rank.
+func gemmIntoDense64(a, b tile.Tile, dst *linalg.Matrix) {
+	la, aIsLR := a.(*tile.LowRank)
+	lb, bIsLR := b.(*tile.LowRank)
+	switch {
+	case aIsLR && bIsLR:
+		ka, kb := la.Rank(), lb.Rank()
+		if ka == 0 || kb == 0 {
+			return
+		}
+		s := getMat(ka, kb)
+		linalg.Gemm(true, false, 1, la.V, lb.V, 0, s)
+		u2 := getMat(la.M, kb)
+		linalg.Gemm(false, false, 1, la.U, s, 0, u2)
+		linalg.Gemm(false, true, -1, u2, lb.U, 1, dst)
+		putMat(u2)
+		putMat(s)
+	case aIsLR:
+		if la.Rank() == 0 {
+			return
+		}
+		bd := as64(b)
+		// A·Bᵀ = U_a·(B·V_a)ᵀ
+		w := getMat(bd.Rows, la.Rank())
+		linalg.Gemm(false, false, 1, bd, la.V, 0, w)
+		linalg.Gemm(false, true, -1, la.U, w, 1, dst)
+		putMat(w)
+	case bIsLR:
+		if lb.Rank() == 0 {
+			return
+		}
+		ad := as64(a)
+		// A·Bᵀ = (A·V_b)·U_bᵀ
+		w := getMat(ad.Rows, lb.Rank())
+		linalg.Gemm(false, false, 1, ad, lb.V, 0, w)
+		linalg.Gemm(false, true, -1, w, lb.U, 1, dst)
+		putMat(w)
+	default:
+		linalg.Gemm(false, true, -1, as64(a), as64(b), 1, dst)
+	}
+}
+
+// gemmIntoLowRank accumulates the Schur update into a low-rank destination
+// by factor concatenation and recompression.
+func gemmIntoLowRank(a, b tile.Tile, c *tile.LowRank, cfg Config) {
+	la, aIsLR := a.(*tile.LowRank)
+	lb, bIsLR := b.(*tile.LowRank)
+	switch {
+	case aIsLR && bIsLR:
+		// C ← C − U_a·(V_aᵀ·V_b)·U_bᵀ (the HiCMA GEMM).
+		ka, kb := la.Rank(), lb.Rank()
+		if ka == 0 || kb == 0 {
+			return
+		}
+		s := getMat(ka, kb)
+		linalg.Gemm(true, false, 1, la.V, lb.V, 0, s)
+		u2 := getMat(la.M, kb)
+		linalg.Gemm(false, false, 1, la.U, s, 0, u2)
+		c.AddLowRank(-1, u2, lb.U, cfg.Tol, cfg.MaxRank)
+		putMat(u2)
+		putMat(s)
+	case aIsLR:
+		if la.Rank() == 0 {
+			return
+		}
+		bd := as64(b)
+		// A·Bᵀ = U_a·(B·V_a)ᵀ: rank-k_a update.
+		w := getMat(bd.Rows, la.Rank())
+		linalg.Gemm(false, false, 1, bd, la.V, 0, w)
+		c.AddLowRank(-1, la.U, w, cfg.Tol, cfg.MaxRank)
+		putMat(w)
+	case bIsLR:
+		if lb.Rank() == 0 {
+			return
+		}
+		ad := as64(a)
+		// A·Bᵀ = (A·V_b)·U_bᵀ: rank-k_b update.
+		w := getMat(ad.Rows, lb.Rank())
+		linalg.Gemm(false, false, 1, ad, lb.V, 0, w)
+		c.AddLowRank(-1, w, lb.U, cfg.Tol, cfg.MaxRank)
+		putMat(w)
+	default:
+		// Two dense operands: form the product, compress it, then fold the
+		// factors in.
+		ad, bd := as64(a), as64(b)
+		p := getMat(ad.Rows, bd.Rows)
+		linalg.Gemm(false, true, 1, ad, bd, 0, p)
+		lp := tile.Compress(p, cfg.Tol, cfg.MaxRank)
+		putMat(p)
+		if lp.Rank() > 0 {
+			c.AddLowRank(-1, lp.U, lp.V, cfg.Tol, cfg.MaxRank)
+		}
+	}
+}
+
+// as64 returns a double-precision view of a dense tile (converting float32
+// on the fly, exactly as the banded mixed-precision update did).
+func as64(t tile.Tile) *linalg.Matrix {
+	switch t := t.(type) {
+	case *tile.DenseF64:
+		return t.D
+	case *tile.DenseF32:
+		return t.D.ToDouble()
+	case *tile.LowRank:
+		return t.Dense()
+	}
+	panic("engine: unknown tile representation")
+}
+
+// as32 returns a single-precision view of a tile (converting float64 on the
+// fly, exactly as the banded mixed-precision update did).
+func as32(t tile.Tile) *tile.Matrix32 {
+	switch t := t.(type) {
+	case *tile.DenseF32:
+		return t.D
+	case *tile.DenseF64:
+		return tile.ToSingle(t.D)
+	case *tile.LowRank:
+		return tile.ToSingle(t.Dense())
+	}
+	panic("engine: unknown tile representation")
+}

@@ -1,0 +1,403 @@
+package engine_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cov"
+	"repro/internal/engine"
+	"repro/internal/geo"
+	"repro/internal/linalg"
+	"repro/internal/mixprec"
+	"repro/internal/taskrt"
+	"repro/internal/tile"
+	"repro/internal/tiledalg"
+	"repro/internal/tlr"
+)
+
+func covGrid(side int, rng float64) *linalg.Matrix {
+	g := geo.RegularGrid(side, side)
+	return cov.Matrix(g, &cov.Exponential{Sigma2: 1, Range: rng})
+}
+
+// refDensePotrf is the historical sequential dense tile Cholesky: the exact
+// per-tile kernel sequence the pre-engine tiledalg.Potrf executed.
+func refDensePotrf(a *tile.Matrix) error {
+	nt := a.NT
+	for k := 0; k < nt; k++ {
+		if err := linalg.PotrfUnblocked(a.Tile(k, k)); err != nil {
+			return err
+		}
+		for i := k + 1; i < nt; i++ {
+			linalg.TrsmLower(linalg.Right, true, 1, a.Tile(k, k), a.Tile(i, k))
+		}
+		for i := k + 1; i < nt; i++ {
+			linalg.Syrk(false, -1, a.Tile(i, k), 1, a.Tile(i, i))
+			for j := k + 1; j < i; j++ {
+				linalg.Gemm(false, true, -1, a.Tile(i, k), a.Tile(j, k), 1, a.Tile(i, j))
+			}
+		}
+	}
+	for k := 0; k < nt; k++ {
+		a.Tile(k, k).LowerFromFull()
+		for j := k + 1; j < nt; j++ {
+			a.Tile(k, j).Zero()
+		}
+	}
+	return nil
+}
+
+// refTLRPotrf is the historical sequential TLR Cholesky (HiCMA kernels), the
+// arithmetic the pre-engine tlr.Potrf executed.
+func refTLRPotrf(a *tlr.Matrix) error {
+	nt := a.NT
+	for k := 0; k < nt; k++ {
+		if err := linalg.PotrfUnblocked(a.Diag[k]); err != nil {
+			return err
+		}
+		for i := k + 1; i < nt; i++ {
+			if t := a.Low[i][k]; t.Rank() > 0 {
+				linalg.TrsmLower(linalg.Left, false, 1, a.Diag[k], t.V)
+			}
+		}
+		for i := k + 1; i < nt; i++ {
+			if t := a.Low[i][k]; t.Rank() > 0 {
+				s := linalg.NewMatrix(t.Rank(), t.Rank())
+				linalg.Gemm(true, false, 1, t.V, t.V, 0, s)
+				us := linalg.NewMatrix(t.M, t.Rank())
+				linalg.Gemm(false, false, 1, t.U, s, 0, us)
+				linalg.Gemm(false, true, -1, us, t.U, 1, a.Diag[i])
+			}
+			for j := k + 1; j < i; j++ {
+				ta, tb, c := a.Low[i][k], a.Low[j][k], a.Low[i][j]
+				ka, kb := ta.Rank(), tb.Rank()
+				if ka == 0 || kb == 0 {
+					continue
+				}
+				s := linalg.NewMatrix(ka, kb)
+				linalg.Gemm(true, false, 1, ta.V, tb.V, 0, s)
+				u2 := linalg.NewMatrix(ta.M, kb)
+				linalg.Gemm(false, false, 1, ta.U, s, 0, u2)
+				c.AddLowRank(-1, u2, tb.U, a.Tol, a.MaxRank)
+			}
+		}
+	}
+	for k := 0; k < nt; k++ {
+		a.Diag[k].LowerFromFull()
+	}
+	return nil
+}
+
+// refMixedPotrf is the historical sequential banded mixed-precision
+// Cholesky, the arithmetic the pre-engine mixprec.Potrf executed.
+func refMixedPotrf(a *tile.Matrix, band int) *mixprec.Factorization {
+	nt := a.MT
+	f := &mixprec.Factorization{N: a.M, TS: a.TS, NT: nt, Band: band}
+	f.D64 = make([][]*linalg.Matrix, nt)
+	f.D32 = make([][]*mixprec.Matrix32, nt)
+	for i := 0; i < nt; i++ {
+		f.D64[i] = make([]*linalg.Matrix, i+1)
+		f.D32[i] = make([]*mixprec.Matrix32, i+1)
+		for j := 0; j <= i; j++ {
+			if f.Tile64(i, j) {
+				f.D64[i][j] = a.Tile(i, j).Clone()
+			} else {
+				f.D32[i][j] = mixprec.ToSingle(a.Tile(i, j))
+			}
+		}
+	}
+	for k := 0; k < nt; k++ {
+		dk := f.D64[k][k]
+		if err := linalg.PotrfUnblocked(dk); err != nil {
+			panic(err)
+		}
+		var dk32 *mixprec.Matrix32
+		if k+band+1 < nt {
+			dk32 = mixprec.ToSingle(dk)
+		}
+		for i := k + 1; i < nt; i++ {
+			if f.Tile64(i, k) {
+				linalg.TrsmLower(linalg.Right, true, 1, dk, f.D64[i][k])
+			} else {
+				mixprec.TrsmRightLowerTrans32(dk32, f.D32[i][k])
+			}
+		}
+		for i := k + 1; i < nt; i++ {
+			for j := k + 1; j <= i; j++ {
+				if f.Tile64(i, j) {
+					ai, aj := mixedAs64(f, i, k), mixedAs64(f, j, k)
+					if i == j {
+						linalg.Syrk(false, -1, ai, 1, f.D64[i][j])
+					} else {
+						linalg.Gemm(false, true, -1, ai, aj, 1, f.D64[i][j])
+					}
+				} else {
+					ai, aj := mixedAs32(f, i, k), mixedAs32(f, j, k)
+					if i == j {
+						mixprec.Syrk32(-1, ai, f.D32[i][j])
+					} else {
+						mixprec.Gemm32(true, -1, ai, aj, f.D32[i][j])
+					}
+				}
+			}
+		}
+	}
+	for k := 0; k < nt; k++ {
+		f.D64[k][k].LowerFromFull()
+	}
+	return f
+}
+
+func mixedAs64(f *mixprec.Factorization, i, j int) *linalg.Matrix {
+	if f.Tile64(i, j) {
+		return f.D64[i][j]
+	}
+	return f.D32[i][j].ToDouble()
+}
+
+func mixedAs32(f *mixprec.Factorization, i, j int) *mixprec.Matrix32 {
+	if f.Tile64(i, j) {
+		return mixprec.ToSingle(f.D64[i][j])
+	}
+	return f.D32[i][j]
+}
+
+// TestEngineDenseBitIdentical checks the engine-backed dense layout
+// reproduces the historical tiled dense Cholesky bit for bit.
+func TestEngineDenseBitIdentical(t *testing.T) {
+	sigma := covGrid(9, 0.2) // n=81
+	for _, ts := range []int{7, 16, 81} {
+		want := tile.FromDense(sigma, ts)
+		if err := refDensePotrf(want); err != nil {
+			t.Fatal(err)
+		}
+		got := tile.FromDense(sigma, ts)
+		rt := taskrt.New(4)
+		err := tiledalg.Potrf(rt, got)
+		rt.Shutdown()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := got.ToDense().MaxAbsDiff(want.ToDense()); d != 0 {
+			t.Errorf("ts=%d: engine dense factor differs from reference by %v", ts, d)
+		}
+	}
+}
+
+// TestEngineTLRBitIdentical is the cross-implementation regression test: the
+// engine-backed TLR layout must match the historical TLR factorization bit
+// for bit (same compression decisions, same recompression arithmetic).
+func TestEngineTLRBitIdentical(t *testing.T) {
+	sigma := covGrid(9, 0.15)
+	for _, tol := range []float64{1e-4, 1e-8} {
+		want, err := tlr.CompressSPD(tile.FromDense(sigma, 12), tol, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := tlr.CompressSPD(tile.FromDense(sigma, 12), tol, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := refTLRPotrf(want); err != nil {
+			t.Fatal(err)
+		}
+		rt := taskrt.New(4)
+		err = tlr.Potrf(rt, got)
+		rt.Shutdown()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := got.ToDense().MaxAbsDiff(want.ToDense()); d != 0 {
+			t.Errorf("tol=%g: engine TLR factor differs from reference by %v", tol, d)
+		}
+	}
+}
+
+// TestEngineMixedBitIdentical checks the engine-backed banded mixed-precision
+// layout against the historical implementation.
+func TestEngineMixedBitIdentical(t *testing.T) {
+	sigma := covGrid(8, 0.15) // n=64
+	for _, band := range []int{0, 1, 3} {
+		want := refMixedPotrf(tile.FromDense(sigma, 8), band)
+		rt := taskrt.New(4)
+		got, err := mixprec.Potrf(rt, tile.FromDense(sigma, 8), band)
+		rt.Shutdown()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := got.ToDense().MaxAbsDiff(want.ToDense()); d != 0 {
+			t.Errorf("band=%d: engine mixed factor differs from reference by %v", band, d)
+		}
+	}
+}
+
+// TestEngineErrorPropagation checks non-SPD failures surface through the
+// submitter's SubmitErr/Err scope, on both the runtime and a group, and that
+// the scope resets so the runtime can be reused.
+func TestEngineErrorPropagation(t *testing.T) {
+	bad := linalg.Eye(8)
+	bad.Set(5, 5, -2)
+	good := covGrid(3, 0.2)
+
+	rt := taskrt.New(2)
+	defer rt.Shutdown()
+	if err := tiledalg.Potrf(rt, tile.FromDense(bad, 3)); !errors.Is(err, linalg.ErrNotPositiveDefinite) {
+		t.Errorf("runtime scope: want ErrNotPositiveDefinite, got %v", err)
+	}
+	// The error must not leak into the next factorization on the same scope.
+	if err := tiledalg.Potrf(rt, tile.FromDense(good, 4)); err != nil {
+		t.Errorf("runtime reuse after failure: %v", err)
+	}
+	g := rt.NewGroup()
+	if err := tiledalg.Potrf(g, tile.FromDense(bad, 3)); !errors.Is(err, linalg.ErrNotPositiveDefinite) {
+		t.Errorf("group scope: want ErrNotPositiveDefinite, got %v", err)
+	}
+}
+
+// TestEngineRejectsBadGrids checks layout validation.
+func TestEngineRejectsBadGrids(t *testing.T) {
+	rt := taskrt.New(1)
+	defer rt.Shutdown()
+	g := engine.NewGrid(8, 4)
+	g.Set(0, 0, &tile.DenseF32{D: tile.NewMatrix32(4, 4)})
+	g.Set(1, 1, &tile.DenseF64{D: linalg.Eye(4)})
+	g.Set(1, 0, &tile.DenseF64{D: linalg.NewMatrix(4, 4)})
+	if err := engine.Potrf(rt, g, engine.Config{}); err == nil {
+		t.Error("want error for non-f64 diagonal tile")
+	}
+	g2 := engine.NewGrid(8, 4)
+	g2.Set(0, 0, &tile.DenseF64{D: linalg.Eye(4)})
+	g2.Set(1, 1, &tile.DenseF64{D: linalg.Eye(4)})
+	if err := engine.Potrf(rt, g2, engine.Config{}); err == nil {
+		t.Error("want error for unassigned tile")
+	}
+}
+
+// TestAdaptiveAssemblyMixesAndFactorizes checks the adaptive policy actually
+// mixes representations on a smooth kernel and that the resulting factor
+// reconstructs the matrix to the policy accuracy.
+func TestAdaptiveAssemblyMixesAndFactorizes(t *testing.T) {
+	// A smooth Matérn ν=2.5 field: far tiles compress to ~rank 8–13 of 24 at
+	// 1e-4, straddling the RankFrac threshold, so the policy genuinely mixes.
+	// The nugget keeps Σ well-conditioned so the lossy tile representations
+	// cannot push it indefinite; it leaves off-diagonal ranks untouched.
+	g12 := geo.RegularGrid(12, 12)
+	sigma := cov.Matrix(g12, &cov.Nugget{Kernel: cov.NewMatern(1, 0.2, 2.5), Tau2: 0.05}) // n=144
+	g := engine.AssembleAdaptive(tile.FromDense(sigma, 24), engine.Policy{
+		Band: 1, Tol: 1e-4, RankFrac: 0.5, F32Norm: 0.5,
+	})
+	mix := g.Mix()
+	if mix.LowRank == 0 {
+		t.Errorf("adaptive policy chose no low-rank tiles: %+v", mix)
+	}
+	if mix.Dense64 < g.NT {
+		t.Errorf("diagonal tiles must stay dense f64: %+v", mix)
+	}
+	rt := taskrt.New(4)
+	defer rt.Shutdown()
+	if err := engine.Potrf(rt, g, engine.Config{Tol: 1e-4}); err != nil {
+		t.Fatal(err)
+	}
+	// Reassemble L densely and check L·Lᵀ ≈ Σ.
+	l := linalg.NewMatrix(144, 144)
+	for i := 0; i < g.NT; i++ {
+		for j := 0; j <= i; j++ {
+			var d *linalg.Matrix
+			switch tl := g.At(i, j).(type) {
+			case *tile.DenseF64:
+				d = tl.D
+			case *tile.DenseF32:
+				d = tl.D.ToDouble()
+			case *tile.LowRank:
+				d = tl.Dense()
+			}
+			l.View(i*g.TS, j*g.TS, d.Rows, d.Cols).CopyFrom(d)
+		}
+	}
+	rec := linalg.NewMatrix(144, 144)
+	linalg.Gemm(false, true, 1, l, l, 0, rec)
+	rec.SymmetrizeFromLower()
+	full := sigma.Clone()
+	full.SymmetrizeFromLower()
+	if d := rec.MaxAbsDiff(full); d > 5e-3 {
+		t.Errorf("adaptive LLᵀ residual %v", d)
+	}
+}
+
+// TestAdaptivePolicyRejectsIncompressibleTiles pins the acceptance rule: a
+// rank cap (the session default is TileSize/2, exactly the RankFrac
+// threshold) must not let truncated full-rank tiles masquerade as low rank —
+// the policy must judge the true numerical rank at Tol.
+func TestAdaptivePolicyRejectsIncompressibleTiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 128
+	gm := linalg.NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		col := gm.Col(j)
+		for i := range col {
+			col[i] = rng.NormFloat64()
+		}
+	}
+	sigma := linalg.NewMatrix(n, n)
+	linalg.Gemm(true, false, 1, gm, gm, 0, sigma)
+	for i := 0; i < n; i++ {
+		sigma.Add(i, i, float64(n))
+	}
+	// Off-band tiles of a random SPD matrix are numerically full rank.
+	g := engine.AssembleAdaptive(tile.FromDense(sigma, 32), engine.Policy{
+		Tol: 1e-6, MaxRank: 16, RankFrac: 0.5,
+	})
+	if mix := g.Mix(); mix.LowRank != 0 {
+		t.Errorf("full-rank tiles accepted as low rank: %+v", mix)
+	}
+}
+
+// TestAdaptiveDeterministicAcrossWorkers pins determinism for the mixed
+// representation graph.
+func TestAdaptiveDeterministicAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 60
+	gm := linalg.NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		col := gm.Col(j)
+		for i := range col {
+			col[i] = rng.NormFloat64()
+		}
+	}
+	sigma := linalg.NewMatrix(n, n)
+	linalg.Gemm(true, false, 1, gm, gm, 0, sigma)
+	for i := 0; i < n; i++ {
+		sigma.Add(i, i, float64(n))
+	}
+	var ref *linalg.Matrix
+	for _, w := range []int{1, 4} {
+		g := engine.AssembleAdaptive(tile.FromDense(sigma, 9), engine.Policy{Tol: 1e-6})
+		rt := taskrt.New(w)
+		err := engine.Potrf(rt, g, engine.Config{Tol: 1e-6})
+		rt.Shutdown()
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := linalg.NewMatrix(n, n)
+		for i := 0; i < g.NT; i++ {
+			for j := 0; j <= i; j++ {
+				var m *linalg.Matrix
+				switch tl := g.At(i, j).(type) {
+				case *tile.DenseF64:
+					m = tl.D
+				case *tile.DenseF32:
+					m = tl.D.ToDouble()
+				case *tile.LowRank:
+					m = tl.Dense()
+				}
+				d.View(i*g.TS, j*g.TS, m.Rows, m.Cols).CopyFrom(m)
+			}
+		}
+		if ref == nil {
+			ref = d
+		} else if diff := d.MaxAbsDiff(ref); diff != 0 {
+			t.Errorf("worker count changed adaptive factor by %v", diff)
+		}
+	}
+}

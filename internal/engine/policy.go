@@ -1,0 +1,95 @@
+package engine
+
+import (
+	"math"
+
+	"repro/internal/tile"
+)
+
+// Policy is the per-tile adaptive representation rule: dense float64 on a
+// band around the diagonal (the Cholesky pivots and their strongest
+// couplings), and off the band either low rank — when the tile compresses
+// well at the configured tolerance — or dense float32 — when it does not
+// compress but its norm is small enough that single precision stays below
+// the requested accuracy — falling back to dense float64 for large
+// incompressible tiles.
+type Policy struct {
+	// Band is the number of sub-diagonals kept dense float64 (default 1).
+	Band int
+	// Tol is the low-rank compression tolerance (shared with recompression
+	// during the factorization).
+	Tol float64
+	// MaxRank caps accepted low-rank tile ranks (0 = uncapped).
+	MaxRank int
+	// RankFrac accepts the low-rank representation when the compressed rank
+	// is at most RankFrac·min(tile dims) — beyond that the U/V factors cost
+	// more than the dense tile (default 0.5).
+	RankFrac float64
+	// F32Norm stores an incompressible off-band tile in float32 when its
+	// Frobenius norm relative to the geometric mean of its diagonal blocks'
+	// norms is at most F32Norm, so the f32 rounding (~1e-7 relative) stays
+	// commensurate with the compression tolerance (default 0.1).
+	F32Norm float64
+}
+
+// WithDefaults fills unset policy knobs. It is the single source of the
+// adaptive defaults; the api.Config defaulting delegates here.
+func (p Policy) WithDefaults() Policy {
+	if p.Band <= 0 {
+		p.Band = 1
+	}
+	if p.Tol <= 0 {
+		p.Tol = 1e-6
+	}
+	if p.RankFrac <= 0 {
+		p.RankFrac = 0.5
+	}
+	if p.F32Norm <= 0 {
+		p.F32Norm = 0.1
+	}
+	return p
+}
+
+// AssembleAdaptive builds an engine grid from a symmetric tiled matrix,
+// choosing each lower tile's representation by the policy. The grid aliases
+// src's float64 tiles (the factorization then runs in place), so src must
+// not be reused afterwards.
+func AssembleAdaptive(src *tile.Matrix, p Policy) *Grid {
+	p = p.WithDefaults()
+	g := NewGrid(src.M, src.TS)
+	// Diagonal norms anchor the relative-magnitude test for f32 storage.
+	diagNorm := make([]float64, g.NT)
+	for i := 0; i < g.NT; i++ {
+		diagNorm[i] = src.Tile(i, i).FrobNorm()
+	}
+	for i := 0; i < g.NT; i++ {
+		g.Set(i, i, &tile.DenseF64{D: src.Tile(i, i)})
+		for j := 0; j < i; j++ {
+			blk := src.Tile(i, j)
+			if i-j <= p.Band {
+				g.Set(i, j, &tile.DenseF64{D: blk})
+				continue
+			}
+			// Compress uncapped so the acceptance test sees the tile's true
+			// numerical rank at Tol: capping first would truncate the
+			// spectrum and then vacuously pass the rank test, silently
+			// accepting representations far less accurate than Tol.
+			lr := tile.Compress(blk, p.Tol, 0)
+			limit := int(p.RankFrac * float64(min(blk.Rows, blk.Cols)))
+			if p.MaxRank > 0 && limit > p.MaxRank {
+				limit = p.MaxRank
+			}
+			if lr.Rank() <= limit {
+				g.Set(i, j, lr)
+				continue
+			}
+			scale := math.Sqrt(diagNorm[i] * diagNorm[j])
+			if scale > 0 && blk.FrobNorm() <= p.F32Norm*scale {
+				g.Set(i, j, &tile.DenseF32{D: tile.ToSingle(blk)})
+				continue
+			}
+			g.Set(i, j, &tile.DenseF64{D: blk})
+		}
+	}
+	return g
+}

@@ -2,184 +2,44 @@
 // multi-precision execution of the tiled Cholesky factorization. Tiles far
 // from the diagonal — whose entries are small and whose contribution to the
 // factor is already at the TLR-accuracy level — are stored and updated in
-// float32, while the diagonal band stays in float64. The package provides
-// the float32 tile kernels (GEMM/SYRK/TRSM/POTRF), the banded-precision
-// tiled factorization on the task runtime, and conversion utilities, so the
-// accuracy/performance trade-off the paper anticipates can be measured.
+// float32, while the diagonal band stays in float64. The banded layout is a
+// thin constructor over the unified factorization engine, which owns the
+// task graph and the per-representation kernels; the float32 matrix type and
+// kernels themselves live in package tile and are re-exported here.
 package mixprec
 
 import (
 	"fmt"
-	"math"
-	"sync"
 
+	"repro/internal/engine"
 	"repro/internal/linalg"
 	"repro/internal/taskrt"
 	"repro/internal/tile"
 )
 
 // Matrix32 is a dense column-major float32 matrix (the single-precision
-// mirror of linalg.Matrix).
-type Matrix32 struct {
-	Rows, Cols int
-	Data       []float32 // len Rows*Cols, column-major, stride = Rows
-}
+// mirror of linalg.Matrix), shared with the engine's DenseF32 tiles.
+type Matrix32 = tile.Matrix32
 
 // NewMatrix32 returns a zeroed r×c float32 matrix.
-func NewMatrix32(r, c int) *Matrix32 {
-	return &Matrix32{Rows: r, Cols: c, Data: make([]float32, r*c)}
-}
-
-// At returns element (i,j).
-func (m *Matrix32) At(i, j int) float32 { return m.Data[i+j*m.Rows] }
-
-// Set assigns element (i,j).
-func (m *Matrix32) Set(i, j int, v float32) { m.Data[i+j*m.Rows] = v }
-
-// Col returns column j.
-func (m *Matrix32) Col(j int) []float32 { return m.Data[j*m.Rows : (j+1)*m.Rows] }
+func NewMatrix32(r, c int) *Matrix32 { return tile.NewMatrix32(r, c) }
 
 // ToSingle converts a float64 matrix to float32.
-func ToSingle(a *linalg.Matrix) *Matrix32 {
-	out := NewMatrix32(a.Rows, a.Cols)
-	for j := 0; j < a.Cols; j++ {
-		src := a.Col(j)
-		dst := out.Col(j)
-		for i, v := range src {
-			dst[i] = float32(v)
-		}
-	}
-	return out
-}
-
-// ToDouble converts back to float64.
-func (m *Matrix32) ToDouble() *linalg.Matrix {
-	out := linalg.NewMatrix(m.Rows, m.Cols)
-	for j := 0; j < m.Cols; j++ {
-		src := m.Col(j)
-		dst := out.Col(j)
-		for i, v := range src {
-			dst[i] = float64(v)
-		}
-	}
-	return out
-}
+func ToSingle(a *linalg.Matrix) *Matrix32 { return tile.ToSingle(a) }
 
 // Gemm32 computes C += alpha·A·Bᵀ (transB=true) or C += alpha·A·B in
 // float32; the only variants the Cholesky update needs.
-func Gemm32(transB bool, alpha float32, a, b, c *Matrix32) {
-	if !transB {
-		if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
-			panic("mixprec: Gemm32 shape mismatch")
-		}
-		for j := 0; j < c.Cols; j++ {
-			cc, bc := c.Col(j), b.Col(j)
-			for l := 0; l < a.Cols; l++ {
-				v := alpha * bc[l]
-				if v == 0 {
-					continue
-				}
-				ac := a.Col(l)
-				for i := range cc {
-					cc[i] += v * ac[i]
-				}
-			}
-		}
-		return
-	}
-	if a.Cols != b.Cols || c.Rows != a.Rows || c.Cols != b.Rows {
-		panic("mixprec: Gemm32 shape mismatch")
-	}
-	for l := 0; l < a.Cols; l++ {
-		ac, bc := a.Col(l), b.Col(l)
-		for j := 0; j < c.Cols; j++ {
-			v := alpha * bc[j]
-			if v == 0 {
-				continue
-			}
-			cc := c.Col(j)
-			for i := range cc {
-				cc[i] += v * ac[i]
-			}
-		}
-	}
-}
+func Gemm32(transB bool, alpha float32, a, b, c *Matrix32) { tile.Gemm32(transB, alpha, a, b, c) }
 
 // Syrk32 computes the lower triangle of C += alpha·A·Aᵀ in float32.
-func Syrk32(alpha float32, a, c *Matrix32) {
-	n := a.Rows
-	if c.Rows != n || c.Cols != n {
-		panic("mixprec: Syrk32 shape mismatch")
-	}
-	for l := 0; l < a.Cols; l++ {
-		al := a.Col(l)
-		for j := 0; j < n; j++ {
-			v := alpha * al[j]
-			if v == 0 {
-				continue
-			}
-			cc := c.Col(j)
-			for i := j; i < n; i++ {
-				cc[i] += v * al[i]
-			}
-		}
-	}
-}
+func Syrk32(alpha float32, a, c *Matrix32) { tile.Syrk32(alpha, a, c) }
 
 // TrsmRightLowerTrans32 solves X·Lᵀ = B in float32, overwriting b, for
 // lower-triangular l (the panel update of the right-looking Cholesky).
-func TrsmRightLowerTrans32(l, b *Matrix32) {
-	n := l.Rows
-	if l.Cols != n || b.Cols != n {
-		panic("mixprec: Trsm32 shape mismatch")
-	}
-	for k := 0; k < n; k++ {
-		xk := b.Col(k)
-		for i := 0; i < k; i++ {
-			v := l.At(k, i)
-			if v == 0 {
-				continue
-			}
-			xi := b.Col(i)
-			for r := range xk {
-				xk[r] -= v * xi[r]
-			}
-		}
-		inv := 1 / l.At(k, k)
-		for r := range xk {
-			xk[r] *= inv
-		}
-	}
-}
+func TrsmRightLowerTrans32(l, b *Matrix32) { tile.TrsmRightLowerTrans32(l, b) }
 
 // Potrf32 factorizes the lower triangle in float32.
-func Potrf32(a *Matrix32) error {
-	n := a.Rows
-	for k := 0; k < n; k++ {
-		ck := a.Col(k)
-		d := ck[k]
-		if d <= 0 || d != d {
-			return fmt.Errorf("mixprec: %w (pivot %d = %g)", linalg.ErrNotPositiveDefinite, k, d)
-		}
-		s := float32(math.Sqrt(float64(d)))
-		ck[k] = s
-		inv := 1 / s
-		for i := k + 1; i < n; i++ {
-			ck[i] *= inv
-		}
-		for j := k + 1; j < n; j++ {
-			v := ck[j]
-			if v == 0 {
-				continue
-			}
-			cj := a.Col(j)
-			for i := j; i < n; i++ {
-				cj[i] -= v * ck[i]
-			}
-		}
-	}
-	return nil
-}
+func Potrf32(a *Matrix32) error { return tile.Potrf32(a) }
 
 // Factorization holds a banded mixed-precision Cholesky factor: tiles with
 // |i−j| ≤ Band in float64, the rest in float32.
@@ -197,7 +57,8 @@ func (f *Factorization) Tile64(i, j int) bool { return i-j <= f.Band }
 // tiled matrix a: the right-looking tile algorithm with all kernels touching
 // only far-from-diagonal tiles executed in float32. band is the number of
 // sub-diagonals kept in float64 (band ≥ nt-1 degenerates to the full
-// double-precision factorization).
+// double-precision factorization). The task graph is the unified engine's;
+// this function only lays out the banded representation mix.
 func Potrf(rt taskrt.Submitter, a *tile.Matrix, band int) (*Factorization, error) {
 	if a.M != a.N {
 		return nil, fmt.Errorf("mixprec: Potrf needs square matrix, got %dx%d", a.M, a.N)
@@ -209,116 +70,24 @@ func Potrf(rt taskrt.Submitter, a *tile.Matrix, band int) (*Factorization, error
 	f := &Factorization{N: a.M, TS: a.TS, NT: nt, Band: band}
 	f.D64 = make([][]*linalg.Matrix, nt)
 	f.D32 = make([][]*Matrix32, nt)
-	h := make([][]*taskrt.Handle, nt)
+	g := engine.NewGrid(a.M, a.TS)
 	for i := 0; i < nt; i++ {
 		f.D64[i] = make([]*linalg.Matrix, i+1)
 		f.D32[i] = make([]*Matrix32, i+1)
-		h[i] = make([]*taskrt.Handle, i+1)
 		for j := 0; j <= i; j++ {
-			h[i][j] = rt.NewHandle("M(%d,%d)", i, j)
 			if f.Tile64(i, j) {
 				f.D64[i][j] = a.Tile(i, j).Clone()
+				g.Set(i, j, &tile.DenseF64{D: f.D64[i][j]})
 			} else {
 				f.D32[i][j] = ToSingle(a.Tile(i, j))
+				g.Set(i, j, &tile.DenseF32{D: f.D32[i][j]})
 			}
 		}
 	}
-	var errMu sync.Mutex
-	var firstErr error
-	setErr := func(err error) {
-		errMu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		errMu.Unlock()
-	}
-	for k := 0; k < nt; k++ {
-		k := k
-		dk := f.D64[k][k] // diagonal always double
-		rt.Submit("potrf", 3*nt-3*k, func() {
-			if err := linalg.PotrfUnblocked(dk); err != nil {
-				setErr(fmt.Errorf("mixprec: tile (%d,%d): %w", k, k, err))
-			}
-		}, taskrt.ReadWrite(h[k][k]))
-		// The float32 TRSM needs the factored diagonal tile converted once.
-		var dk32 *Matrix32
-		var dk32H *taskrt.Handle
-		needs32 := k+band+1 < nt
-		if needs32 {
-			dk32H = rt.NewHandle("D32(%d)", k)
-			rt.Submit("convert", 3*nt-3*k, func() {
-				dk32 = ToSingle(dk)
-			}, taskrt.Read(h[k][k]), taskrt.Write(dk32H))
-		}
-		for i := k + 1; i < nt; i++ {
-			i := i
-			if f.Tile64(i, k) {
-				aik := f.D64[i][k]
-				rt.Submit("trsm", 3*nt-3*k-1, func() {
-					linalg.TrsmLower(linalg.Right, true, 1, dk, aik)
-				}, taskrt.Read(h[k][k]), taskrt.ReadWrite(h[i][k]))
-			} else {
-				rt.Submit("trsm32", 3*nt-3*k-1, func() {
-					TrsmRightLowerTrans32(dk32, f.D32[i][k])
-				}, taskrt.Read(dk32H), taskrt.ReadWrite(h[i][k]))
-			}
-		}
-		for i := k + 1; i < nt; i++ {
-			i := i
-			for j := k + 1; j <= i; j++ {
-				j := j
-				deps := []taskrt.Dep{taskrt.Read(h[i][k]), taskrt.Read(h[j][k]), taskrt.ReadWrite(h[i][j])}
-				rt.Submit("update", 3*nt-3*k-2, func() {
-					f.update(i, j, k)
-				}, deps...)
-			}
-		}
-	}
-	rt.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	for k := 0; k < nt; k++ {
-		f.D64[k][k].LowerFromFull()
+	if err := engine.Potrf(rt, g, engine.Config{}); err != nil {
+		return nil, err
 	}
 	return f, nil
-}
-
-// update applies A(i,j) -= A(i,k)·A(j,k)ᵀ choosing the precision of the
-// destination tile; operands are converted on the fly when they live in the
-// other precision.
-func (f *Factorization) update(i, j, k int) {
-	if f.Tile64(i, j) {
-		ai := f.tileAs64(i, k)
-		aj := f.tileAs64(j, k)
-		if i == j {
-			linalg.Syrk(false, -1, ai, 1, f.D64[i][j])
-		} else {
-			linalg.Gemm(false, true, -1, ai, aj, 1, f.D64[i][j])
-		}
-		return
-	}
-	ai := f.tileAs32(i, k)
-	aj := f.tileAs32(j, k)
-	if i == j {
-		Syrk32(-1, ai, f.D32[i][j])
-	} else {
-		Gemm32(true, -1, ai, aj, f.D32[i][j])
-	}
-}
-
-func (f *Factorization) tileAs64(i, j int) *linalg.Matrix {
-	if f.Tile64(i, j) {
-		return f.D64[i][j]
-	}
-	return f.D32[i][j].ToDouble()
-}
-
-func (f *Factorization) tileAs32(i, j int) *Matrix32 {
-	if f.Tile64(i, j) {
-		return ToSingle(f.D64[i][j])
-	}
-	return f.D32[i][j]
 }
 
 // ToDense reassembles the full factor in float64 for accuracy studies.

@@ -10,6 +10,7 @@ package mvn
 import (
 	"fmt"
 
+	"repro/internal/engine"
 	"repro/internal/linalg"
 	"repro/internal/tile"
 	"repro/internal/tlr"
@@ -108,4 +109,70 @@ func (f *TLRFactor) ApplyOffDiag(i, j int, alpha float64, y, dst *linalg.Matrix)
 // ApplyOffDiagPair implements Factor.
 func (f *TLRFactor) ApplyOffDiagPair(i, j int, alpha float64, y, dst1, dst2 *linalg.Matrix) {
 	f.L.Low[i][j].ApplyToPair(alpha, y, dst1, dst2)
+}
+
+// GridFactor adapts a factored engine grid — tiles in whatever mix of
+// representations the adaptive policy chose — to the Factor interface. The
+// propagation applies each tile in its own representation: dense GEMM for
+// float64 tiles, the cheap U·(Vᵀ·Y) form for low-rank tiles; float32 tiles
+// are promoted to float64 once at construction so the hot path never pays
+// per-application conversions.
+type GridFactor struct {
+	G   *engine.Grid
+	f32 [][]*linalg.Matrix // promoted float32 tiles, nil elsewhere
+}
+
+// NewGridFactor wraps a factored engine grid.
+func NewGridFactor(g *engine.Grid) *GridFactor {
+	f := &GridFactor{G: g, f32: make([][]*linalg.Matrix, g.NT)}
+	for i := 0; i < g.NT; i++ {
+		f.f32[i] = make([]*linalg.Matrix, i)
+		for j := 0; j < i; j++ {
+			if t, ok := g.At(i, j).(*tile.DenseF32); ok {
+				f.f32[i][j] = t.D.ToDouble()
+			}
+		}
+	}
+	return f
+}
+
+// N implements Factor.
+func (f *GridFactor) N() int { return f.G.N }
+
+// TS implements Factor.
+func (f *GridFactor) TS() int { return f.G.TS }
+
+// NT implements Factor.
+func (f *GridFactor) NT() int { return f.G.NT }
+
+// TileRows implements Factor.
+func (f *GridFactor) TileRows(i int) int { return f.G.TileRows(i) }
+
+// Diag implements Factor.
+func (f *GridFactor) Diag(k int) *linalg.Matrix { return f.G.Diag(k) }
+
+// ApplyOffDiag implements Factor.
+func (f *GridFactor) ApplyOffDiag(i, j int, alpha float64, y, dst *linalg.Matrix) {
+	switch t := f.G.At(i, j).(type) {
+	case *tile.DenseF64:
+		linalg.Gemm(false, false, alpha, t.D, y, 1, dst)
+	case *tile.LowRank:
+		t.ApplyTo(alpha, y, dst)
+	case *tile.DenseF32:
+		linalg.Gemm(false, false, alpha, f.f32[i][j], y, 1, dst)
+	}
+}
+
+// ApplyOffDiagPair implements Factor.
+func (f *GridFactor) ApplyOffDiagPair(i, j int, alpha float64, y, dst1, dst2 *linalg.Matrix) {
+	switch t := f.G.At(i, j).(type) {
+	case *tile.DenseF64:
+		linalg.Gemm(false, false, alpha, t.D, y, 1, dst1)
+		linalg.Gemm(false, false, alpha, t.D, y, 1, dst2)
+	case *tile.LowRank:
+		t.ApplyToPair(alpha, y, dst1, dst2)
+	case *tile.DenseF32:
+		linalg.Gemm(false, false, alpha, f.f32[i][j], y, 1, dst1)
+		linalg.Gemm(false, false, alpha, f.f32[i][j], y, 1, dst2)
+	}
 }

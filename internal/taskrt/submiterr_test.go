@@ -1,0 +1,73 @@
+package taskrt
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestSubmitErrRecordsFirstFailurePerGroup checks each group keeps its own
+// first error and that reading it resets the scope.
+func TestSubmitErrRecordsFirstFailurePerGroup(t *testing.T) {
+	rt := New(2)
+	defer rt.Shutdown()
+
+	g1 := rt.NewGroup()
+	g2 := rt.NewGroup()
+	h := g1.NewHandle("x")
+	for i := 0; i < 3; i++ {
+		i := i
+		g1.SubmitErr("step", 0, func() error {
+			return fmt.Errorf("fail %d", i)
+		}, ReadWrite(h))
+	}
+	g2.SubmitErr("fine", 0, func() error { return nil })
+	g1.Wait()
+	g2.Wait()
+	if err := g1.Err(); err == nil || err.Error() != "fail 0" {
+		t.Errorf("group 1 first error = %v, want fail 0", err)
+	}
+	if err := g1.Err(); err != nil {
+		t.Errorf("group error must reset after read, got %v", err)
+	}
+	if err := g2.Err(); err != nil {
+		t.Errorf("group 2 must be clean, got %v", err)
+	}
+}
+
+// TestSubmitErrOnRuntimeScope checks the runtime scope records and resets.
+func TestSubmitErrOnRuntimeScope(t *testing.T) {
+	rt := New(2)
+	defer rt.Shutdown()
+	sentinel := errors.New("boom")
+	rt.SubmitErr("bad", 0, func() error { return sentinel })
+	rt.SubmitErr("good", 0, func() error { return nil })
+	rt.Wait()
+	if err := rt.Err(); !errors.Is(err, sentinel) {
+		t.Errorf("runtime error = %v, want sentinel", err)
+	}
+	if err := rt.Err(); err != nil {
+		t.Errorf("runtime error must reset after read, got %v", err)
+	}
+}
+
+// TestStatsPeakReady checks the scheduler reports how deep the ready queue
+// got: many independent tasks on one worker must pile up.
+func TestStatsPeakReady(t *testing.T) {
+	rt := New(1)
+	block := make(chan struct{})
+	rt.Submit("gate", 0, func() { <-block })
+	for i := 0; i < 16; i++ {
+		rt.Submit("work", 0, func() {})
+	}
+	close(block)
+	rt.Wait()
+	s := rt.Snapshot()
+	if s.PeakReady < 8 {
+		t.Errorf("peak ready-queue depth %d, want ≥ 8", s.PeakReady)
+	}
+	if got := s.Total(); got != 17 {
+		t.Errorf("total tasks %d, want 17", got)
+	}
+	rt.Shutdown()
+}

@@ -81,10 +81,22 @@ func (t *task) addSuccessor(succ *task) bool {
 	return true
 }
 
-// Stats aggregates per-task-kind execution counts and busy time.
+// Stats aggregates per-task-kind execution counts and busy time, plus the
+// peak depth the ready queue reached (how far ahead of the workers the
+// submitted graph ran — a scheduler-behavior signal the CLI can report).
 type Stats struct {
-	Tasks    map[string]int
-	BusyTime map[string]time.Duration
+	Tasks     map[string]int
+	BusyTime  map[string]time.Duration
+	PeakReady int
+}
+
+// Total returns the number of tasks executed across all kinds.
+func (s Stats) Total() int {
+	n := 0
+	for _, v := range s.Tasks {
+		n += v
+	}
+	return n
 }
 
 // Submitter is the common task-submission surface of Runtime and Group:
@@ -95,9 +107,45 @@ type Submitter interface {
 	NewHandle(format string, args ...any) *Handle
 	// Submit enqueues a task with declared handle accesses.
 	Submit(name string, priority int, fn func(), deps ...Dep)
+	// SubmitErr enqueues a task whose function may fail. The first failure
+	// is recorded on the submission scope (the Group, or the Runtime for
+	// master submissions) and reported by Err — the error-propagation
+	// pattern every fallible task graph (e.g. a Cholesky hitting a
+	// non-positive-definite pivot) shares.
+	SubmitErr(name string, priority int, fn func() error, deps ...Dep)
+	// Err returns the first failure recorded by SubmitErr on this scope and
+	// resets the record, so a scope reused for a new algorithm phase starts
+	// clean. Call it after Wait.
+	Err() error
 	// Wait blocks until every task submitted through this Submitter has
 	// completed.
 	Wait()
+}
+
+// errScope is the shared first-failure record behind SubmitErr/Err on both
+// Runtime and Group — one implementation of the lock-check-set pattern the
+// factorizations used to each carry as a mutex closure.
+type errScope struct {
+	mu       sync.Mutex
+	firstErr error
+}
+
+// record keeps the first non-nil error.
+func (e *errScope) record(err error) {
+	e.mu.Lock()
+	if e.firstErr == nil {
+		e.firstErr = err
+	}
+	e.mu.Unlock()
+}
+
+// take returns the recorded error and resets the scope.
+func (e *errScope) take() error {
+	e.mu.Lock()
+	err := e.firstErr
+	e.firstErr = nil
+	e.mu.Unlock()
+	return err
 }
 
 // Runtime schedules tasks over a fixed worker pool. Create one with New,
@@ -112,16 +160,19 @@ type Submitter interface {
 type Runtime struct {
 	workers int
 
-	mu       sync.Mutex
-	cond     *sync.Cond // workers: ready-queue not empty / closed
-	idle     *sync.Cond // waiters: inflight dropped to zero
-	ready    taskHeap
-	closed   bool
-	seq      int64
-	inflight int // tasks submitted but not yet finished
+	mu        sync.Mutex
+	cond      *sync.Cond // workers: ready-queue not empty / closed
+	idle      *sync.Cond // waiters: inflight dropped to zero
+	ready     taskHeap
+	closed    bool
+	seq       int64
+	inflight  int // tasks submitted but not yet finished
+	peakReady int // deepest the ready queue has been
 
 	statsMu sync.Mutex
 	stats   Stats
+
+	errs errScope
 
 	trace tracer
 }
@@ -161,6 +212,23 @@ func (r *Runtime) NewHandle(format string, args ...any) *Handle {
 func (r *Runtime) Submit(name string, priority int, fn func(), deps ...Dep) {
 	r.submit(name, priority, fn, nil, deps)
 }
+
+// SubmitErr enqueues a fallible task on the runtime scope; the first failure
+// is kept and returned (once) by Err.
+func (r *Runtime) SubmitErr(name string, priority int, fn func() error, deps ...Dep) {
+	r.submit(name, priority, func() {
+		if err := fn(); err != nil {
+			r.errs.record(err)
+		}
+	}, nil, deps)
+}
+
+// Err returns the first failure recorded by Runtime.SubmitErr since the last
+// call and clears it, so a runtime reused across algorithm phases reports
+// each phase's outcome independently. Like master task submission itself,
+// fallible phases on the raw runtime scope must not overlap; concurrent task
+// graphs each use their own Group, whose Err is scoped per group.
+func (r *Runtime) Err() error { return r.errs.take() }
 
 func (r *Runtime) submit(name string, priority int, fn func(), onDone func(), deps []Dep) {
 	t := &task{name: name, fn: fn, priority: priority, onDone: onDone}
@@ -212,6 +280,9 @@ func (r *Runtime) push(t *task) {
 	t.seq = r.seq
 	r.seq++
 	heap.Push(&r.ready, t)
+	if len(r.ready) > r.peakReady {
+		r.peakReady = len(r.ready)
+	}
 	r.mu.Unlock()
 	r.cond.Signal()
 }
@@ -292,8 +363,9 @@ func (r *Runtime) Shutdown() {
 // Group as long as their handle sets are disjoint — this is the per-batch
 // wait scope used by batched MVN queries and parallel QMC replicates.
 type Group struct {
-	rt *Runtime
-	wg sync.WaitGroup
+	rt   *Runtime
+	wg   sync.WaitGroup
+	errs errScope
 }
 
 // NewGroup returns a fresh completion group on the runtime's worker pool.
@@ -312,6 +384,21 @@ func (g *Group) Submit(name string, priority int, fn func(), deps ...Dep) {
 	g.wg.Add(1)
 	g.rt.submit(name, priority, fn, g.wg.Done, deps)
 }
+
+// SubmitErr enqueues a fallible task; the group records the first failure
+// across all of its tasks, replacing the per-algorithm mutex-and-closure
+// error plumbing the factorizations used to carry.
+func (g *Group) SubmitErr(name string, priority int, fn func() error, deps ...Dep) {
+	g.Submit(name, priority, func() {
+		if err := fn(); err != nil {
+			g.errs.record(err)
+		}
+	}, deps...)
+}
+
+// Err returns the first failure recorded by SubmitErr on this group and
+// resets it. Call after Wait.
+func (g *Group) Err() error { return g.errs.take() }
 
 // Wait blocks until every task submitted through this group has completed.
 func (g *Group) Wait() { g.wg.Wait() }
@@ -341,9 +428,12 @@ func ForEachLimit(n, limit int, fn func(int)) {
 
 // Snapshot returns a copy of the accumulated execution statistics.
 func (r *Runtime) Snapshot() Stats {
+	r.mu.Lock()
+	peak := r.peakReady
+	r.mu.Unlock()
 	r.statsMu.Lock()
 	defer r.statsMu.Unlock()
-	s := Stats{Tasks: map[string]int{}, BusyTime: map[string]time.Duration{}}
+	s := Stats{Tasks: map[string]int{}, BusyTime: map[string]time.Duration{}, PeakReady: peak}
 	for k, v := range r.stats.Tasks {
 		s.Tasks[k] = v
 	}

@@ -1,0 +1,171 @@
+package tile
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// Matrix32 is a dense column-major float32 matrix (the single-precision
+// mirror of linalg.Matrix), the storage behind DenseF32 tiles.
+type Matrix32 struct {
+	Rows, Cols int
+	Data       []float32 // len Rows*Cols, column-major, stride = Rows
+}
+
+// NewMatrix32 returns a zeroed r×c float32 matrix.
+func NewMatrix32(r, c int) *Matrix32 {
+	return &Matrix32{Rows: r, Cols: c, Data: make([]float32, r*c)}
+}
+
+// At returns element (i,j).
+func (m *Matrix32) At(i, j int) float32 { return m.Data[i+j*m.Rows] }
+
+// Set assigns element (i,j).
+func (m *Matrix32) Set(i, j int, v float32) { m.Data[i+j*m.Rows] = v }
+
+// Col returns column j.
+func (m *Matrix32) Col(j int) []float32 { return m.Data[j*m.Rows : (j+1)*m.Rows] }
+
+// ToSingle converts a float64 matrix to float32.
+func ToSingle(a *linalg.Matrix) *Matrix32 {
+	out := NewMatrix32(a.Rows, a.Cols)
+	for j := 0; j < a.Cols; j++ {
+		src := a.Col(j)
+		dst := out.Col(j)
+		for i, v := range src {
+			dst[i] = float32(v)
+		}
+	}
+	return out
+}
+
+// ToDouble converts back to float64.
+func (m *Matrix32) ToDouble() *linalg.Matrix {
+	out := linalg.NewMatrix(m.Rows, m.Cols)
+	for j := 0; j < m.Cols; j++ {
+		src := m.Col(j)
+		dst := out.Col(j)
+		for i, v := range src {
+			dst[i] = float64(v)
+		}
+	}
+	return out
+}
+
+// Gemm32 computes C += alpha·A·Bᵀ (transB=true) or C += alpha·A·B in
+// float32; the only variants the Cholesky update needs.
+func Gemm32(transB bool, alpha float32, a, b, c *Matrix32) {
+	if !transB {
+		if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+			panic("tile: Gemm32 shape mismatch")
+		}
+		for j := 0; j < c.Cols; j++ {
+			cc, bc := c.Col(j), b.Col(j)
+			for l := 0; l < a.Cols; l++ {
+				v := alpha * bc[l]
+				if v == 0 {
+					continue
+				}
+				ac := a.Col(l)
+				for i := range cc {
+					cc[i] += v * ac[i]
+				}
+			}
+		}
+		return
+	}
+	if a.Cols != b.Cols || c.Rows != a.Rows || c.Cols != b.Rows {
+		panic("tile: Gemm32 shape mismatch")
+	}
+	for l := 0; l < a.Cols; l++ {
+		ac, bc := a.Col(l), b.Col(l)
+		for j := 0; j < c.Cols; j++ {
+			v := alpha * bc[j]
+			if v == 0 {
+				continue
+			}
+			cc := c.Col(j)
+			for i := range cc {
+				cc[i] += v * ac[i]
+			}
+		}
+	}
+}
+
+// Syrk32 computes the lower triangle of C += alpha·A·Aᵀ in float32.
+func Syrk32(alpha float32, a, c *Matrix32) {
+	n := a.Rows
+	if c.Rows != n || c.Cols != n {
+		panic("tile: Syrk32 shape mismatch")
+	}
+	for l := 0; l < a.Cols; l++ {
+		al := a.Col(l)
+		for j := 0; j < n; j++ {
+			v := alpha * al[j]
+			if v == 0 {
+				continue
+			}
+			cc := c.Col(j)
+			for i := j; i < n; i++ {
+				cc[i] += v * al[i]
+			}
+		}
+	}
+}
+
+// TrsmRightLowerTrans32 solves X·Lᵀ = B in float32, overwriting b, for
+// lower-triangular l (the panel update of the right-looking Cholesky).
+func TrsmRightLowerTrans32(l, b *Matrix32) {
+	n := l.Rows
+	if l.Cols != n || b.Cols != n {
+		panic("tile: Trsm32 shape mismatch")
+	}
+	for k := 0; k < n; k++ {
+		xk := b.Col(k)
+		for i := 0; i < k; i++ {
+			v := l.At(k, i)
+			if v == 0 {
+				continue
+			}
+			xi := b.Col(i)
+			for r := range xk {
+				xk[r] -= v * xi[r]
+			}
+		}
+		inv := 1 / l.At(k, k)
+		for r := range xk {
+			xk[r] *= inv
+		}
+	}
+}
+
+// Potrf32 factorizes the lower triangle in float32.
+func Potrf32(a *Matrix32) error {
+	n := a.Rows
+	for k := 0; k < n; k++ {
+		ck := a.Col(k)
+		d := ck[k]
+		if d <= 0 || d != d {
+			return fmt.Errorf("tile: %w (pivot %d = %g)", linalg.ErrNotPositiveDefinite, k, d)
+		}
+		s := float32(math.Sqrt(float64(d)))
+		ck[k] = s
+		inv := 1 / s
+		for i := k + 1; i < n; i++ {
+			ck[i] *= inv
+		}
+		for j := k + 1; j < n; j++ {
+			v := ck[j]
+			if v == 0 {
+				continue
+			}
+			cj := a.Col(j)
+			for i := j; i < n; i++ {
+				cj[i] -= v * ck[i]
+			}
+		}
+	}
+	return nil
+}

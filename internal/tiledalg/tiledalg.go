@@ -1,110 +1,42 @@
-// Package tiledalg contains the task-parallel tiled dense algorithms built
-// on the taskrt runtime — most importantly the tiled Cholesky factorization
-// (red box (a) in the paper's Algorithm 1). It is the Chameleon layer of the
-// reproduction.
+// Package tiledalg contains the task-parallel tiled dense algorithms — most
+// importantly the dense layout of the tiled Cholesky factorization (red box
+// (a) in the paper's Algorithm 1). It is the Chameleon layer of the
+// reproduction; the task graph itself lives in the shared engine.
 package tiledalg
 
 import (
 	"fmt"
-	"sync"
 
-	"repro/internal/linalg"
+	"repro/internal/engine"
 	"repro/internal/taskrt"
 	"repro/internal/tile"
 )
-
-// Handles caches one runtime handle per tile of a tiled matrix, so repeated
-// algorithm phases reuse the same dependency chains.
-type Handles struct {
-	rt taskrt.Submitter
-	hs []*taskrt.Handle
-	mt int
-}
-
-// NewHandles creates a handle grid for an mt×nt tile grid.
-func NewHandles(rt taskrt.Submitter, name string, mt, nt int) *Handles {
-	h := &Handles{rt: rt, hs: make([]*taskrt.Handle, mt*nt), mt: mt}
-	for j := 0; j < nt; j++ {
-		for i := 0; i < mt; i++ {
-			h.hs[i+j*mt] = rt.NewHandle("%s(%d,%d)", name, i, j)
-		}
-	}
-	return h
-}
-
-// At returns the handle for tile (i,j).
-func (h *Handles) At(i, j int) *taskrt.Handle { return h.hs[i+j*h.mt] }
 
 // Potrf performs the task-parallel tiled Cholesky factorization of the
 // symmetric positive definite tiled matrix a (lower variant): on return the
 // lower-triangular tiles of a hold L with a = L·Lᵀ. Only the lower triangle
 // (tile (i,j) with i ≥ j) is referenced or written.
 //
-// The task graph is the classical right-looking tile Cholesky:
-//
-//	POTRF(a[k][k])
-//	TRSM(a[k][k], a[i][k])            i > k
-//	SYRK(a[i][k], a[i][i])            i > k
-//	GEMM(a[i][k], a[j][k], a[i][j])   i > j > k
-//
-// Priorities favor the critical path (panel column) as StarPU's
-// heteroprio-style schedulers do.
+// It is a dense-float64 layout over the unified factorization engine: every
+// lower tile enters the engine grid as a DenseF64 tile and the engine owns
+// the POTRF/TRSM/SYRK/GEMM task graph.
 func Potrf(rt taskrt.Submitter, a *tile.Matrix) error {
 	if a.M != a.N {
 		return fmt.Errorf("tiledalg: Potrf needs square matrix, got %dx%d", a.M, a.N)
 	}
-	h := NewHandles(rt, "A", a.MT, a.NT)
-	var errMu sync.Mutex
-	var firstErr error
-	setErr := func(err error) {
-		errMu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		errMu.Unlock()
-	}
-	nt := a.NT
-	for k := 0; k < nt; k++ {
-		k := k
-		akk := a.Tile(k, k)
-		rt.Submit("potrf", 3*nt-3*k, func() {
-			if err := linalg.PotrfUnblocked(akk); err != nil {
-				setErr(fmt.Errorf("tile (%d,%d): %w", k, k, err))
-			}
-		}, taskrt.ReadWrite(h.At(k, k)))
-		for i := k + 1; i < nt; i++ {
-			i := i
-			aik := a.Tile(i, k)
-			rt.Submit("trsm", 3*nt-3*k-1, func() {
-				linalg.TrsmLower(linalg.Right, true, 1, akk, aik)
-			}, taskrt.Read(h.At(k, k)), taskrt.ReadWrite(h.At(i, k)))
-		}
-		for i := k + 1; i < nt; i++ {
-			i := i
-			aik := a.Tile(i, k)
-			aii := a.Tile(i, i)
-			rt.Submit("syrk", 3*nt-3*k-2, func() {
-				linalg.Syrk(false, -1, aik, 1, aii)
-			}, taskrt.Read(h.At(i, k)), taskrt.ReadWrite(h.At(i, i)))
-			for j := k + 1; j < i; j++ {
-				j := j
-				ajk := a.Tile(j, k)
-				aij := a.Tile(i, j)
-				rt.Submit("gemm", 3*nt-3*k-2, func() {
-					linalg.Gemm(false, true, -1, aik, ajk, 1, aij)
-				}, taskrt.Read(h.At(i, k)), taskrt.Read(h.At(j, k)), taskrt.ReadWrite(h.At(i, j)))
-			}
+	g := engine.NewGrid(a.M, a.TS)
+	for i := 0; i < a.MT; i++ {
+		for j := 0; j <= i; j++ {
+			g.Set(i, j, &tile.DenseF64{D: a.Tile(i, j)})
 		}
 	}
-	rt.Wait()
-	if firstErr != nil {
-		return firstErr
+	if err := engine.Potrf(rt, g, engine.Config{}); err != nil {
+		return err
 	}
-	// Zero the strict upper triangles of diagonal tiles and discard upper
-	// tiles so the result is an explicit lower factor.
-	for k := 0; k < nt; k++ {
-		a.Tile(k, k).LowerFromFull()
-		for j := k + 1; j < nt; j++ {
+	// Discard upper tiles so the result is an explicit lower factor (the
+	// engine already zeroed the strict upper triangles of diagonal tiles).
+	for k := 0; k < a.NT; k++ {
+		for j := k + 1; j < a.NT; j++ {
 			a.Tile(k, j).Zero()
 		}
 	}

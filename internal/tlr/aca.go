@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"repro/internal/linalg"
+	"repro/internal/tile"
 )
 
 // CompressACA builds a low-rank tile with partially-pivoted Adaptive Cross
@@ -129,7 +130,7 @@ func CompressACA(m, n int, entry func(i, j int) float64, tol float64, maxRank in
 	}
 	// Recompress: ACA overshoots the rank slightly; rounding restores the
 	// SVD-grade truncation the rest of the TLR stack expects.
-	u, v := roundLR(bigU, bigV, tol, maxRank)
+	u, v := tile.RoundLR(bigU, bigV, tol, maxRank)
 	t.U, t.V = u, v
 	return t
 }

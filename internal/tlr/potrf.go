@@ -1,115 +1,31 @@
 package tlr
 
 import (
-	"fmt"
-	"sync"
-
-	"repro/internal/linalg"
+	"repro/internal/engine"
 	"repro/internal/taskrt"
+	"repro/internal/tile"
 )
 
 // Potrf computes the TLR Cholesky factorization in place: on return Diag[k]
 // holds the dense lower-triangular diagonal blocks of L and Low[i][j] the
 // low-rank off-diagonal blocks, with A ≈ L·Lᵀ to the matrix's compression
-// accuracy. The task graph mirrors the dense tile Cholesky, with the HiCMA
-// kernels:
+// accuracy.
+//
+// It is a TLR layout over the unified factorization engine: dense diagonal
+// tiles plus low-rank off-diagonal tiles enter one grid, and the engine's
+// polymorphic kernels perform the HiCMA operations —
 //
 //	POTRF  dense factorization of Diag[k]
 //	TRSM   V(i,k) ← L(k,k)⁻¹·V(i,k)                  (rank unchanged)
 //	SYRK   Diag[i] ← Diag[i] − U(V ᵀV)Uᵀ              (dense update)
 //	GEMM   Low[i][j] ← Low[i][j] − U_i(V_iᵀV_j)U_jᵀ   (concat + recompress)
-//
-// It is executed task-parallel on the given runtime.
 func Potrf(rt taskrt.Submitter, a *Matrix) error {
-	nt := a.NT
-	diagH := make([]*taskrt.Handle, nt)
-	lowH := make([][]*taskrt.Handle, nt)
-	for i := 0; i < nt; i++ {
-		diagH[i] = rt.NewHandle("D(%d)", i)
-		lowH[i] = make([]*taskrt.Handle, i)
+	g := engine.NewGrid(a.N, a.TS)
+	for i := 0; i < a.NT; i++ {
+		g.Set(i, i, &tile.DenseF64{D: a.Diag[i]})
 		for j := 0; j < i; j++ {
-			lowH[i][j] = rt.NewHandle("L(%d,%d)", i, j)
+			g.Set(i, j, a.Low[i][j])
 		}
 	}
-	var errMu sync.Mutex
-	var firstErr error
-	setErr := func(err error) {
-		errMu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		errMu.Unlock()
-	}
-
-	for k := 0; k < nt; k++ {
-		k := k
-		dk := a.Diag[k]
-		rt.Submit("potrf", 3*nt-3*k, func() {
-			if err := linalg.PotrfUnblocked(dk); err != nil {
-				setErr(fmt.Errorf("tlr: diagonal tile %d: %w", k, err))
-			}
-		}, taskrt.ReadWrite(diagH[k]))
-
-		for i := k + 1; i < nt; i++ {
-			i := i
-			tik := a.Low[i][k]
-			rt.Submit("trsm", 3*nt-3*k-1, func() {
-				if tik.Rank() > 0 {
-					linalg.TrsmLower(linalg.Left, false, 1, dk, tik.V)
-				}
-			}, taskrt.Read(diagH[k]), taskrt.ReadWrite(lowH[i][k]))
-		}
-		for i := k + 1; i < nt; i++ {
-			i := i
-			tik := a.Low[i][k]
-			di := a.Diag[i]
-			rt.Submit("syrk", 3*nt-3*k-2, func() {
-				syrkLR(tik, di)
-			}, taskrt.Read(lowH[i][k]), taskrt.ReadWrite(diagH[i]))
-			for j := k + 1; j < i; j++ {
-				j := j
-				tjk := a.Low[j][k]
-				tij := a.Low[i][j]
-				rt.Submit("gemm", 3*nt-3*k-2, func() {
-					gemmLR(tik, tjk, tij, a.Tol, a.MaxRank)
-				}, taskrt.Read(lowH[i][k]), taskrt.Read(lowH[j][k]), taskrt.ReadWrite(lowH[i][j]))
-			}
-		}
-	}
-	rt.Wait()
-	if firstErr != nil {
-		return firstErr
-	}
-	for k := 0; k < nt; k++ {
-		a.Diag[k].LowerFromFull()
-	}
-	return nil
-}
-
-// syrkLR computes D ← D − U·(VᵀV)·Uᵀ for the low-rank tile t = U·Vᵀ.
-func syrkLR(t *LRTile, d *linalg.Matrix) {
-	k := t.Rank()
-	if k == 0 {
-		return
-	}
-	s := linalg.NewMatrix(k, k)
-	linalg.Gemm(true, false, 1, t.V, t.V, 0, s)
-	us := linalg.NewMatrix(t.M, k)
-	linalg.Gemm(false, false, 1, t.U, s, 0, us)
-	linalg.Gemm(false, true, -1, us, t.U, 1, d)
-}
-
-// gemmLR applies the Schur-complement update
-// C ← C − A·Bᵀ = C − U_a·(V_aᵀ·V_b)·U_bᵀ, keeping C in low-rank form via
-// concatenation and recompression.
-func gemmLR(ta, tb *LRTile, c *LRTile, tol float64, maxRank int) {
-	ka, kb := ta.Rank(), tb.Rank()
-	if ka == 0 || kb == 0 {
-		return
-	}
-	s := linalg.NewMatrix(ka, kb)
-	linalg.Gemm(true, false, 1, ta.V, tb.V, 0, s)
-	u2 := linalg.NewMatrix(ta.M, kb)
-	linalg.Gemm(false, false, 1, ta.U, s, 0, u2)
-	c.AddLowRank(-1, u2, tb.U, tol, maxRank)
+	return engine.Potrf(rt, g, engine.Config{Tol: a.Tol, MaxRank: a.MaxRank})
 }

@@ -15,144 +15,17 @@ import (
 	"repro/internal/tile"
 )
 
-// LRTile is a low-rank tile A ≈ U·Vᵀ with U m×k and V n×k. A zero-rank tile
-// (k = 0) represents an exactly-zero block.
-type LRTile struct {
-	U, V *linalg.Matrix
-	M, N int // logical tile shape
-}
-
-// Rank returns the current rank k.
-func (t *LRTile) Rank() int {
-	if t.U == nil {
-		return 0
-	}
-	return t.U.Cols
-}
-
-// Dense materializes U·Vᵀ as a dense m×n matrix.
-func (t *LRTile) Dense() *linalg.Matrix {
-	d := linalg.NewMatrix(t.M, t.N)
-	if t.Rank() > 0 {
-		linalg.Gemm(false, true, 1, t.U, t.V, 0, d)
-	}
-	return d
-}
-
-// Clone returns a deep copy.
-func (t *LRTile) Clone() *LRTile {
-	c := &LRTile{M: t.M, N: t.N}
-	if t.U != nil {
-		c.U, c.V = t.U.Clone(), t.V.Clone()
-	}
-	return c
-}
+// LRTile is a low-rank tile A ≈ U·Vᵀ with U m×k and V n×k. It is an alias
+// of the shared tile.LowRank representation, so the same tiles flow through
+// the unified factorization engine and the TLR-specific assembly here.
+type LRTile = tile.LowRank
 
 // Compress builds a low-rank tile from a dense block by truncated SVD,
 // keeping the smallest rank whose tail satisfies ‖tail‖_F ≤ tol·‖A‖_F,
-// capped at maxRank (0 means no cap). The singular values are folded into U.
+// capped at maxRank (0 means no cap). It forwards to the shared
+// representation in package tile.
 func Compress(a *linalg.Matrix, tol float64, maxRank int) *LRTile {
-	res := linalg.SVD(a)
-	k := linalg.TruncationRank(res.S, tol)
-	if res.S[0] == 0 {
-		k = 0
-	}
-	if maxRank > 0 && k > maxRank {
-		k = maxRank
-	}
-	t := &LRTile{M: a.Rows, N: a.Cols}
-	if k == 0 {
-		return t
-	}
-	t.U = linalg.NewMatrix(a.Rows, k)
-	t.V = linalg.NewMatrix(a.Cols, k)
-	for j := 0; j < k; j++ {
-		copy(t.U.Col(j), res.U.Col(j))
-		linalg.Scal(res.S[j], t.U.Col(j))
-		copy(t.V.Col(j), res.V.Col(j))
-	}
-	return t
-}
-
-// AddLowRank appends a second low-rank term αU₂V₂ᵀ to the tile
-// (A ← U₁V₁ᵀ + α·U₂V₂ᵀ) by concatenating factors and recompressing to tol
-// (capped at maxRank, 0 = uncapped) via the standard QR+SVD rounding.
-func (t *LRTile) AddLowRank(alpha float64, u2, v2 *linalg.Matrix, tol float64, maxRank int) {
-	k1, k2 := t.Rank(), u2.Cols
-	if k2 == 0 {
-		return
-	}
-	ku := k1 + k2
-	bigU := linalg.NewMatrix(t.M, ku)
-	bigV := linalg.NewMatrix(t.N, ku)
-	for j := 0; j < k1; j++ {
-		copy(bigU.Col(j), t.U.Col(j))
-		copy(bigV.Col(j), t.V.Col(j))
-	}
-	for j := 0; j < k2; j++ {
-		copy(bigU.Col(k1+j), u2.Col(j))
-		linalg.Scal(alpha, bigU.Col(k1+j))
-		copy(bigV.Col(k1+j), v2.Col(j))
-	}
-	u, v := roundLR(bigU, bigV, tol, maxRank)
-	t.U, t.V = u, v
-}
-
-// roundLR recompresses the product bigU·bigVᵀ to the requested tolerance:
-// QR both factors, SVD the small core Ru·Rvᵀ, truncate.
-func roundLR(bigU, bigV *linalg.Matrix, tol float64, maxRank int) (*linalg.Matrix, *linalg.Matrix) {
-	qu := linalg.QR(bigU)
-	qv := linalg.QR(bigV)
-	ru, rv := qu.R(), qv.R()
-	core := linalg.NewMatrix(ru.Rows, rv.Rows)
-	linalg.Gemm(false, true, 1, ru, rv, 0, core)
-	res := linalg.SVD(core)
-	k := linalg.TruncationRank(res.S, tol)
-	if res.S[0] == 0 {
-		return nil, nil
-	}
-	if maxRank > 0 && k > maxRank {
-		k = maxRank
-	}
-	// u = Qu·(Ub·diag(S))[:,0:k], v = Qv·Vb[:,0:k], applying the Householder
-	// reflectors directly instead of forming the thin Q factors.
-	ub := linalg.NewMatrix(res.U.Rows, k)
-	for j := 0; j < k; j++ {
-		copy(ub.Col(j), res.U.Col(j))
-		linalg.Scal(res.S[j], ub.Col(j))
-	}
-	vb := linalg.NewMatrix(res.V.Rows, k)
-	for j := 0; j < k; j++ {
-		copy(vb.Col(j), res.V.Col(j))
-	}
-	return qu.ApplyQ(ub), qv.ApplyQ(vb)
-}
-
-// ApplyTo accumulates c += alpha·(U·Vᵀ)·b without densifying the tile:
-// first w = Vᵀ·b (k×cols), then c += alpha·U·w. This is the cheap GEMM the
-// TLR PMVN propagation uses (paper Algorithm 2, lines 11–12).
-func (t *LRTile) ApplyTo(alpha float64, b, c *linalg.Matrix) {
-	k := t.Rank()
-	if k == 0 {
-		return
-	}
-	w := linalg.NewMatrix(k, b.Cols)
-	linalg.Gemm(true, false, 1, t.V, b, 0, w)
-	linalg.Gemm(false, false, alpha, t.U, w, 1, c)
-}
-
-// ApplyToPair accumulates the same low-rank product into two outputs
-// (c1 += alpha·UVᵀb and c2 += alpha·UVᵀb) computing the shared w = Vᵀ·b
-// only once. The PMVN propagation uses it for the paired A/B limit updates.
-func (t *LRTile) ApplyToPair(alpha float64, b, c1, c2 *linalg.Matrix) {
-	k := t.Rank()
-	if k == 0 {
-		return
-	}
-	w := linalg.NewMatrix(k, b.Cols)
-	linalg.Gemm(true, false, 1, t.V, b, 0, w)
-	linalg.Gemm(false, false, alpha, t.U, w, 1, c1)
-	linalg.Gemm(false, false, alpha, t.U, w, 1, c2)
+	return tile.Compress(a, tol, maxRank)
 }
 
 // Matrix is a symmetric positive definite matrix in TLR format: dense
