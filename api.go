@@ -298,16 +298,28 @@ func denseFromRows(sigma [][]float64) (*linalg.Matrix, error) {
 	return m, nil
 }
 
-// factorize builds the Cholesky factor of sigma according to the session
-// method and wraps it as an mvn.Factor. All three methods route through the
-// unified factorization engine — they differ only in the tile layout they
-// construct. The factorization task graph runs in its own runtime group, so
-// concurrent queries never wait on each other's barriers.
+// policy assembles the engine policy from the session configuration.
+func (s *Session) policy() engine.Policy {
+	return engine.Policy{
+		Band:     s.cfg.AdaptiveBand,
+		Tol:      s.cfg.TLRTol,
+		MaxRank:  s.cfg.TLRMaxRank,
+		RankFrac: s.cfg.AdaptiveRankFrac,
+		F32Norm:  s.cfg.AdaptiveF32Norm,
+	}
+}
+
+// factorize builds the Cholesky factor of an explicit sigma according to the
+// session method and wraps it as an mvn.Factor. All three methods route
+// through the unified factorization engine — they differ only in the tile
+// layout they construct. Assembly/compression fans out tile-by-tile and the
+// factorization task graph runs in its own runtime group, so concurrent
+// queries never wait on each other's barriers.
 func (s *Session) factorize(sigma *linalg.Matrix) (mvn.Factor, error) {
 	g := s.rt.NewGroup()
 	switch s.cfg.Method {
 	case TLR:
-		a, err := tlr.CompressSPD(tile.FromDense(sigma, s.cfg.TileSize), s.cfg.TLRTol, s.cfg.TLRMaxRank)
+		a, err := tlr.CompressSPDPar(g, tile.FromDense(sigma, s.cfg.TileSize), s.cfg.TLRTol, s.cfg.TLRMaxRank)
 		if err != nil {
 			return nil, err
 		}
@@ -316,13 +328,7 @@ func (s *Session) factorize(sigma *linalg.Matrix) (mvn.Factor, error) {
 		}
 		return mvn.NewTLRFactor(a), nil
 	case MethodAdaptive:
-		grid := engine.AssembleAdaptive(tile.FromDense(sigma, s.cfg.TileSize), engine.Policy{
-			Band:     s.cfg.AdaptiveBand,
-			Tol:      s.cfg.TLRTol,
-			MaxRank:  s.cfg.TLRMaxRank,
-			RankFrac: s.cfg.AdaptiveRankFrac,
-			F32Norm:  s.cfg.AdaptiveF32Norm,
-		})
+		grid := engine.AssembleAdaptive(g, tile.FromDense(sigma, s.cfg.TileSize), s.policy())
 		if err := engine.Potrf(g, grid, engine.Config{Tol: s.cfg.TLRTol, MaxRank: s.cfg.TLRMaxRank}); err != nil {
 			return nil, err
 		}
@@ -330,6 +336,54 @@ func (s *Session) factorize(sigma *linalg.Matrix) (mvn.Factor, error) {
 	default:
 		t := tile.FromDense(sigma, s.cfg.TileSize)
 		if err := tiledalg.Potrf(g, t); err != nil {
+			return nil, err
+		}
+		return mvn.NewDenseFactor(t), nil
+	}
+}
+
+// factorizeKernel builds the Cholesky factor directly from a kernel over a
+// geometry, never materializing the dense covariance: dense tiles are
+// assembled blockwise in parallel (lower triangle only), the TLR layout via
+// parallel ACA (O(rank·ts) kernel evaluations per off-diagonal tile), and
+// the adaptive layout with ACA probes that double as the accepted low-rank
+// tiles. This is the cold-query hot path behind MVNProb/MVTProb.
+func (s *Session) factorizeKernel(g *geo.Geom, k cov.Kernel) (mvn.Factor, error) {
+	grp := s.rt.NewGroup()
+	n := g.Len()
+	ts := s.cfg.TileSize
+	switch s.cfg.Method {
+	case TLR:
+		a := tlr.BuildFromKernelACA(grp, g, k, ts, s.cfg.TLRTol, s.cfg.TLRMaxRank)
+		if err := tlr.Potrf(grp, a); err != nil {
+			return nil, err
+		}
+		return mvn.NewTLRFactor(a), nil
+	case MethodAdaptive:
+		entry := func(i, j int) float64 {
+			if i == j {
+				return k.Cov(0)
+			}
+			return k.Cov(g.Dist(i, j))
+		}
+		grid := engine.AssembleAdaptiveEntry(grp, n, ts, entry, s.policy())
+		if err := engine.Potrf(grp, grid, engine.Config{Tol: s.cfg.TLRTol, MaxRank: s.cfg.TLRMaxRank}); err != nil {
+			return nil, err
+		}
+		return mvn.NewGridFactor(grid), nil
+	default:
+		t := tile.New(n, n, ts)
+		for ti := 0; ti < t.MT; ti++ {
+			for tj := 0; tj <= ti; tj++ {
+				dst := t.Tile(ti, tj)
+				row0, col0 := ti*ts, tj*ts
+				grp.Submit("assemble", 0, func() {
+					cov.Block(dst, g, k, row0, col0)
+				})
+			}
+		}
+		grp.Wait()
+		if err := tiledalg.Potrf(grp, t); err != nil {
 			return nil, err
 		}
 		return mvn.NewDenseFactor(t), nil

@@ -184,7 +184,7 @@ func (s *Session) key(kind byte, hash [2]uint64, n int, spec KernelSpec) factorK
 // Sigma2, implicit exponential family, family-irrelevant Nu) share a factor.
 func (s *Session) factorForKernel(locs []Point, spec KernelSpec, k cov.Kernel) (mvn.Factor, error) {
 	build := func() (mvn.Factor, error) {
-		return s.factorize(cov.Matrix(toGeom(locs), k))
+		return s.factorizeKernel(toGeom(locs), k)
 	}
 	if s.cfg.NoFactorCache {
 		return build()

@@ -144,7 +144,15 @@ func Potrf(rt taskrt.Submitter, g *Grid, cfg Config) error {
 		k := k
 		dk := g.Diag(k)
 		rt.SubmitErr("potrf", 3*nt-3*k, func() error {
-			if err := linalg.PotrfUnblocked(dk); err != nil {
+			// Large diagonal tiles run the blocked in-tile Cholesky so the
+			// bulk of the pivot work is level-3 on the packed kernels.
+			var err error
+			if dk.Rows > 48 {
+				err = linalg.PotrfBlocked(dk, 32)
+			} else {
+				err = linalg.PotrfUnblocked(dk)
+			}
+			if err != nil {
 				return fmt.Errorf("engine: diagonal tile (%d,%d): %w", k, k, err)
 			}
 			return nil
@@ -343,6 +351,8 @@ func gemmIntoLowRank(a, b tile.Tile, c *tile.LowRank, cfg Config) {
 		putMat(p)
 		if lp.Rank() > 0 {
 			c.AddLowRank(-1, lp.U, lp.V, cfg.Tol, cfg.MaxRank)
+			putMat(lp.U)
+			putMat(lp.V)
 		}
 	}
 }

@@ -2,6 +2,7 @@ package engine_test
 
 import (
 	"errors"
+	"math"
 	"math/rand"
 	"testing"
 
@@ -163,9 +164,29 @@ func mixedAs32(f *mixprec.Factorization, i, j int) *mixprec.Matrix32 {
 	return f.D32[i][j]
 }
 
-// TestEngineDenseBitIdentical checks the engine-backed dense layout
-// reproduces the historical tiled dense Cholesky bit for bit.
-func TestEngineDenseBitIdentical(t *testing.T) {
+// Engine-vs-sequential-reference tolerance. The pre-PR3 versions of these
+// regression tests pinned the engine bit-identical to the sequential
+// references. With the packed register-blocked kernels that contract is
+// gone by design: the blocked GEMM/SYRK/TRSM change summation order, use
+// fused multiply-adds, and dispatch between packed and unpacked loops by
+// problem volume, so "identical bits" would only hold while the engine and
+// the reference happened to route every operand through the same dispatch
+// path — an implementation accident, not a guarantee. What the engine DOES
+// guarantee is that its task graph performs the same per-tile kernel
+// sequence as the sequential algorithm; floating-point reassociation across
+// kernels is bounded by ~k·ε per accumulated entry, so a tight relative
+// tolerance (well below any compression tolerance in play) pins the
+// semantics without freezing the kernel implementation.
+const engineRefTol = 1e-11
+
+// relMaxDiff is max|a−b| scaled by ‖b‖_F (1 floor).
+func relMaxDiff(a, b *linalg.Matrix) float64 {
+	return a.MaxAbsDiff(b) / math.Max(b.FrobNorm(), 1)
+}
+
+// TestEngineDenseMatchesReference checks the engine-backed dense layout
+// reproduces the sequential tiled dense Cholesky to kernel roundoff.
+func TestEngineDenseMatchesReference(t *testing.T) {
 	sigma := covGrid(9, 0.2) // n=81
 	for _, ts := range []int{7, 16, 81} {
 		want := tile.FromDense(sigma, ts)
@@ -179,16 +200,18 @@ func TestEngineDenseBitIdentical(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if d := got.ToDense().MaxAbsDiff(want.ToDense()); d != 0 {
+		if d := relMaxDiff(got.ToDense(), want.ToDense()); d > engineRefTol {
 			t.Errorf("ts=%d: engine dense factor differs from reference by %v", ts, d)
 		}
 	}
 }
 
-// TestEngineTLRBitIdentical is the cross-implementation regression test: the
-// engine-backed TLR layout must match the historical TLR factorization bit
-// for bit (same compression decisions, same recompression arithmetic).
-func TestEngineTLRBitIdentical(t *testing.T) {
+// TestEngineTLRMatchesReference is the cross-implementation regression test:
+// the engine-backed TLR layout must match the sequential TLR factorization
+// (same compression decisions, same recompression sequence) to kernel
+// roundoff. The compressor is randomized but deterministic (fixed sketch per
+// tile shape), so both builds see identical inputs.
+func TestEngineTLRMatchesReference(t *testing.T) {
 	sigma := covGrid(9, 0.15)
 	for _, tol := range []float64{1e-4, 1e-8} {
 		want, err := tlr.CompressSPD(tile.FromDense(sigma, 12), tol, 0)
@@ -208,15 +231,19 @@ func TestEngineTLRBitIdentical(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if d := got.ToDense().MaxAbsDiff(want.ToDense()); d != 0 {
+		if d := relMaxDiff(got.ToDense(), want.ToDense()); d > engineRefTol {
 			t.Errorf("tol=%g: engine TLR factor differs from reference by %v", tol, d)
 		}
 	}
 }
 
-// TestEngineMixedBitIdentical checks the engine-backed banded mixed-precision
-// layout against the historical implementation.
-func TestEngineMixedBitIdentical(t *testing.T) {
+// TestEngineMixedMatchesReference checks the engine-backed banded
+// mixed-precision layout against the sequential implementation. The
+// comparison happens after promoting f32 tiles, so kernel reassociation in
+// the single-precision updates shows up at f32 roundoff (~1e-7 relative);
+// the tolerance sits a little above that, far below the band accuracy the
+// mixed-precision method itself targets.
+func TestEngineMixedMatchesReference(t *testing.T) {
 	sigma := covGrid(8, 0.15) // n=64
 	for _, band := range []int{0, 1, 3} {
 		want := refMixedPotrf(tile.FromDense(sigma, 8), band)
@@ -226,7 +253,7 @@ func TestEngineMixedBitIdentical(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if d := got.ToDense().MaxAbsDiff(want.ToDense()); d != 0 {
+		if d := relMaxDiff(got.ToDense(), want.ToDense()); d > 5e-6 {
 			t.Errorf("band=%d: engine mixed factor differs from reference by %v", band, d)
 		}
 	}
@@ -284,7 +311,7 @@ func TestAdaptiveAssemblyMixesAndFactorizes(t *testing.T) {
 	// cannot push it indefinite; it leaves off-diagonal ranks untouched.
 	g12 := geo.RegularGrid(12, 12)
 	sigma := cov.Matrix(g12, &cov.Nugget{Kernel: cov.NewMatern(1, 0.2, 2.5), Tau2: 0.05}) // n=144
-	g := engine.AssembleAdaptive(tile.FromDense(sigma, 24), engine.Policy{
+	g := engine.AssembleAdaptive(nil, tile.FromDense(sigma, 24), engine.Policy{
 		Band: 1, Tol: 1e-4, RankFrac: 0.5, F32Norm: 0.5,
 	})
 	mix := g.Mix()
@@ -345,7 +372,7 @@ func TestAdaptivePolicyRejectsIncompressibleTiles(t *testing.T) {
 		sigma.Add(i, i, float64(n))
 	}
 	// Off-band tiles of a random SPD matrix are numerically full rank.
-	g := engine.AssembleAdaptive(tile.FromDense(sigma, 32), engine.Policy{
+	g := engine.AssembleAdaptive(nil, tile.FromDense(sigma, 32), engine.Policy{
 		Tol: 1e-6, MaxRank: 16, RankFrac: 0.5,
 	})
 	if mix := g.Mix(); mix.LowRank != 0 {
@@ -372,7 +399,7 @@ func TestAdaptiveDeterministicAcrossWorkers(t *testing.T) {
 	}
 	var ref *linalg.Matrix
 	for _, w := range []int{1, 4} {
-		g := engine.AssembleAdaptive(tile.FromDense(sigma, 9), engine.Policy{Tol: 1e-6})
+		g := engine.AssembleAdaptive(nil, tile.FromDense(sigma, 9), engine.Policy{Tol: 1e-6})
 		rt := taskrt.New(w)
 		err := engine.Potrf(rt, g, engine.Config{Tol: 1e-6})
 		rt.Shutdown()

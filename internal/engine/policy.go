@@ -3,6 +3,8 @@ package engine
 import (
 	"math"
 
+	"repro/internal/linalg"
+	"repro/internal/taskrt"
 	"repro/internal/tile"
 )
 
@@ -50,11 +52,41 @@ func (p Policy) WithDefaults() Policy {
 	return p
 }
 
+// rankLimit is the largest low-rank tile rank the policy accepts for an
+// m×n tile.
+func (p Policy) rankLimit(m, n int) int {
+	limit := int(p.RankFrac * float64(min(m, n)))
+	if p.MaxRank > 0 && limit > p.MaxRank {
+		limit = p.MaxRank
+	}
+	return limit
+}
+
+// probe runs the compressibility test for one off-band tile through ACA
+// with a rank budget one past the acceptance limit: a probe that CONVERGES
+// within the limit is accepted (and IS the tile — no recompute); anything
+// else — budget exhausted, or rounding trimming an unconverged cross set
+// under the limit — means the tile's numerical rank at Tol is not known to
+// fit, so the dense representations take over. Requiring the convergence
+// flag (not just the rounded rank) is what stops a truncated
+// slowly-decaying tile from vacuously passing the rank test with
+// uncontrolled error. Probing by ACA touches O(k(m+n)) entries instead of
+// densify-then-SVD's full-tile spectrum.
+func (p Policy) probe(m, n int, entry func(i, j int) float64) (*tile.LowRank, bool) {
+	limit := p.rankLimit(m, n)
+	lr, converged := tile.CompressACAConv(m, n, entry, p.Tol, limit+1)
+	if converged && lr.Rank() <= limit {
+		return lr, true
+	}
+	return nil, false
+}
+
 // AssembleAdaptive builds an engine grid from a symmetric tiled matrix,
 // choosing each lower tile's representation by the policy. The grid aliases
 // src's float64 tiles (the factorization then runs in place), so src must
-// not be reused afterwards.
-func AssembleAdaptive(src *tile.Matrix, p Policy) *Grid {
+// not be reused afterwards. When sub is non-nil the per-tile probes run as
+// independent tasks on it (the caller's group scope); nil probes serially.
+func AssembleAdaptive(sub taskrt.Submitter, src *tile.Matrix, p Policy) *Grid {
 	p = p.WithDefaults()
 	g := NewGrid(src.M, src.TS)
 	// Diagonal norms anchor the relative-magnitude test for f32 storage.
@@ -62,34 +94,100 @@ func AssembleAdaptive(src *tile.Matrix, p Policy) *Grid {
 	for i := 0; i < g.NT; i++ {
 		diagNorm[i] = src.Tile(i, i).FrobNorm()
 	}
+	run, wait := taskrt.Scatter(sub, "assemble")
 	for i := 0; i < g.NT; i++ {
+		i := i
 		g.Set(i, i, &tile.DenseF64{D: src.Tile(i, i)})
 		for j := 0; j < i; j++ {
+			j := j
 			blk := src.Tile(i, j)
 			if i-j <= p.Band {
 				g.Set(i, j, &tile.DenseF64{D: blk})
 				continue
 			}
-			// Compress uncapped so the acceptance test sees the tile's true
-			// numerical rank at Tol: capping first would truncate the
-			// spectrum and then vacuously pass the rank test, silently
-			// accepting representations far less accurate than Tol.
-			lr := tile.Compress(blk, p.Tol, 0)
-			limit := int(p.RankFrac * float64(min(blk.Rows, blk.Cols)))
-			if p.MaxRank > 0 && limit > p.MaxRank {
-				limit = p.MaxRank
-			}
-			if lr.Rank() <= limit {
-				g.Set(i, j, lr)
-				continue
-			}
-			scale := math.Sqrt(diagNorm[i] * diagNorm[j])
-			if scale > 0 && blk.FrobNorm() <= p.F32Norm*scale {
-				g.Set(i, j, &tile.DenseF32{D: tile.ToSingle(blk)})
-				continue
-			}
-			g.Set(i, j, &tile.DenseF64{D: blk})
+			run(func() {
+				if lr, ok := p.probe(blk.Rows, blk.Cols, blk.At); ok {
+					g.Set(i, j, lr)
+					return
+				}
+				scale := math.Sqrt(diagNorm[i] * diagNorm[j])
+				if scale > 0 && blk.FrobNorm() <= p.F32Norm*scale {
+					g.Set(i, j, &tile.DenseF32{D: tile.ToSingle(blk)})
+					return
+				}
+				g.Set(i, j, &tile.DenseF64{D: blk})
+			})
 		}
 	}
+	wait()
 	return g
+}
+
+// AssembleAdaptiveEntry builds an adaptive engine grid directly from an
+// entry evaluator (typically a covariance kernel over a geometry), without
+// ever materializing the dense matrix: band tiles are assembled densely,
+// off-band tiles are probed by ACA — an accepted probe is the tile, touching
+// only O(k·ts) entries — and only rejected tiles are densified for the
+// f32/f64 fallback. When sub is non-nil the tiles are built as independent
+// tasks on it.
+func AssembleAdaptiveEntry(sub taskrt.Submitter, n, ts int, entry func(i, j int) float64, p Policy) *Grid {
+	p = p.WithDefaults()
+	g := NewGrid(n, ts)
+	run, wait := taskrt.Scatter(sub, "assemble")
+	// Phase 1: diagonal tiles (dense, and the norms anchoring the f32 test).
+	diagNorm := make([]float64, g.NT)
+	for i := 0; i < g.NT; i++ {
+		i := i
+		run(func() {
+			d := denseBlock(g.TileRows(i), g.TileRows(i), i*ts, i*ts, entry)
+			diagNorm[i] = d.FrobNorm()
+			g.Set(i, i, &tile.DenseF64{D: d})
+		})
+	}
+	wait()
+	// Phase 2: off-diagonal tiles.
+	for i := 0; i < g.NT; i++ {
+		i := i
+		ri := g.TileRows(i)
+		for j := 0; j < i; j++ {
+			j := j
+			rj := g.TileRows(j)
+			row0, col0 := i*ts, j*ts
+			sub2 := func(r, c int) float64 { return entry(row0+r, col0+c) }
+			if i-j <= p.Band {
+				run(func() {
+					g.Set(i, j, &tile.DenseF64{D: denseBlock(ri, rj, row0, col0, entry)})
+				})
+				continue
+			}
+			run(func() {
+				if lr, ok := p.probe(ri, rj, sub2); ok {
+					g.Set(i, j, lr)
+					return
+				}
+				blk := denseBlock(ri, rj, row0, col0, entry)
+				scale := math.Sqrt(diagNorm[i] * diagNorm[j])
+				if scale > 0 && blk.FrobNorm() <= p.F32Norm*scale {
+					g.Set(i, j, &tile.DenseF32{D: tile.ToSingle(blk)})
+					return
+				}
+				g.Set(i, j, &tile.DenseF64{D: blk})
+			})
+		}
+	}
+	wait()
+	return g
+}
+
+// denseBlock materializes the r×c block at (row0,col0) of the entry
+// evaluator.
+func denseBlock(r, c, row0, col0 int, entry func(i, j int) float64) *linalg.Matrix {
+	d := linalg.NewMatrix(r, c)
+	for j := 0; j < c; j++ {
+		col := d.Col(j)
+		for i := 0; i < r; i++ {
+			col[i] = entry(row0+i, col0+j)
+		}
+	}
+	return d
 }

@@ -1,35 +1,19 @@
 package engine
 
-import (
-	"sync"
+import "repro/internal/linalg"
 
-	"repro/internal/linalg"
-)
-
-// ws pools float64 scratch buffers for the hot kernel paths (the small
-// core/product matrices of the low-rank SYRK/GEMM updates). sync.Pool's
-// per-P caches make this an effectively per-worker workspace: a worker
-// churning through recompression tasks reuses its own buffers instead of
-// allocating on every task.
-var ws = sync.Pool{New: func() any { return new([]float64) }}
+// The engine's kernel scratch (small core/product matrices of the low-rank
+// SYRK/GEMM updates) comes from the linalg workspace pool, shared with the
+// BLAS packing buffers and the recompression path, so a worker churning
+// through tasks reuses its own buffers instead of allocating on every task.
 
 // getMat returns a pooled r×c matrix whose contents are UNDEFINED: every
 // caller's first operation must fully overwrite it (a beta=0 Gemm does —
 // linalg.Gemm zeroes the destination first). Callers hand it back with
 // putMat once the kernel no longer references it; the low-rank routines copy
 // out of their arguments, so scratch never escapes a task.
-func getMat(r, c int) *linalg.Matrix {
-	buf := *ws.Get().(*[]float64)
-	n := r * c
-	if cap(buf) < n {
-		buf = make([]float64, n)
-	}
-	return linalg.FromColMajor(r, c, buf[:n])
-}
+func getMat(r, c int) *linalg.Matrix { return linalg.GetMat(r, c) }
 
 // putMat recycles a matrix obtained from getMat. The buffer stays out of the
 // pool between getMat and putMat, so concurrent workers never share scratch.
-func putMat(m *linalg.Matrix) {
-	buf := m.Data[:cap(m.Data)]
-	ws.Put(&buf)
-}
+func putMat(m *linalg.Matrix) { linalg.PutMat(m) }

@@ -1,9 +1,19 @@
 package linalg
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
+
+// vecMinLen is the slice length below which the scalar level-1 loops beat
+// the vector kernels' call overhead.
+const vecMinLen = 12
 
 // Dot returns xᵀy.
 func Dot(x, y []float64) float64 {
+	if hasVectorKernels && len(x) >= vecMinLen {
+		return dotVec(x, y[:len(x)])
+	}
 	s := 0.0
 	for i, v := range x {
 		s += v * y[i]
@@ -14,6 +24,10 @@ func Dot(x, y []float64) float64 {
 // Axpy computes y += alpha·x.
 func Axpy(alpha float64, x, y []float64) {
 	if alpha == 0 {
+		return
+	}
+	if hasVectorKernels && len(x) >= vecMinLen {
+		axpyVec(alpha, x, y[:len(x)])
 		return
 	}
 	for i, v := range x {
@@ -28,9 +42,25 @@ func Scal(alpha float64, x []float64) {
 	}
 }
 
-// Nrm2 returns the Euclidean norm of x with overflow guarding.
+// Nrm2 returns the Euclidean norm of x, overflow-guarded by the classical
+// scaled-sum-of-squares recurrence. It allocates nothing.
 func Nrm2(x []float64) float64 {
-	return FromColMajor(len(x), 1, x).FrobNorm()
+	scale, ssq := 0.0, 1.0
+	for _, v := range x {
+		if v == 0 {
+			continue
+		}
+		a := math.Abs(v)
+		if scale < a {
+			r := scale / a
+			ssq = 1 + ssq*r*r
+			scale = a
+		} else {
+			r := a / scale
+			ssq += r * r
+		}
+	}
+	return scale * math.Sqrt(ssq)
 }
 
 // Gemv computes y = alpha·op(A)·x + beta·y where op is the identity or the
@@ -66,8 +96,8 @@ func Gemv(transA bool, alpha float64, a *Matrix, x []float64, beta float64, y []
 }
 
 // Gemm computes C = alpha·op(A)·op(B) + beta·C. op(A) is m×k, op(B) is k×n,
-// C is m×n. The kernel picks loop orders that keep the innermost accesses at
-// stride 1 in column-major storage.
+// C is m×n. Large products run through the packed register-blocked kernel
+// (see blocked.go); tiny ones through the unpacked column-oriented loops.
 func Gemm(transA, transB bool, alpha float64, a, b *Matrix, beta float64, c *Matrix) {
 	m, k := a.Rows, a.Cols
 	if transA {
@@ -93,6 +123,18 @@ func Gemm(transA, transB bool, alpha float64, a, b *Matrix, beta float64, c *Mat
 	if alpha == 0 || k == 0 {
 		return
 	}
+	if !hasVectorKernels || m*n*k <= gemmNaiveCutoff {
+		gemmNaive(transA, transB, alpha, a, b, c, m, n, k)
+		return
+	}
+	gemmBlocked(transA, transB, alpha, a, b, c, m, n, k)
+}
+
+// gemmNaive accumulates C += alpha·op(A)·op(B) with the historical unpacked
+// loops, each transpose case ordered to keep the innermost accesses at
+// stride 1. It is the reference implementation the blocked kernel is tested
+// against and the fast path for tiny products.
+func gemmNaive(transA, transB bool, alpha float64, a, b, c *Matrix, m, n, k int) {
 	switch {
 	case !transA && !transB:
 		// C(:,j) += alpha * A(:,l) * B(l,j): axpy panels, all stride-1.
@@ -137,11 +179,12 @@ func Gemm(transA, transB bool, alpha float64, a, b *Matrix, beta float64, c *Mat
 
 // Syrk computes the lower triangle of C = alpha·A·Aᵀ + beta·C (trans=false)
 // or C = alpha·Aᵀ·A + beta·C (trans=true). Only the lower triangle of C is
-// referenced and updated, as in BLAS DSYRK with uplo='L'.
+// referenced and updated, as in BLAS DSYRK with uplo='L'. Large updates run
+// blockwise through the packed GEMM kernel.
 func Syrk(trans bool, alpha float64, a *Matrix, beta float64, c *Matrix) {
-	n := a.Rows
+	n, k := a.Rows, a.Cols
 	if trans {
-		n = a.Cols
+		n, k = k, n
 	}
 	if c.Rows != n || c.Cols != n {
 		panic("linalg: Syrk shape mismatch")
@@ -154,11 +197,20 @@ func Syrk(trans bool, alpha float64, a *Matrix, beta float64, c *Matrix) {
 			}
 		}
 	}
-	if alpha == 0 {
+	if alpha == 0 || k == 0 {
 		return
 	}
+	if !hasVectorKernels || n*n*k <= gemmNaiveCutoff {
+		syrkNaive(trans, alpha, a, c, n, k)
+		return
+	}
+	syrkBlocked(trans, alpha, a, c, n, k)
+}
+
+// syrkNaive is the historical unpacked SYRK, kept as the blocked kernel's
+// reference and the small-size fast path.
+func syrkNaive(trans bool, alpha float64, a, c *Matrix, n, k int) {
 	if !trans {
-		k := a.Cols
 		for l := 0; l < k; l++ {
 			al := a.Col(l)
 			for j := 0; j < n; j++ {
@@ -171,7 +223,6 @@ func Syrk(trans bool, alpha float64, a *Matrix, beta float64, c *Matrix) {
 			}
 		}
 	} else {
-		k := a.Rows
 		for j := 0; j < n; j++ {
 			aj := a.Col(j)[:k]
 			cc := c.Col(j)
@@ -199,7 +250,9 @@ const (
 //	side=Right, trans=false:  X·L = alpha·B
 //	side=Right, trans=true:   X·Lᵀ = alpha·B
 //
-// Only the lower triangle of l is referenced.
+// Only the lower triangle of l is referenced. Solves larger than one block
+// run the blocked right-looking algorithm whose trailing updates are level-3
+// GEMMs.
 func TrsmLower(side TrsmSide, trans bool, alpha float64, l, b *Matrix) {
 	n := l.Rows
 	if l.Cols != n {
@@ -213,6 +266,20 @@ func TrsmLower(side TrsmSide, trans bool, alpha float64, l, b *Matrix) {
 			Scal(alpha, b.Col(j))
 		}
 	}
+	if n == 0 || b.Rows == 0 || b.Cols == 0 {
+		return
+	}
+	if !hasVectorKernels || n <= trsmBlockSize {
+		trsmLowerUnblocked(side, trans, l, b)
+		return
+	}
+	trsmLowerBlocked(side, trans, l, b)
+}
+
+// trsmLowerUnblocked is the historical substitution kernel, the per-block
+// solve of the blocked algorithm and the reference implementation.
+func trsmLowerUnblocked(side TrsmSide, trans bool, l, b *Matrix) {
+	n := l.Rows
 	switch {
 	case side == Left && !trans:
 		// Forward substitution, column-oriented over B.

@@ -1,0 +1,320 @@
+package linalg
+
+// Cache-blocked, register-tiled BLAS-3 kernels in the GotoBLAS/BLIS style:
+// operands are packed into contiguous panels drawn from the workspace pool,
+// and the innermost computation is an mr×nr register micro-kernel (native
+// AVX2+FMA on amd64, portable Go elsewhere) that amortizes every packed load
+// over nr (resp. mr) fused multiply-adds. This is the layer that plays the
+// role of the optimized vendor BLAS under Chameleon and HiCMA in the paper:
+// the tile kernels of every factorization route through it.
+//
+// Panel blocking parameters. kcBlk×nrReg and mrReg×kcBlk micro-panels stream
+// from L1; an mcBlk×kcBlk packed A block is meant to stay L2-resident while
+// the macro-kernel sweeps the packed B panels over it.
+const (
+	mrReg = 8   // micro-kernel rows (register tile height, two YMM vectors)
+	nrReg = 6   // micro-kernel cols (register tile width)
+	kcBlk = 256 // packed panel depth
+	mcBlk = 128 // packed A block rows
+	ncBlk = 504 // packed B block cols (multiple of nrReg)
+
+	// gemmNaiveCutoff routes tiny products (rank-k cores of the low-rank
+	// arithmetic, boundary slivers) to the unpacked kernel, whose constant
+	// factor is smaller than pack-and-micro-kernel below ~20³ flops.
+	gemmNaiveCutoff = 8192
+)
+
+// HasVectorKernels reports whether the packed kernels run on the native
+// vector micro-kernel (AVX2+FMA). When false, the public dispatchers keep
+// the historical unpacked loops, which beat packing overhead without vector
+// FMA underneath.
+func HasVectorKernels() bool { return hasVectorKernels }
+
+// gemmBlocked computes C += alpha·op(A)·op(B) for the already-validated,
+// beta-scaled destination: the five-loop packed algorithm. m, n, k are the
+// logical op() dimensions.
+func gemmBlocked(transA, transB bool, alpha float64, a, b *Matrix, c *Matrix, m, n, k int) {
+	apack := GetVec(mcBlk * kcBlk)
+	bpack := GetVec(kcBlk * ncBlk)
+	for jc := 0; jc < n; jc += ncBlk {
+		nc := min(ncBlk, n-jc)
+		for pc := 0; pc < k; pc += kcBlk {
+			kcc := min(kcBlk, k-pc)
+			packB(transB, b, bpack, pc, jc, kcc, nc)
+			for ic := 0; ic < m; ic += mcBlk {
+				mcc := min(mcBlk, m-ic)
+				packA(transA, a, apack, ic, pc, mcc, kcc)
+				for jr := 0; jr < nc; jr += nrReg {
+					cols := min(nrReg, nc-jr)
+					bp := bpack[jr*kcc:]
+					for ir := 0; ir < mcc; ir += mrReg {
+						rows := min(mrReg, mcc-ir)
+						microKernel(kcc, apack[ir*kcc:], bp, c, ic+ir, jc+jr, rows, cols, alpha)
+					}
+				}
+			}
+		}
+	}
+	PutVec(bpack)
+	PutVec(apack)
+}
+
+// packA packs the mcc×kcc block of op(A) at (ic,pc) into mrReg-row
+// micro-panels: dst[panel·(mrReg·kcc) + l·mrReg + i] = op(A)[ic+ip+i, pc+l].
+// Ragged bottom panels are zero-padded so the micro-kernel never branches on
+// the depth loop.
+func packA(transA bool, a *Matrix, dst []float64, ic, pc, mcc, kcc int) {
+	for ip := 0; ip < mcc; ip += mrReg {
+		rows := min(mrReg, mcc-ip)
+		panel := dst[ip*kcc : ip*kcc+mrReg*kcc]
+		if !transA {
+			if rows == mrReg {
+				for l := 0; l < kcc; l++ {
+					src := a.Col(pc + l)[ic+ip:]
+					copy(panel[l*mrReg:l*mrReg+mrReg], src[:mrReg])
+				}
+			} else {
+				for l := 0; l < kcc; l++ {
+					src := a.Col(pc + l)[ic+ip:]
+					o := l * mrReg
+					for i := 0; i < rows; i++ {
+						panel[o+i] = src[i]
+					}
+					for i := rows; i < mrReg; i++ {
+						panel[o+i] = 0
+					}
+				}
+			}
+		} else {
+			// op(A)[i,l] = A[l,i]: each micro-panel row i streams column
+			// ic+ip+i of A, stride 1 along l.
+			for i := 0; i < rows; i++ {
+				src := a.Col(ic + ip + i)[pc:]
+				for l := 0; l < kcc; l++ {
+					panel[l*mrReg+i] = src[l]
+				}
+			}
+			for i := rows; i < mrReg; i++ {
+				for l := 0; l < kcc; l++ {
+					panel[l*mrReg+i] = 0
+				}
+			}
+		}
+	}
+}
+
+// packB packs the kcc×nc block of op(B) at (pc,jc) into nrReg-column
+// micro-panels: dst[panel·(nrReg·kcc) + l·nrReg + j] = op(B)[pc+l, jc+jp+j],
+// zero-padding ragged right panels.
+func packB(transB bool, b *Matrix, dst []float64, pc, jc, kcc, nc int) {
+	for jp := 0; jp < nc; jp += nrReg {
+		cols := min(nrReg, nc-jp)
+		panel := dst[jp*kcc : jp*kcc+nrReg*kcc]
+		if !transB {
+			for j := 0; j < cols; j++ {
+				src := b.Col(jc + jp + j)[pc:]
+				for l := 0; l < kcc; l++ {
+					panel[l*nrReg+j] = src[l]
+				}
+			}
+			for j := cols; j < nrReg; j++ {
+				for l := 0; l < kcc; l++ {
+					panel[l*nrReg+j] = 0
+				}
+			}
+		} else {
+			// op(B)[l,j] = B[j,l]: row slice of B's column pc+l, stride 1
+			// along j.
+			for l := 0; l < kcc; l++ {
+				src := b.Col(pc + l)[jc+jp:]
+				o := l * nrReg
+				for j := 0; j < cols; j++ {
+					panel[o+j] = src[j]
+				}
+				for j := cols; j < nrReg; j++ {
+					panel[o+j] = 0
+				}
+			}
+		}
+	}
+}
+
+// microKernel computes the mrReg×nrReg register tile over the packed
+// micro-panels into stack scratch, then accumulates
+// C[i0:i0+rows, j0:j0+cols] += alpha·tile. rows/cols mask the write-back at
+// ragged edges (the packed operands are zero-padded there).
+func microKernel(kcc int, ap, bp []float64, c *Matrix, i0, j0, rows, cols int, alpha float64) {
+	var acc [mrReg * nrReg]float64
+	if hasVectorKernels {
+		microF64(kcc, ap, bp, &acc)
+	} else {
+		microF64Go(kcc, ap, bp, &acc)
+	}
+	if rows == mrReg {
+		for j := 0; j < cols; j++ {
+			cc := c.Col(j0 + j)[i0 : i0+mrReg]
+			t := acc[j*mrReg : j*mrReg+mrReg]
+			for i := 0; i < mrReg; i++ {
+				cc[i] += alpha * t[i]
+			}
+		}
+		return
+	}
+	for j := 0; j < cols; j++ {
+		cc := c.Col(j0 + j)[i0:]
+		t := acc[j*mrReg:]
+		for i := 0; i < rows; i++ {
+			cc[i] += alpha * t[i]
+		}
+	}
+}
+
+// microF64Go is the portable micro-kernel: same packed contract as the
+// native one, two-row register tiles to stay within scalar registers.
+func microF64Go(kcc int, ap, bp []float64, acc *[mrReg * nrReg]float64) {
+	for i := 0; i < mrReg; i += 2 {
+		var c00, c01, c02, c03, c04, c05 float64
+		var c10, c11, c12, c13, c14, c15 float64
+		for l := 0; l < kcc; l++ {
+			a0, a1 := ap[l*mrReg+i], ap[l*mrReg+i+1]
+			ob := l * nrReg
+			b0, b1, b2 := bp[ob], bp[ob+1], bp[ob+2]
+			b3, b4, b5 := bp[ob+3], bp[ob+4], bp[ob+5]
+			c00 += a0 * b0
+			c10 += a1 * b0
+			c01 += a0 * b1
+			c11 += a1 * b1
+			c02 += a0 * b2
+			c12 += a1 * b2
+			c03 += a0 * b3
+			c13 += a1 * b3
+			c04 += a0 * b4
+			c14 += a1 * b4
+			c05 += a0 * b5
+			c15 += a1 * b5
+		}
+		acc[0*mrReg+i], acc[0*mrReg+i+1] = c00, c10
+		acc[1*mrReg+i], acc[1*mrReg+i+1] = c01, c11
+		acc[2*mrReg+i], acc[2*mrReg+i+1] = c02, c12
+		acc[3*mrReg+i], acc[3*mrReg+i+1] = c03, c13
+		acc[4*mrReg+i], acc[4*mrReg+i+1] = c04, c14
+		acc[5*mrReg+i], acc[5*mrReg+i+1] = c05, c15
+	}
+}
+
+// syrkBlockSize partitions SYRK destinations: off-diagonal blocks go through
+// the full blocked GEMM, diagonal blocks through a scratch product.
+const syrkBlockSize = 64
+
+// syrkBlocked computes the lower triangle of C += alpha·op(A)·op(A)ᵀ for the
+// already beta-scaled destination, n the order of C and k the contraction
+// depth. Off-diagonal blocks are plain blocked GEMMs; a diagonal block is
+// formed fully into pooled scratch (its strict upper half is redundant work,
+// bounded by the block size) and its lower triangle accumulated.
+func syrkBlocked(trans bool, alpha float64, a *Matrix, c *Matrix, n, k int) {
+	opView := func(i0, rows int) *Matrix {
+		if trans {
+			return a.View(0, i0, k, rows)
+		}
+		return a.View(i0, 0, rows, k)
+	}
+	ta, tb := false, true // op(A_I)·op(A_J)ᵀ = A_I·A_Jᵀ
+	if trans {
+		ta, tb = true, false // … = A_Iᵀ·A_J
+	}
+	for jb := 0; jb < n; jb += syrkBlockSize {
+		jn := min(syrkBlockSize, n-jb)
+		aj := opView(jb, jn)
+		// Diagonal block: full product into scratch, fold in the triangle.
+		s := GetMat(jn, jn)
+		gemmAny(ta, tb, alpha, aj, aj, s, jn, jn, k, true)
+		cv := c.View(jb, jb, jn, jn)
+		for j := 0; j < jn; j++ {
+			sc, cc := s.Col(j), cv.Col(j)
+			for i := j; i < jn; i++ {
+				cc[i] += sc[i]
+			}
+		}
+		PutMat(s)
+		for ib := jb + jn; ib < n; ib += syrkBlockSize {
+			in := min(syrkBlockSize, n-ib)
+			gemmAny(ta, tb, alpha, opView(ib, in), aj, c.View(ib, jb, in, jn), in, jn, k, false)
+		}
+	}
+}
+
+// gemmAny routes a validated C += alpha·op(A)·op(B) (or = when zero is set)
+// to the packed or naive kernel by problem volume and kernel availability.
+func gemmAny(transA, transB bool, alpha float64, a, b, c *Matrix, m, n, k int, zero bool) {
+	if zero {
+		c.Zero()
+	}
+	if alpha == 0 || k == 0 || m == 0 || n == 0 {
+		return
+	}
+	if !hasVectorKernels || m*n*k <= gemmNaiveCutoff {
+		gemmNaive(transA, transB, alpha, a, b, c, m, n, k)
+		return
+	}
+	gemmBlocked(transA, transB, alpha, a, b, c, m, n, k)
+}
+
+// trsmBlockSize partitions blocked triangular solves; diagonal blocks run
+// the unblocked substitution, off-diagonal updates are blocked GEMMs.
+const trsmBlockSize = 32
+
+// trsmLowerBlocked solves the four lower-triangular variants blockwise,
+// right-looking: each diagonal block is an unblocked substitution, and the
+// bulk of the work — the trailing updates — becomes level-3 GEMM calls.
+func trsmLowerBlocked(side TrsmSide, trans bool, l, b *Matrix) {
+	n := l.Rows
+	nb := trsmBlockSize
+	switch {
+	case side == Left && !trans:
+		// L·X = B, forward: after solving block K, eliminate it from the
+		// rows below.
+		for kb := 0; kb < n; kb += nb {
+			kn := min(nb, n-kb)
+			xk := b.View(kb, 0, kn, b.Cols)
+			trsmLowerUnblocked(Left, false, l.View(kb, kb, kn, kn), xk)
+			if rem := n - kb - kn; rem > 0 {
+				gemmAny(false, false, -1, l.View(kb+kn, kb, rem, kn), xk,
+					b.View(kb+kn, 0, rem, b.Cols), rem, b.Cols, kn, false)
+			}
+		}
+	case side == Left && trans:
+		// Lᵀ·X = B, backward: block K depends on the blocks below it.
+		for kb := ((n - 1) / nb) * nb; kb >= 0; kb -= nb {
+			kn := min(nb, n-kb)
+			xk := b.View(kb, 0, kn, b.Cols)
+			if rem := n - kb - kn; rem > 0 {
+				gemmAny(true, false, -1, l.View(kb+kn, kb, rem, kn),
+					b.View(kb+kn, 0, rem, b.Cols), xk, kn, b.Cols, rem, false)
+			}
+			trsmLowerUnblocked(Left, true, l.View(kb, kb, kn, kn), xk)
+		}
+	case side == Right && !trans:
+		// X·L = B: block column J depends on the columns right of it.
+		for jb := ((n - 1) / nb) * nb; jb >= 0; jb -= nb {
+			jn := min(nb, n-jb)
+			xj := b.View(0, jb, b.Rows, jn)
+			if rem := n - jb - jn; rem > 0 {
+				gemmAny(false, false, -1, b.View(0, jb+jn, b.Rows, rem),
+					l.View(jb+jn, jb, rem, jn), xj, b.Rows, jn, rem, false)
+			}
+			trsmLowerUnblocked(Right, false, l.View(jb, jb, jn, jn), xj)
+		}
+	default: // side == Right && trans
+		// X·Lᵀ = B: block column J depends on the columns left of it;
+		// right-looking, eliminate X_J from the columns to its right.
+		for jb := 0; jb < n; jb += nb {
+			jn := min(nb, n-jb)
+			xj := b.View(0, jb, b.Rows, jn)
+			trsmLowerUnblocked(Right, true, l.View(jb, jb, jn, jn), xj)
+			if rem := n - jb - jn; rem > 0 {
+				gemmAny(false, true, -1, xj, l.View(jb+jn, jb, rem, jn),
+					b.View(0, jb+jn, b.Rows, rem), b.Rows, rem, jn, false)
+			}
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// gkReconstruct forms U·diag(s)·Vᵀ from a GolubReinschSVD result.
+func gkReconstruct(u *Matrix, s []float64, v *Matrix) *Matrix {
+	us := u.Clone()
+	for j := 0; j < us.Cols; j++ {
+		Scal(s[j], us.Col(j))
+	}
+	out := NewMatrix(u.Rows, v.Rows)
+	Gemm(false, true, 1, us, v, 0, out)
+	return out
+}
+
+// TestGolubReinschSVD pins the shifted-QR SVD against reconstruction,
+// orthogonality and the Jacobi singular values across shapes, including
+// rank-deficient and near-degenerate spectra.
+func TestGolubReinschSVD(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	shapes := []struct{ m, n int }{
+		{1, 1}, {4, 4}, {5, 3}, {17, 17}, {40, 40}, {64, 33}, {90, 48}, {128, 7},
+	}
+	for _, sh := range shapes {
+		a := NewMatrix(sh.m, sh.n)
+		for j := 0; j < sh.n; j++ {
+			col := a.Col(j)
+			scale := math.Pow(10, -6*float64(j)/float64(sh.n)) // decaying spectrum
+			for i := range col {
+				col[i] = scale * rng.NormFloat64()
+			}
+		}
+		u := a.Clone()
+		v := NewMatrix(sh.n, sh.n)
+		s := make([]float64, sh.n)
+		if !GolubReinschSVD(u, v, s) {
+			t.Fatalf("m=%d n=%d: did not converge", sh.m, sh.n)
+		}
+		norm := math.Max(a.FrobNorm(), 1e-300)
+		// Reconstruction.
+		if d := gkReconstruct(u, s, v).MaxAbsDiff(a) / norm; d > 1e-12 {
+			t.Errorf("m=%d n=%d: reconstruction error %g", sh.m, sh.n, d)
+		}
+		// Orthogonality of U and V.
+		for _, f := range []*Matrix{u, v} {
+			g := NewMatrix(f.Cols, f.Cols)
+			Gemm(true, false, 1, f, f, 0, g)
+			for j := 0; j < f.Cols; j++ {
+				g.Add(j, j, -1)
+			}
+			if d := g.FrobNorm(); d > 1e-12*float64(f.Cols) {
+				t.Errorf("m=%d n=%d: factor not orthonormal (dev %g)", sh.m, sh.n, d)
+			}
+		}
+		// Non-negative singular values matching Jacobi's (sorted).
+		ref := SVD(a)
+		got := append([]float64(nil), s...)
+		sortDesc(got)
+		for i := range got {
+			if got[i] < 0 {
+				t.Fatalf("negative singular value %g", got[i])
+			}
+			if math.Abs(got[i]-ref.S[i]) > 1e-10*math.Max(ref.S[0], 1e-300) {
+				t.Errorf("m=%d n=%d: s[%d]=%g, Jacobi %g", sh.m, sh.n, i, got[i], ref.S[i])
+			}
+		}
+	}
+	// Exact-zero and rank-one inputs.
+	z := NewMatrix(6, 4)
+	u := z.Clone()
+	v := NewMatrix(4, 4)
+	s := make([]float64, 4)
+	if !GolubReinschSVD(u, v, s) {
+		t.Fatal("zero matrix did not converge")
+	}
+	for _, si := range s {
+		if si != 0 {
+			t.Errorf("zero matrix singular value %g", si)
+		}
+	}
+	r1 := NewMatrix(8, 5)
+	for j := 0; j < 5; j++ {
+		for i := 0; i < 8; i++ {
+			r1.Set(i, j, float64(i+1)*float64(j+1))
+		}
+	}
+	u = r1.Clone()
+	v = NewMatrix(5, 5)
+	s = make([]float64, 5)
+	if !GolubReinschSVD(u, v, s) {
+		t.Fatal("rank-one matrix did not converge")
+	}
+	if d := gkReconstruct(u, s, v).MaxAbsDiff(r1); d > 1e-12*r1.FrobNorm() {
+		t.Errorf("rank-one reconstruction error %g", d)
+	}
+}
+
+func sortDesc(x []float64) {
+	for i := 1; i < len(x); i++ {
+		for j := i; j > 0 && x[j-1] < x[j]; j-- {
+			x[j-1], x[j] = x[j], x[j-1]
+		}
+	}
+}

@@ -1,0 +1,26 @@
+//go:build !amd64
+
+package linalg
+
+// Non-amd64 builds have no native micro-kernel: the packed blocked path
+// stays available through the portable Go micro-kernel (for tests and
+// callers that ask for it), but the public dispatchers keep routing to the
+// historical unpacked loops, which are faster than packing without vector
+// FMA underneath.
+var hasVectorKernels = false
+
+func microF64(k int, ap, bp []float64, c *[mrReg * nrReg]float64) {
+	microF64Go(k, ap, bp, c)
+}
+
+// MicroF32 exists only on platforms with native kernels; see
+// HasVectorKernels.
+func MicroF32(k int, ap, bp []float32, c *[96]float32) {
+	panic("linalg: MicroF32 without vector kernels")
+}
+
+// The level-1 vector kernels are never reached when hasVectorKernels is
+// false; the dispatchers fall back to the scalar loops first.
+func dotVec(x, y []float64) float64       { panic("linalg: no vector kernels") }
+func axpyVec(a float64, x, y []float64)   { panic("linalg: no vector kernels") }
+func rotVec(x, y []float64, c, s float64) { panic("linalg: no vector kernels") }

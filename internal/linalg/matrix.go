@@ -46,6 +46,10 @@ func (m *Matrix) Add(i, j int, v float64) { m.Data[i+j*m.Stride] += v }
 
 // Col returns column j as a length-Rows slice sharing the backing array.
 func (m *Matrix) Col(j int) []float64 {
+	if m.Rows == 0 {
+		// A 0×c matrix has Stride 1 but no storage behind it.
+		return nil
+	}
 	off := j * m.Stride
 	return m.Data[off : off+m.Rows]
 }

@@ -1,0 +1,130 @@
+package linalg
+
+import "sync"
+
+// The workspace pool recycles float64 scratch buffers across the hot kernel
+// paths: GEMM packing panels, low-rank recompression intermediates, QR tau
+// vectors, SVD work matrices. sync.Pool's per-P caches make this an
+// effectively per-worker workspace — a worker churning through factorization
+// or recompression tasks reuses its own buffers instead of allocating on
+// every task, which is what keeps the steady-state hot loops allocation-free.
+var pool sync.Pool // holds *[]float64 boxes with data
+
+// boxPool recycles the empty *[]float64 header boxes themselves, so the
+// Get/Put cycle allocates nothing at steady state (a bare
+// sync.Pool.Put(&v) would heap-allocate the box on every call).
+var boxPool = sync.Pool{New: func() any { return new([]float64) }}
+
+// GetVec returns a pooled float64 slice of length n with UNDEFINED contents;
+// the caller's first operation must fully overwrite it. Return it with
+// PutVec when no longer referenced.
+func GetVec(n int) []float64 {
+	var buf []float64
+	if p, _ := pool.Get().(*[]float64); p != nil {
+		buf = *p
+		*p = nil
+		boxPool.Put(p)
+	}
+	if cap(buf) < n {
+		// Round up so one long-lived buffer serves many nearby sizes.
+		buf = make([]float64, roundUpPow2(n))
+	}
+	return buf[:n]
+}
+
+// PutVec recycles a slice obtained from GetVec (or any slice whose backing
+// array the caller owns outright — never a view into shared storage).
+func PutVec(v []float64) {
+	if cap(v) == 0 {
+		return
+	}
+	p := boxPool.Get().(*[]float64)
+	*p = v[:cap(v)]
+	pool.Put(p)
+}
+
+// GetVecZero returns a pooled zeroed slice of length n.
+func GetVecZero(n int) []float64 {
+	v := GetVec(n)
+	for i := range v {
+		v[i] = 0
+	}
+	return v
+}
+
+// matHeaderPool recycles the *Matrix headers themselves so a pooled
+// Get/Put cycle is completely allocation-free.
+var matHeaderPool = sync.Pool{New: func() any { return new(Matrix) }}
+
+// GetMat returns a pooled r×c matrix whose contents are UNDEFINED: every
+// caller's first operation must fully overwrite it (a beta=0 Gemm does —
+// Gemm zeroes the destination first). Hand it back with PutMat once nothing
+// references it.
+func GetMat(r, c int) *Matrix {
+	m := matHeaderPool.Get().(*Matrix)
+	m.Rows, m.Cols, m.Stride, m.Data = r, c, max(r, 1), GetVec(r*c)
+	return m
+}
+
+// GetMatZero returns a pooled zeroed r×c matrix.
+func GetMatZero(r, c int) *Matrix {
+	m := matHeaderPool.Get().(*Matrix)
+	m.Rows, m.Cols, m.Stride, m.Data = r, c, max(r, 1), GetVecZero(r*c)
+	return m
+}
+
+// PutMat recycles a matrix obtained from GetMat/GetMatZero, or any compact
+// matrix (Stride == max(Rows,1)) whose backing slice the caller owns
+// outright. It must NEVER be called on a view into a larger allocation —
+// recycling a view's backing array while the parent is alive would hand the
+// same memory to two owners — and the caller must drop its pointer: the
+// header itself is recycled too. A nil matrix is ignored.
+func PutMat(m *Matrix) {
+	if m == nil {
+		return
+	}
+	PutVec(m.Data)
+	m.Data = nil
+	matHeaderPool.Put(m)
+}
+
+// intPool recycles []int index scratch (sort permutations of the small-core
+// SVDs), same box discipline as the float pool.
+var intPool sync.Pool
+
+var intBoxPool = sync.Pool{New: func() any { return new([]int) }}
+
+// GetInts returns a pooled int slice of length n with UNDEFINED contents.
+func GetInts(n int) []int {
+	var buf []int
+	if p, _ := intPool.Get().(*[]int); p != nil {
+		buf = *p
+		*p = nil
+		intBoxPool.Put(p)
+	}
+	if cap(buf) < n {
+		buf = make([]int, roundUpPow2(n))
+	}
+	return buf[:n]
+}
+
+// PutInts recycles a slice obtained from GetInts.
+func PutInts(v []int) {
+	if cap(v) == 0 {
+		return
+	}
+	p := intBoxPool.Get().(*[]int)
+	*p = v[:cap(v)]
+	intPool.Put(p)
+}
+
+func roundUpPow2(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}

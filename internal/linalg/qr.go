@@ -13,10 +13,20 @@ type QRFactor struct {
 // QR computes the Householder QR factorization of a (m×n, m ≥ n is typical
 // but not required). The input is not modified.
 func QR(a *Matrix) *QRFactor {
+	f := QRInPlace(a.Clone(), make([]float64, min(a.Rows, a.Cols)))
+	return &f
+}
+
+// QRInPlace factors a in place: the returned factor's QR field aliases a and
+// Tau aliases tau (length min(m,n)). It is returned by value so the
+// allocation-free recompression hot path keeps it on the stack.
+func QRInPlace(a *Matrix, tau []float64) QRFactor {
 	m, n := a.Rows, a.Cols
-	qr := a.Clone()
+	qr := a
 	k := min(m, n)
-	tau := make([]float64, k)
+	if len(tau) != k {
+		panic("linalg: QRInPlace tau length mismatch")
+	}
 	for j := 0; j < k; j++ {
 		col := qr.Col(j)
 		// Build the Householder reflector annihilating col[j+1:].
@@ -34,35 +44,41 @@ func QR(a *Matrix) *QRFactor {
 		}
 		col[j] = beta
 		// Apply H = I − tau·v·vᵀ to the trailing columns.
+		v := col[j+1 : m]
 		for c := j + 1; c < n; c++ {
 			cc := qr.Col(c)
-			s := cc[j]
-			for i := j + 1; i < m; i++ {
-				s += col[i] * cc[i]
-			}
-			s *= tau[j]
+			s := (cc[j] + Dot(v, cc[j+1:m])) * tau[j]
 			cc[j] -= s
-			for i := j + 1; i < m; i++ {
-				cc[i] -= s * col[i]
-			}
+			Axpy(-s, v, cc[j+1:m])
 		}
 	}
-	return &QRFactor{QR: qr, Tau: tau}
+	return QRFactor{QR: qr, Tau: tau}
 }
 
 // R returns the k×n upper-triangular factor, k = min(m,n).
 func (f *QRFactor) R() *Matrix {
+	r := NewMatrix(min(f.QR.Rows, f.QR.Cols), f.QR.Cols)
+	f.RInto(r)
+	return r
+}
+
+// RInto writes the k×n upper-triangular factor into r (k×n, k = min(m,n)),
+// zeroing its lower part.
+func (f *QRFactor) RInto(r *Matrix) {
 	m, n := f.QR.Rows, f.QR.Cols
 	k := min(m, n)
-	r := NewMatrix(k, n)
+	if r.Rows != k || r.Cols != n {
+		panic("linalg: RInto shape mismatch")
+	}
 	for j := 0; j < n; j++ {
 		src := f.QR.Col(j)
 		dst := r.Col(j)
-		for i := 0; i <= min(j, k-1); i++ {
-			dst[i] = src[i]
+		top := min(j+1, k)
+		copy(dst[:top], src[:top])
+		for i := top; i < k; i++ {
+			dst[i] = 0
 		}
 	}
-	return r
 }
 
 // ApplyQ returns Q·[X; 0] for a k×c matrix X (k = min(m,n)): X is padded
@@ -71,43 +87,61 @@ func (f *QRFactor) R() *Matrix {
 // the thin Q (cost 2·m·k·c instead of 2·m·k² + a GEMM), used by the TLR
 // recompression kernel.
 func (f *QRFactor) ApplyQ(x *Matrix) *Matrix {
+	out := NewMatrix(f.QR.Rows, x.Cols)
+	f.ApplyQInto(x, out)
+	return out
+}
+
+// ApplyQInto writes Q·[X; 0] into out (m×cols), the allocation-free form of
+// ApplyQ. out must not alias x.
+func (f *QRFactor) ApplyQInto(x, out *Matrix) {
 	m, n := f.QR.Rows, f.QR.Cols
 	k := min(m, n)
 	if x.Rows != k {
 		panic("linalg: ApplyQ needs k rows")
 	}
-	out := NewMatrix(m, x.Cols)
+	if out.Rows != m || out.Cols != x.Cols {
+		panic("linalg: ApplyQInto shape mismatch")
+	}
 	for j := 0; j < x.Cols; j++ {
-		copy(out.Col(j)[:k], x.Col(j))
+		oc := out.Col(j)
+		copy(oc[:k], x.Col(j))
+		for i := k; i < m; i++ {
+			oc[i] = 0
+		}
 	}
 	for j := k - 1; j >= 0; j-- {
 		tau := f.Tau[j]
 		if tau == 0 {
 			continue
 		}
-		v := f.QR.Col(j)
+		v := f.QR.Col(j)[j+1 : m]
 		for c := 0; c < x.Cols; c++ {
 			cc := out.Col(c)
-			s := cc[j]
-			for i := j + 1; i < m; i++ {
-				s += v[i] * cc[i]
-			}
-			s *= tau
+			s := (cc[j] + Dot(v, cc[j+1:m])) * tau
 			cc[j] -= s
-			for i := j + 1; i < m; i++ {
-				cc[i] -= s * v[i]
-			}
+			Axpy(-s, v, cc[j+1:m])
 		}
 	}
-	return out
 }
 
 // ThinQ returns the m×k orthonormal factor, k = min(m,n), by accumulating
 // the Householder reflectors against the identity.
 func (f *QRFactor) ThinQ() *Matrix {
+	q := NewMatrix(f.QR.Rows, min(f.QR.Rows, f.QR.Cols))
+	f.ThinQInto(q)
+	return q
+}
+
+// ThinQInto writes the m×k orthonormal factor into q, the allocation-free
+// form of ThinQ.
+func (f *QRFactor) ThinQInto(q *Matrix) {
 	m, n := f.QR.Rows, f.QR.Cols
 	k := min(m, n)
-	q := NewMatrix(m, k)
+	if q.Rows != m || q.Cols != k {
+		panic("linalg: ThinQInto shape mismatch")
+	}
+	q.Zero()
 	for j := 0; j < k; j++ {
 		q.Set(j, j, 1)
 	}
@@ -116,19 +150,12 @@ func (f *QRFactor) ThinQ() *Matrix {
 		if f.Tau[j] == 0 {
 			continue
 		}
-		v := f.QR.Col(j)
+		v := f.QR.Col(j)[j+1 : m]
 		for c := 0; c < k; c++ {
 			cc := q.Col(c)
-			s := cc[j]
-			for i := j + 1; i < m; i++ {
-				s += v[i] * cc[i]
-			}
-			s *= f.Tau[j]
+			s := (cc[j] + Dot(v, cc[j+1:m])) * f.Tau[j]
 			cc[j] -= s
-			for i := j + 1; i < m; i++ {
-				cc[i] -= s * v[i]
-			}
+			Axpy(-s, v, cc[j+1:m])
 		}
 	}
-	return q
 }

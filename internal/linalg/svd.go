@@ -25,19 +25,77 @@ func SVD(a *Matrix) *SVDResult {
 		r := SVD(a.Transpose())
 		return &SVDResult{U: r.V, S: r.S, V: r.U}
 	}
-	// One-sided Jacobi: orthogonalize the columns of W = A·V by plane
-	// rotations accumulated into V.
-	w := a.Clone()
-	v := Eye(n)
+	w := GetMat(m, n)
+	w.CopyFrom(a)
+	v := GetMatZero(n, n)
+	for i := 0; i < n; i++ {
+		v.Set(i, i, 1)
+	}
+	s := GetVec(n)
+	JacobiSVDInPlace(w, v, s)
+	// Normalize the columns of W into U and sort by decreasing singular
+	// value.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return s[idx[a]] > s[idx[b]] })
+	us, vs, ss := NewMatrix(m, n), NewMatrix(n, n), make([]float64, n)
+	for k, j := range idx {
+		uc, wc := us.Col(k), w.Col(j)
+		if s[j] > 0 {
+			inv := 1 / s[j]
+			for i := range wc {
+				uc[i] = wc[i] * inv
+			}
+		}
+		copy(vs.Col(k), v.Col(j))
+		ss[k] = s[j]
+	}
+	PutVec(s)
+	PutMat(v)
+	PutMat(w)
+	return &SVDResult{U: us, S: ss, V: vs}
+}
+
+// JacobiSVDInPlace computes a thin SVD of w in place by one-sided Jacobi
+// (Hestenes) plane rotations: on return the columns of w are U·diag(s)
+// (unsorted — column j has norm s[j]), v has accumulated the rotations (it
+// must be the identity on entry; it exits as the right singular vectors),
+// and s (length w.Cols) holds the singular values. This is the
+// allocation-free core behind SVD and the low-rank recompression path.
+func JacobiSVDInPlace(w, v *Matrix, s []float64) {
+	JacobiSVDTol(w, v, s, 1e-14)
+}
+
+// JacobiSVDTol is JacobiSVDInPlace with an explicit convergence threshold on
+// the largest pairwise column cosine (floored at 1e-14). Looser thresholds
+// save sweeps when the factorization only needs the spectrum for a
+// truncation decision: the product W·Vᵀ is exactly preserved by every
+// rotation, so an early stop only blurs the singular-value estimates by
+// ~offTol, never the reconstruction.
+func JacobiSVDTol(w, v *Matrix, s []float64, offTol float64) {
+	if offTol < 1e-14 {
+		offTol = 1e-14
+	}
+	n := w.Cols
 	const eps = 1e-15
+	// Column square norms are the diagonal of the Gram matrix; caching them
+	// per sweep (with the standard 2×2 eigenvalue update α−tγ / β+tγ after
+	// each rotation) removes two of the three inner products per pair. The
+	// refresh at each sweep stops the update recurrences from drifting.
+	nrm := GetVec(n)
 	for sweep := 0; sweep < 60; sweep++ {
 		off := 0.0
+		for j := 0; j < n; j++ {
+			wc := w.Col(j)
+			nrm[j] = Dot(wc, wc)
+		}
 		for p := 0; p < n-1; p++ {
 			wp := w.Col(p)
 			for q := p + 1; q < n; q++ {
 				wq := w.Col(q)
-				alpha := Dot(wp, wp)
-				beta := Dot(wq, wq)
+				alpha, beta := nrm[p], nrm[q]
 				gamma := Dot(wp, wq)
 				if gamma == 0 {
 					continue
@@ -51,44 +109,28 @@ func SVD(a *Matrix) *SVDResult {
 				zeta := (beta - alpha) / (2 * gamma)
 				t := math.Copysign(1/(math.Abs(zeta)+math.Sqrt(1+zeta*zeta)), zeta)
 				c := 1 / math.Sqrt(1+t*t)
-				s := c * t
-				rotate(wp, wq, c, s)
-				rotate(v.Col(p), v.Col(q), c, s)
+				sn := c * t
+				rotate(wp, wq, c, sn)
+				rotate(v.Col(p), v.Col(q), c, sn)
+				nrm[p] = alpha - t*gamma
+				nrm[q] = beta + t*gamma
 			}
 		}
-		if off < 1e-14 {
+		if off < offTol {
 			break
 		}
 	}
-	// Column norms of W are the singular values; normalized columns are U.
-	s := make([]float64, n)
-	u := NewMatrix(m, n)
+	PutVec(nrm)
 	for j := 0; j < n; j++ {
 		s[j] = Nrm2(w.Col(j))
-		uc, wc := u.Col(j), w.Col(j)
-		if s[j] > 0 {
-			inv := 1 / s[j]
-			for i := range wc {
-				uc[i] = wc[i] * inv
-			}
-		}
 	}
-	// Sort by decreasing singular value.
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.Slice(idx, func(a, b int) bool { return s[idx[a]] > s[idx[b]] })
-	us, vs, ss := NewMatrix(m, n), NewMatrix(n, n), make([]float64, n)
-	for k, j := range idx {
-		copy(us.Col(k), u.Col(j))
-		copy(vs.Col(k), v.Col(j))
-		ss[k] = s[j]
-	}
-	return &SVDResult{U: us, S: ss, V: vs}
 }
 
 func rotate(x, y []float64, c, s float64) {
+	if hasVectorKernels && len(x) >= vecMinLen {
+		rotVec(x, y, c, s)
+		return
+	}
 	for i := range x {
 		xi, yi := x[i], y[i]
 		x[i] = c*xi - s*yi

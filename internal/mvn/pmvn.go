@@ -286,9 +286,21 @@ func pmvnScaled(rt taskrt.Submitter, f Factor, a, b []float64, gen qmc.Generator
 // writing the conditioning values into the Y tile. The A and B tiles
 // already contain the limits minus all inter-tile contributions; intra-tile
 // contributions are accumulated through the lower triangle of lkk.
+//
+// The intra-tile recurrence needs row i of the column-major lkk at every
+// chain step — a stride-m walk. The rows are packed once per kernel
+// invocation into row-major pooled scratch (O(m²) work amortized over the
+// tile's chains), making the inner dot product stride-1 on both operands.
 func qmcKernel(lkk, rTile, aTile, bTile, yTile *linalg.Matrix, p []float64) {
 	m := lkk.Rows
 	mc := aTile.Cols
+	rows := linalg.GetVec(m * m)
+	for i := 0; i < m; i++ {
+		ri := rows[i*m : i*m+i+1]
+		for t := 0; t <= i; t++ {
+			ri[t] = lkk.At(i, t)
+		}
+	}
 	for j := 0; j < mc; j++ {
 		yCol := yTile.Col(j)
 		aCol := aTile.Col(j)
@@ -303,15 +315,14 @@ func qmcKernel(lkk, rTile, aTile, bTile, yTile *linalg.Matrix, p []float64) {
 				}
 				break
 			}
-			acc := 0.0
-			for t := 0; t < i; t++ {
-				acc += lkk.At(i, t) * yCol[t]
-			}
-			d := lkk.At(i, i)
+			ri := rows[i*m : i*m+i+1]
+			acc := linalg.Dot(ri[:i], yCol[:i])
+			d := ri[i]
 			factor, yi := chainStep(shiftLimit(aCol[i], acc, d), shiftLimit(bCol[i], acc, d), rCol[i])
 			pj *= factor
 			yCol[i] = yi
 		}
 		p[j] = pj
 	}
+	linalg.PutVec(rows)
 }

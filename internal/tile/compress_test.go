@@ -1,0 +1,225 @@
+package tile
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+// lowRankPlusNoise builds an m×n matrix with numerical rank ~r at scale eps.
+func lowRankPlusNoise(m, n, r int, eps float64, rng *rand.Rand) *linalg.Matrix {
+	u := linalg.NewMatrix(m, r)
+	v := linalg.NewMatrix(n, r)
+	for i := range u.Data {
+		u.Data[i] = rng.NormFloat64()
+	}
+	for i := range v.Data {
+		v.Data[i] = rng.NormFloat64()
+	}
+	a := linalg.NewMatrix(m, n)
+	linalg.Gemm(false, true, 1, u, v, 0, a)
+	for i := range a.Data {
+		a.Data[i] += eps * rng.NormFloat64()
+	}
+	return a
+}
+
+// TestCompressRandomizedAccuracy pins the randomized compressor's accuracy
+// contract — ‖A − UVᵀ‖_F ≤ O(tol)·‖A‖_F — across shapes (tall, wide,
+// square), tolerances and rank caps, against the plain dense product.
+func TestCompressRandomizedAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	shapes := []struct{ m, n int }{{48, 48}, {90, 48}, {48, 90}, {33, 65}, {7, 100}}
+	for _, sh := range shapes {
+		for _, tol := range []float64{1e-3, 1e-6, 1e-10} {
+			a := lowRankPlusNoise(sh.m, sh.n, 9, tol/50, rng)
+			lr := Compress(a, tol, 0)
+			d := lr.Dense()
+			err := 0.0
+			for j := 0; j < a.Cols; j++ {
+				ac, dc := a.Col(j), d.Col(j)
+				for i := range ac {
+					e := ac[i] - dc[i]
+					err += e * e
+				}
+			}
+			rel := math.Sqrt(err) / a.FrobNorm()
+			if rel > 3*tol {
+				t.Errorf("m=%d n=%d tol=%g: relative error %g", sh.m, sh.n, tol, rel)
+			}
+			if lr.Rank() > 20 {
+				t.Errorf("m=%d n=%d tol=%g: rank %d for a ~rank-9 matrix", sh.m, sh.n, tol, lr.Rank())
+			}
+		}
+	}
+}
+
+// TestCompressMatchesFullSVDRank checks the randomized truncation picks the
+// same rank as the full Jacobi SVD reference on clean low-rank inputs, and
+// that the rank cap binds.
+func TestCompressMatchesFullSVDRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := lowRankPlusNoise(60, 44, 12, 1e-9, rng)
+	res := linalg.SVD(a)
+	want := linalg.TruncationRank(res.S, 1e-4)
+	got := Compress(a, 1e-4, 0).Rank()
+	if got != want {
+		t.Errorf("rank %d, full-SVD reference %d", got, want)
+	}
+	if r := Compress(a, 1e-4, 5).Rank(); r != 5 {
+		t.Errorf("rank cap 5 not binding: got %d", r)
+	}
+}
+
+// TestCompressEdgeCases: empty, zero and tiny tiles.
+func TestCompressEdgeCases(t *testing.T) {
+	if r := Compress(linalg.NewMatrix(0, 5), 1e-4, 0).Rank(); r != 0 {
+		t.Errorf("empty tile rank %d", r)
+	}
+	if r := Compress(linalg.NewMatrix(10, 8), 1e-4, 0).Rank(); r != 0 {
+		t.Errorf("zero tile rank %d", r)
+	}
+	one := linalg.NewMatrix(1, 1)
+	one.Set(0, 0, 3)
+	lr := Compress(one, 1e-6, 0)
+	if lr.Rank() != 1 || math.Abs(lr.Dense().At(0, 0)-3) > 1e-12 {
+		t.Errorf("1x1 tile mishandled: rank %d", lr.Rank())
+	}
+}
+
+// TestCompressDeterministic pins run-to-run determinism (the sketch stream
+// is keyed by shape only), which the worker-count determinism of the
+// adaptive engine relies on.
+func TestCompressDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := lowRankPlusNoise(50, 40, 8, 1e-8, rng)
+	l1 := Compress(a, 1e-5, 0)
+	l2 := Compress(a, 1e-5, 0)
+	if l1.Rank() != l2.Rank() {
+		t.Fatalf("ranks differ: %d vs %d", l1.Rank(), l2.Rank())
+	}
+	if l1.Rank() > 0 {
+		if d := l1.U.MaxAbsDiff(l2.U); d != 0 {
+			t.Errorf("U differs by %g between runs", d)
+		}
+		if d := l1.V.MaxAbsDiff(l2.V); d != 0 {
+			t.Errorf("V differs by %g between runs", d)
+		}
+	}
+}
+
+// TestCompressACAConvergenceFlag pins the budget-exhaustion signal the TLR
+// assembly fallback relies on.
+func TestCompressACAConvergenceFlag(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	// Numerically full-rank tile with a budget far below its rank.
+	full := linalg.NewMatrix(32, 32)
+	for i := range full.Data {
+		full.Data[i] = rng.NormFloat64()
+	}
+	if _, ok := CompressACAConv(32, 32, full.At, 1e-8, 8); ok {
+		t.Error("full-rank tile reported converged within rank budget 8")
+	}
+	// Clean low-rank tile converges within budget.
+	lo := lowRankPlusNoise(32, 32, 4, 1e-12, rng)
+	lt, ok := CompressACAConv(32, 32, lo.At, 1e-6, 16)
+	if !ok {
+		t.Error("rank-4 tile did not converge within budget 16")
+	}
+	d := lt.Dense()
+	if diff := d.MaxAbsDiff(lo); diff > 1e-4*lo.FrobNorm() {
+		t.Errorf("ACA reconstruction error %g", diff)
+	}
+}
+
+// TestGemm32BlockedMatchesNaive pins the packed float32 kernel against the
+// unpacked loops for both transB variants across ragged sizes. The blocked
+// kernel reassociates sums, so agreement is to f32 roundoff.
+func TestGemm32BlockedMatchesNaive(t *testing.T) {
+	if !linalg.HasVectorKernels() {
+		t.Skip("no vector kernels on this platform")
+	}
+	rng := rand.New(rand.NewSource(11))
+	for _, sz := range []struct{ m, n, k int }{{48, 48, 48}, {65, 30, 17}, {16, 96, 40}, {33, 33, 257}} {
+		for _, transB := range []bool{false, true} {
+			mk := func(r, c int) *Matrix32 {
+				x := NewMatrix32(r, c)
+				for i := range x.Data {
+					x.Data[i] = float32(rng.NormFloat64())
+				}
+				return x
+			}
+			a := mk(sz.m, sz.k)
+			var b *Matrix32
+			if transB {
+				b = mk(sz.n, sz.k)
+			} else {
+				b = mk(sz.k, sz.n)
+			}
+			want := mk(sz.m, sz.n)
+			got := NewMatrix32(sz.m, sz.n)
+			copy(got.Data, want.Data)
+			gemm32Naive(transB, -1, a, b, want)
+			gemm32Blocked(transB, -1, a, b, got, sz.m, sz.n, sz.k)
+			for i := range want.Data {
+				diff := float64(want.Data[i] - got.Data[i])
+				if math.Abs(diff) > 1e-3*float64(sz.k) {
+					t.Fatalf("m=%d n=%d k=%d transB=%v: idx %d diff %g", sz.m, sz.n, sz.k, transB, i, diff)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkKernelsLowRankUpdate measures the steady-state low-rank update
+// (AddLowRank: concat + QR + small SVD + truncate) — the recompression hot
+// loop of the TLR/adaptive factorization — with allocation reporting. The
+// pre-PR3 implementation allocated ~30 objects per update; the pooled
+// workspace path reports (near) zero.
+func BenchmarkKernelsLowRankUpdate(b *testing.B) {
+	rng := rand.New(rand.NewSource(12))
+	m, k1, k2 := 90, 17, 17
+	base := Compress(lowRankPlusNoise(m, m, k1, 1e-9, rng), 1e-6, 0)
+	u2 := linalg.NewMatrix(m, k2)
+	v2 := linalg.NewMatrix(m, k2)
+	for i := range u2.Data {
+		u2.Data[i] = 1e-3 * rng.NormFloat64()
+		v2.Data[i] = 1e-3 * rng.NormFloat64()
+	}
+	t := base.Clone()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.AddLowRank(-1, u2, v2, 1e-6, 0)
+		if t.Rank() == 0 {
+			b.Fatal("tile collapsed")
+		}
+	}
+}
+
+// BenchmarkKernelsCompress measures the randomized compressor against the
+// full Jacobi SVD on a covariance-like tile.
+func BenchmarkKernelsCompress(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	a := lowRankPlusNoise(96, 96, 14, 1e-8, rng)
+	for _, cap := range []int{0, 24} {
+		b.Run(fmt.Sprintf("randomized/cap=%d", cap), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				lr := Compress(a, 1e-4, cap)
+				linalg.PutMat(lr.U)
+				linalg.PutMat(lr.V)
+			}
+		})
+	}
+	b.Run("fullJacobiSVD", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res := linalg.SVD(a)
+			_ = res.S[0]
+		}
+	})
+}

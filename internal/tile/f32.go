@@ -55,12 +55,31 @@ func (m *Matrix32) ToDouble() *linalg.Matrix {
 }
 
 // Gemm32 computes C += alpha·A·Bᵀ (transB=true) or C += alpha·A·B in
-// float32; the only variants the Cholesky update needs.
+// float32; the only variants the Cholesky update needs. Large products run
+// through the packed 16×6 vector micro-kernel when the platform has one.
 func Gemm32(transB bool, alpha float32, a, b, c *Matrix32) {
 	if !transB {
 		if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
 			panic("tile: Gemm32 shape mismatch")
 		}
+	} else if a.Cols != b.Cols || c.Rows != a.Rows || c.Cols != b.Rows {
+		panic("tile: Gemm32 shape mismatch")
+	}
+	m, n, k := c.Rows, c.Cols, a.Cols
+	if alpha == 0 || k == 0 || m == 0 || n == 0 {
+		return
+	}
+	if linalg.HasVectorKernels() && m*n*k > 8192 {
+		gemm32Blocked(transB, alpha, a, b, c, m, n, k)
+		return
+	}
+	gemm32Naive(transB, alpha, a, b, c)
+}
+
+// gemm32Naive is the historical unpacked float32 kernel, the reference for
+// the blocked path and the small-product fast path.
+func gemm32Naive(transB bool, alpha float32, a, b, c *Matrix32) {
+	if !transB {
 		for j := 0; j < c.Cols; j++ {
 			cc, bc := c.Col(j), b.Col(j)
 			for l := 0; l < a.Cols; l++ {
@@ -76,9 +95,6 @@ func Gemm32(transB bool, alpha float32, a, b, c *Matrix32) {
 		}
 		return
 	}
-	if a.Cols != b.Cols || c.Rows != a.Rows || c.Cols != b.Rows {
-		panic("tile: Gemm32 shape mismatch")
-	}
 	for l := 0; l < a.Cols; l++ {
 		ac, bc := a.Col(l), b.Col(l)
 		for j := 0; j < c.Cols; j++ {
@@ -89,6 +105,104 @@ func Gemm32(transB bool, alpha float32, a, b, c *Matrix32) {
 			cc := c.Col(j)
 			for i := range cc {
 				cc[i] += v * ac[i]
+			}
+		}
+	}
+}
+
+// f32 packed-panel blocking; the micro-tile is 16×6 (two 8-float YMM rows).
+const (
+	mr32 = 16
+	nr32 = 6
+	kc32 = 256
+	mc32 = 128
+	nc32 = 504
+)
+
+// gemm32Blocked is the packed single-precision driver: identical structure
+// to the float64 path in linalg (pack op(B) and A panels from pooled
+// buffers, run the register micro-kernel, mask ragged edges on write-back).
+func gemm32Blocked(transB bool, alpha float32, a, b, c *Matrix32, m, n, k int) {
+	apack := getVec32(mc32 * kc32)
+	bpack := getVec32(kc32 * nc32)
+	for jc := 0; jc < n; jc += nc32 {
+		nc := min(nc32, n-jc)
+		for pc := 0; pc < k; pc += kc32 {
+			kcc := min(kc32, k-pc)
+			packB32(transB, b, bpack, pc, jc, kcc, nc)
+			for ic := 0; ic < m; ic += mc32 {
+				mcc := min(mc32, m-ic)
+				packA32(a, apack, ic, pc, mcc, kcc)
+				for jr := 0; jr < nc; jr += nr32 {
+					cols := min(nr32, nc-jr)
+					bp := bpack[jr*kcc:]
+					for ir := 0; ir < mcc; ir += mr32 {
+						rows := min(mr32, mcc-ir)
+						var acc [mr32 * nr32]float32
+						linalg.MicroF32(kcc, apack[ir*kcc:], bp, &acc)
+						for j := 0; j < cols; j++ {
+							cc := c.Col(jc + jr + j)[ic+ir:]
+							t := acc[j*mr32:]
+							for i := 0; i < rows; i++ {
+								cc[i] += alpha * t[i]
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	putVec32(bpack)
+	putVec32(apack)
+}
+
+// packA32 packs the mcc×kcc block of A at (ic,pc) into mr32-row
+// micro-panels, zero-padding ragged bottom panels.
+func packA32(a *Matrix32, dst []float32, ic, pc, mcc, kcc int) {
+	for ip := 0; ip < mcc; ip += mr32 {
+		rows := min(mr32, mcc-ip)
+		panel := dst[ip*kcc : ip*kcc+mr32*kcc]
+		for l := 0; l < kcc; l++ {
+			src := a.Col(pc + l)[ic+ip:]
+			o := l * mr32
+			for i := 0; i < rows; i++ {
+				panel[o+i] = src[i]
+			}
+			for i := rows; i < mr32; i++ {
+				panel[o+i] = 0
+			}
+		}
+	}
+}
+
+// packB32 packs the kcc×nc block of op(B) at (pc,jc) into nr32-column
+// micro-panels, zero-padding ragged right panels.
+func packB32(transB bool, b *Matrix32, dst []float32, pc, jc, kcc, nc int) {
+	for jp := 0; jp < nc; jp += nr32 {
+		cols := min(nr32, nc-jp)
+		panel := dst[jp*kcc : jp*kcc+nr32*kcc]
+		if !transB {
+			for j := 0; j < cols; j++ {
+				src := b.Col(jc + jp + j)[pc:]
+				for l := 0; l < kcc; l++ {
+					panel[l*nr32+j] = src[l]
+				}
+			}
+			for j := cols; j < nr32; j++ {
+				for l := 0; l < kcc; l++ {
+					panel[l*nr32+j] = 0
+				}
+			}
+		} else {
+			for l := 0; l < kcc; l++ {
+				src := b.Col(pc + l)[jc+jp:]
+				o := l * nr32
+				for j := 0; j < cols; j++ {
+					panel[o+j] = src[j]
+				}
+				for j := cols; j < nr32; j++ {
+					panel[o+j] = 0
+				}
 			}
 		}
 	}

@@ -1,9 +1,15 @@
 package tile
 
-import "repro/internal/linalg"
+import (
+	"math"
+
+	"repro/internal/linalg"
+)
 
 // LowRank is a low-rank tile A ≈ U·Vᵀ with U m×k and V n×k (HiCMA-style).
-// A zero-rank tile (k = 0) represents an exactly-zero block.
+// A zero-rank tile (k = 0) represents an exactly-zero block. U and V may
+// live on the linalg workspace pool: a tile owns its factors outright and
+// recycles them when recompression replaces them.
 type LowRank struct {
 	U, V *linalg.Matrix
 	M, N int // logical tile shape
@@ -35,84 +41,192 @@ func (t *LowRank) Clone() *LowRank {
 	return c
 }
 
-// Compress builds a low-rank tile from a dense block by truncated SVD,
-// keeping the smallest rank whose tail satisfies ‖tail‖_F ≤ tol·‖A‖_F,
-// capped at maxRank (0 means no cap). The singular values are folded into U.
-func Compress(a *linalg.Matrix, tol float64, maxRank int) *LowRank {
-	res := linalg.SVD(a)
-	k := linalg.TruncationRank(res.S, tol)
-	if res.S[0] == 0 {
-		k = 0
-	}
-	if maxRank > 0 && k > maxRank {
-		k = maxRank
-	}
-	t := &LowRank{M: a.Rows, N: a.Cols}
-	if k == 0 {
-		return t
-	}
-	t.U = linalg.NewMatrix(a.Rows, k)
-	t.V = linalg.NewMatrix(a.Cols, k)
-	for j := 0; j < k; j++ {
-		copy(t.U.Col(j), res.U.Col(j))
-		linalg.Scal(res.S[j], t.U.Col(j))
-		copy(t.V.Col(j), res.V.Col(j))
-	}
-	return t
-}
-
 // AddLowRank appends a second low-rank term αU₂V₂ᵀ to the tile
 // (A ← U₁V₁ᵀ + α·U₂V₂ᵀ) by concatenating factors and recompressing to tol
-// (capped at maxRank, 0 = uncapped) via the standard QR+SVD rounding.
+// (capped at maxRank, 0 = uncapped) via the standard QR+SVD rounding. The
+// tile's previous factors are recycled onto the workspace pool, so the
+// factorization's recompression loop is allocation-free at steady state.
+//
+// Updates that fall below the rounding floor are dropped without touching
+// the factors: rounding at tol would truncate them anyway, and the skip
+// test costs O(k·(m+n)) against RoundLR's O(k²·(m+n) + k³). The test uses
+// the invariant RoundLR establishes — U's columns are orthogonal (the
+// singular values folded in) and V's orthonormal — so ‖A‖_F is exactly the
+// norm of U's column norms, while the update norm is bounded by the
+// triangle inequality over its rank-1 terms. The safety factor keeps the
+// sum of all drops across a factorization step sequence under tol.
 func (t *LowRank) AddLowRank(alpha float64, u2, v2 *linalg.Matrix, tol float64, maxRank int) {
 	k1, k2 := t.Rank(), u2.Cols
 	if k2 == 0 {
 		return
 	}
+	if k1 > 0 && tol > 0 {
+		upd := 0.0
+		for j := 0; j < k2; j++ {
+			upd += linalg.Nrm2(u2.Col(j)) * linalg.Nrm2(v2.Col(j))
+		}
+		cur := 0.0
+		for j := 0; j < k1; j++ {
+			n := linalg.Nrm2(t.U.Col(j))
+			cur += n * n
+		}
+		if math.Abs(alpha)*upd <= 0.05*tol*math.Sqrt(cur) {
+			return
+		}
+	}
 	ku := k1 + k2
-	bigU := linalg.NewMatrix(t.M, ku)
-	bigV := linalg.NewMatrix(t.N, ku)
+	bigU := linalg.GetMat(t.M, ku)
+	bigV := linalg.GetMat(t.N, ku)
 	for j := 0; j < k1; j++ {
 		copy(bigU.Col(j), t.U.Col(j))
 		copy(bigV.Col(j), t.V.Col(j))
 	}
 	for j := 0; j < k2; j++ {
-		copy(bigU.Col(k1+j), u2.Col(j))
-		linalg.Scal(alpha, bigU.Col(k1+j))
+		uc := bigU.Col(k1 + j)
+		copy(uc, u2.Col(j))
+		linalg.Scal(alpha, uc)
 		copy(bigV.Col(k1+j), v2.Col(j))
 	}
 	u, v := RoundLR(bigU, bigV, tol, maxRank)
+	linalg.PutMat(bigU)
+	linalg.PutMat(bigV)
+	linalg.PutMat(t.U)
+	linalg.PutMat(t.V)
 	t.U, t.V = u, v
 }
 
 // RoundLR recompresses the product bigU·bigVᵀ to the requested tolerance:
-// QR both factors, SVD the small core Ru·Rvᵀ, truncate.
+// QR both factors in place, SVD the small core Ru·Rvᵀ, truncate. The inputs
+// are OVERWRITTEN (they hold the packed QR factors afterwards); the caller
+// keeps ownership and may recycle them once the call returns. The returned
+// factors are drawn from the workspace pool.
+//
+// At loose tolerances the panel orthogonalization runs as CholeskyQR —
+// Gram, Cholesky, triangular solve — which is pure level-3 work on the
+// packed vector kernels. CholQR loses ~cond(panel)²·ε of orthogonality, and
+// the panels' spread is ~1/tol, so the path is gated to tol ≥ 1e-5 (error
+// ≤ ~1e-6, far under the truncation) with Householder as the fallback
+// whenever the Gram matrix is numerically semidefinite.
 func RoundLR(bigU, bigV *linalg.Matrix, tol float64, maxRank int) (*linalg.Matrix, *linalg.Matrix) {
-	qu := linalg.QR(bigU)
-	qv := linalg.QR(bigV)
-	ru, rv := qu.R(), qv.R()
-	core := linalg.NewMatrix(ru.Rows, rv.Rows)
+	if tol >= 1e-5 {
+		if u, v, ok := roundLRCholQR(bigU, bigV, tol, maxRank); ok {
+			return u, v
+		}
+	}
+	m, n, ku := bigU.Rows, bigV.Rows, bigU.Cols
+	p, q := min(m, ku), min(n, ku)
+	tauU := linalg.GetVec(p)
+	tauV := linalg.GetVec(q)
+	qu := linalg.QRInPlace(bigU, tauU)
+	qv := linalg.QRInPlace(bigV, tauV)
+	ru := linalg.GetMat(p, ku)
+	rv := linalg.GetMat(q, ku)
+	qu.RInto(ru)
+	qv.RInto(rv)
+	core := linalg.GetMat(p, q)
 	linalg.Gemm(false, true, 1, ru, rv, 0, core)
-	res := linalg.SVD(core)
-	k := linalg.TruncationRank(res.S, tol)
-	if res.S[0] == 0 {
-		return nil, nil
+	linalg.PutMat(ru)
+	linalg.PutMat(rv)
+
+	// Thin SVD of the small core with pooled scratch (working in core
+	// itself); x1 picks up the left vectors scaled by the kept singular
+	// values, x2 the right vectors.
+	sv := svdPooled(core, tol)
+	k := sv.truncate(tol, 0, maxRank)
+	var u, v *linalg.Matrix
+	if k > 0 {
+		x1 := linalg.GetMat(p, k)
+		x2 := linalg.GetMat(q, k)
+		sv.leftScaledInto(x1, k)
+		sv.rightInto(x2, k)
+		u = linalg.GetMat(m, k)
+		v = linalg.GetMat(n, k)
+		qu.ApplyQInto(x1, u)
+		qv.ApplyQInto(x2, v)
+		linalg.PutMat(x1)
+		linalg.PutMat(x2)
 	}
-	if maxRank > 0 && k > maxRank {
-		k = maxRank
+	sv.release()
+	linalg.PutMat(core)
+	linalg.PutVec(tauU)
+	linalg.PutVec(tauV)
+	return u, v
+}
+
+// shiftedChol factorizes the Gram matrix g after adding the standard
+// shifted-CholQR regularization δ·I with δ = 1e-12·tr(G). Concatenated
+// low-rank panels are routinely numerically rank-deficient (the Schur
+// updates largely live in the span of the existing factors), so the plain
+// Gram Cholesky breaks down; the shift keeps every pivot ≥ δ while the
+// factorization identity B = (B·L̃⁻ᵀ)·L̃ᵀ stays EXACT for any nonsingular
+// L̃ — the shift only injects spurious spectrum of size ~√(δ·tr) ≈
+// 1e-6·‖B‖, far below the gated tolerances, which the core SVD truncates.
+func shiftedChol(g *linalg.Matrix) bool {
+	tr := 0.0
+	for i := 0; i < g.Rows; i++ {
+		tr += g.At(i, i)
 	}
-	// u = Qu·(Ub·diag(S))[:,0:k], v = Qv·Vb[:,0:k], applying the Householder
-	// reflectors directly instead of forming the thin Q factors.
-	ub := linalg.NewMatrix(res.U.Rows, k)
-	for j := 0; j < k; j++ {
-		copy(ub.Col(j), res.U.Col(j))
-		linalg.Scal(res.S[j], ub.Col(j))
+	shift := 1e-12 * tr
+	for i := 0; i < g.Rows; i++ {
+		g.Add(i, i, shift)
 	}
-	vb := linalg.NewMatrix(res.V.Rows, k)
-	for j := 0; j < k; j++ {
-		copy(vb.Col(j), res.V.Col(j))
+	return linalg.PotrfUnblocked(g) == nil
+}
+
+// roundLRCholQR is the level-3 rounding path: B = Q̃·L̃ᵀ with
+// L̃ = chol(BᵀB + δI), so Q̃ = B·L̃⁻ᵀ materializes via SYRK + TRSM and the
+// final factors via GEMM. It reports false — leaving the inputs intact —
+// when a shifted Gram factorization still breaks down (essentially never)
+// or the panels are too short for a nonsingular Gram.
+func roundLRCholQR(bigU, bigV *linalg.Matrix, tol float64, maxRank int) (*linalg.Matrix, *linalg.Matrix, bool) {
+	m, n, ku := bigU.Rows, bigV.Rows, bigU.Cols
+	if ku > m || ku > n {
+		return nil, nil, false
 	}
-	return qu.ApplyQ(ub), qv.ApplyQ(vb)
+	gu := linalg.GetMat(ku, ku)
+	linalg.Syrk(true, 1, bigU, 0, gu)
+	if !shiftedChol(gu) {
+		linalg.PutMat(gu)
+		return nil, nil, false
+	}
+	gv := linalg.GetMat(ku, ku)
+	linalg.Syrk(true, 1, bigV, 0, gv)
+	if !shiftedChol(gv) {
+		linalg.PutMat(gv)
+		linalg.PutMat(gu)
+		return nil, nil, false
+	}
+	// SYRK only writes the lower triangles; clear the junk above the
+	// diagonal before level-3 ops touch the full matrices.
+	gu.LowerFromFull()
+	gv.LowerFromFull()
+	// core = Ru·Rvᵀ = Luᵀ·Lv.
+	core := linalg.GetMat(ku, ku)
+	linalg.Gemm(true, false, 1, gu, gv, 0, core)
+	// Orthonormalize the panels in place: Q = B·L⁻ᵀ.
+	linalg.TrsmLower(linalg.Right, true, 1, gu, bigU)
+	linalg.TrsmLower(linalg.Right, true, 1, gv, bigV)
+	linalg.PutMat(gu)
+	linalg.PutMat(gv)
+
+	sv := svdPooled(core, tol)
+	k := sv.truncate(tol, 0, maxRank)
+	var u, v *linalg.Matrix
+	if k > 0 {
+		x1 := linalg.GetMat(ku, k)
+		x2 := linalg.GetMat(ku, k)
+		sv.leftScaledInto(x1, k)
+		sv.rightInto(x2, k)
+		u = linalg.GetMat(m, k)
+		v = linalg.GetMat(n, k)
+		linalg.Gemm(false, false, 1, bigU, x1, 0, u)
+		linalg.Gemm(false, false, 1, bigV, x2, 0, v)
+		linalg.PutMat(x1)
+		linalg.PutMat(x2)
+	}
+	sv.release()
+	linalg.PutMat(core)
+	return u, v, true
 }
 
 // ApplyTo accumulates c += alpha·(U·Vᵀ)·b without densifying the tile:
@@ -123,9 +237,10 @@ func (t *LowRank) ApplyTo(alpha float64, b, c *linalg.Matrix) {
 	if k == 0 {
 		return
 	}
-	w := linalg.NewMatrix(k, b.Cols)
+	w := linalg.GetMat(k, b.Cols)
 	linalg.Gemm(true, false, 1, t.V, b, 0, w)
 	linalg.Gemm(false, false, alpha, t.U, w, 1, c)
+	linalg.PutMat(w)
 }
 
 // ApplyToPair accumulates the same low-rank product into two outputs
@@ -136,8 +251,9 @@ func (t *LowRank) ApplyToPair(alpha float64, b, c1, c2 *linalg.Matrix) {
 	if k == 0 {
 		return
 	}
-	w := linalg.NewMatrix(k, b.Cols)
+	w := linalg.GetMat(k, b.Cols)
 	linalg.Gemm(true, false, 1, t.V, b, 0, w)
 	linalg.Gemm(false, false, alpha, t.U, w, 1, c1)
 	linalg.Gemm(false, false, alpha, t.U, w, 1, c2)
+	linalg.PutMat(w)
 }

@@ -1,0 +1,39 @@
+package tile
+
+import "sync"
+
+// Pooled float32 scratch for the packed single-precision kernels, same box
+// discipline as the linalg float64 pool (the boxes cycle through their own
+// pool so steady state allocates nothing).
+var (
+	f32Pool    sync.Pool
+	f32BoxPool = sync.Pool{New: func() any { return new([]float32) }}
+)
+
+// getVec32 returns a pooled float32 slice of length n, contents UNDEFINED.
+func getVec32(n int) []float32 {
+	var buf []float32
+	if p, _ := f32Pool.Get().(*[]float32); p != nil {
+		buf = *p
+		*p = nil
+		f32BoxPool.Put(p)
+	}
+	if cap(buf) < n {
+		c := 1
+		for c < n {
+			c <<= 1
+		}
+		buf = make([]float32, c)
+	}
+	return buf[:n]
+}
+
+// putVec32 recycles a slice obtained from getVec32.
+func putVec32(v []float32) {
+	if cap(v) == 0 {
+		return
+	}
+	p := f32BoxPool.Get().(*[]float32)
+	*p = v[:cap(v)]
+	f32Pool.Put(p)
+}

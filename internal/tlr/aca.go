@@ -1,175 +1,72 @@
 package tlr
 
 import (
-	"math"
-
 	"repro/internal/linalg"
+	"repro/internal/taskrt"
 	"repro/internal/tile"
 )
 
 // CompressACA builds a low-rank tile with partially-pivoted Adaptive Cross
-// Approximation followed by QR+SVD recompression. ACA touches only O(k(m+n))
-// matrix entries per rank instead of the full tile an SVD needs, which is
-// how HiCMA-style libraries assemble large covariance matrices without ever
-// forming the dense tiles. entry(i,j) evaluates the underlying matrix
-// element; the tile has m×n logical entries.
-//
-// The iteration stops when the new cross's norm estimate falls below
-// tol·‖A_k‖_F (estimated incrementally) or the rank reaches maxRank
-// (0 = min(m,n)).
+// Approximation followed by QR+SVD recompression; it forwards to the shared
+// implementation in package tile (which the adaptive policy also probes
+// with). See tile.CompressACA for the contract.
 func CompressACA(m, n int, entry func(i, j int) float64, tol float64, maxRank int) *LRTile {
-	limit := min(m, n)
-	if maxRank > 0 && maxRank < limit {
-		limit = maxRank
-	}
-	t := &LRTile{M: m, N: n}
-	if limit == 0 {
-		return t
-	}
-	us := make([][]float64, 0, limit)
-	vs := make([][]float64, 0, limit)
-	rowUsed := make([]bool, m)
-	colUsed := make([]bool, n)
-
-	// Frobenius-norm estimate of the accumulated approximation.
-	var normSq float64
-	nextRow := 0
-	for k := 0; k < limit; k++ {
-		// Residual row `nextRow`: A(i,:) − Σ u_t[i]·v_t.
-		i := nextRow
-		if i < 0 || rowUsed[i] {
-			i = -1
-			for r := 0; r < m; r++ {
-				if !rowUsed[r] {
-					i = r
-					break
-				}
-			}
-			if i < 0 {
-				break
-			}
-		}
-		row := make([]float64, n)
-		for j := 0; j < n; j++ {
-			row[j] = entry(i, j)
-		}
-		for t := range us {
-			linalg.Axpy(-us[t][i], vs[t], row)
-		}
-		// Pivot column: largest residual entry in the row.
-		jPiv, pivVal := -1, 0.0
-		for j := 0; j < n; j++ {
-			if colUsed[j] {
-				continue
-			}
-			if a := math.Abs(row[j]); a > pivVal {
-				pivVal, jPiv = a, j
-			}
-		}
-		if jPiv < 0 || pivVal == 0 {
-			rowUsed[i] = true
-			nextRow = -1
-			if allUsed(rowUsed) {
-				break
-			}
-			continue
-		}
-		// Residual column jPiv.
-		col := make([]float64, m)
-		for r := 0; r < m; r++ {
-			col[r] = entry(r, jPiv)
-		}
-		for t := range us {
-			linalg.Axpy(-vs[t][jPiv], us[t], col)
-		}
-		pivot := row[jPiv]
-		u := make([]float64, m)
-		for r := 0; r < m; r++ {
-			u[r] = col[r] / pivot
-		}
-		v := make([]float64, n)
-		copy(v, row)
-		rowUsed[i] = true
-		colUsed[jPiv] = true
-		us = append(us, u)
-		vs = append(vs, v)
-
-		// Update the norm estimate: ‖A_k‖² = ‖A_{k-1}‖² + 2Σ⟨u_k,u_t⟩⟨v_k,v_t⟩ + ‖u_k‖²‖v_k‖².
-		uNorm := linalg.Dot(u, u)
-		vNorm := linalg.Dot(v, v)
-		cross := 0.0
-		for t := 0; t < len(us)-1; t++ {
-			cross += linalg.Dot(u, us[t]) * linalg.Dot(v, vs[t])
-		}
-		normSq += 2*cross + uNorm*vNorm
-		// Next pivot row: largest residual entry in the chosen column.
-		nextRow = -1
-		best := 0.0
-		for r := 0; r < m; r++ {
-			if rowUsed[r] {
-				continue
-			}
-			if a := math.Abs(col[r]); a > best {
-				best, nextRow = a, r
-			}
-		}
-		// Convergence: the latest cross is small relative to the estimate.
-		if math.Sqrt(uNorm*vNorm) <= tol*math.Sqrt(math.Max(normSq, 0)) {
-			break
-		}
-	}
-	k := len(us)
-	if k == 0 {
-		return t
-	}
-	bigU := linalg.NewMatrix(m, k)
-	bigV := linalg.NewMatrix(n, k)
-	for j := 0; j < k; j++ {
-		copy(bigU.Col(j), us[j])
-		copy(bigV.Col(j), vs[j])
-	}
-	// Recompress: ACA overshoots the rank slightly; rounding restores the
-	// SVD-grade truncation the rest of the TLR stack expects.
-	u, v := tile.RoundLR(bigU, bigV, tol, maxRank)
-	t.U, t.V = u, v
-	return t
-}
-
-func allUsed(used []bool) bool {
-	for _, u := range used {
-		if !u {
-			return false
-		}
-	}
-	return true
+	return tile.CompressACA(m, n, entry, tol, maxRank)
 }
 
 // BuildFromKernelACA assembles a covariance matrix in TLR format using ACA
 // for the off-diagonal tiles: only O(rank·ts) covariance evaluations per
-// tile instead of ts². The diagonal tiles are still formed densely.
-func BuildFromKernelACA(g geomLike, k kernelLike, ts int, tol float64, maxRank int) *Matrix {
+// tile instead of ts². The diagonal tiles are still formed densely. When sub
+// is non-nil every tile is assembled as an independent task on it (the
+// caller waits via a group scope); nil assembles serially.
+func BuildFromKernelACA(sub taskrt.Submitter, g geomLike, k kernelLike, ts int, tol float64, maxRank int) *Matrix {
 	n := g.Len()
 	a := &Matrix{N: n, TS: ts, NT: (n + ts - 1) / ts, Tol: tol, MaxRank: maxRank}
 	a.Diag = make([]*linalg.Matrix, a.NT)
 	a.Low = make([][]*LRTile, a.NT)
+	run, wait := taskrt.Scatter(sub, "assemble")
 	for i := 0; i < a.NT; i++ {
+		i := i
 		ri := a.TileRows(i)
-		d := linalg.NewMatrix(ri, ri)
-		for c := 0; c < ri; c++ {
-			for r := 0; r < ri; r++ {
-				d.Set(r, c, covAt(g, k, i*ts+r, i*ts+c))
-			}
-		}
-		a.Diag[i] = d
 		a.Low[i] = make([]*LRTile, i)
+		run(func() {
+			d := linalg.NewMatrix(ri, ri)
+			for c := 0; c < ri; c++ {
+				for r := 0; r < ri; r++ {
+					d.Set(r, c, covAt(g, k, i*ts+r, i*ts+c))
+				}
+			}
+			a.Diag[i] = d
+		})
 		for j := 0; j < i; j++ {
-			rj := a.TileRows(j)
-			row0, col0 := i*ts, j*ts
-			a.Low[i][j] = CompressACA(ri, rj, func(r, c int) float64 {
-				return covAt(g, k, row0+r, col0+c)
-			}, tol, maxRank)
+			j := j
+			run(func() {
+				rj := a.TileRows(j)
+				row0, col0 := i*ts, j*ts
+				entry := func(r, c int) float64 {
+					return covAt(g, k, row0+r, col0+c)
+				}
+				lt, ok := tile.CompressACAConv(ri, rj, entry, tol, maxRank)
+				if !ok {
+					// The cross iteration ran out of rank budget (typical
+					// for near-diagonal tiles of smooth kernels): a capped
+					// ACA has uncontrolled error, so densify and take the
+					// optimal truncation instead.
+					d := linalg.GetMat(ri, rj)
+					for c := 0; c < rj; c++ {
+						col := d.Col(c)
+						for r := 0; r < ri; r++ {
+							col[r] = entry(r, c)
+						}
+					}
+					lt = tile.Compress(d, tol, maxRank)
+					linalg.PutMat(d)
+				}
+				a.Low[i][j] = lt
+			})
 		}
 	}
+	wait()
 	return a
 }
 

@@ -97,7 +97,7 @@ func TestBuildFromKernelACAMatchesSVDBuild(t *testing.T) {
 	k := &cov.Exponential{Sigma2: 1, Range: 0.15}
 	ts := 25
 	svd := BuildFromKernel(g, k, ts, 1e-6, 0)
-	aca := BuildFromKernelACA(g, k, ts, 1e-6, 0)
+	aca := BuildFromKernelACA(nil, g, k, ts, 1e-6, 0)
 	d := aca.SymmetrizeDense().MaxAbsDiff(svd.SymmetrizeDense())
 	if d > 1e-4 {
 		t.Errorf("ACA vs SVD assembly differ by %v", d)
@@ -110,7 +110,7 @@ func TestACAPotrfEndToEnd(t *testing.T) {
 	g := geo.RegularGrid(10, 10)
 	k := &cov.Exponential{Sigma2: 1, Range: 0.2}
 	sigma := cov.Matrix(g, k)
-	a := BuildFromKernelACA(g, k, 25, 1e-8, 0)
+	a := BuildFromKernelACA(nil, g, k, 25, 1e-8, 0)
 	rt := taskrt.New(2)
 	defer rt.Shutdown()
 	if err := Potrf(rt, a); err != nil {

@@ -12,6 +12,7 @@ import (
 	"repro/internal/cov"
 	"repro/internal/geo"
 	"repro/internal/linalg"
+	"repro/internal/taskrt"
 	"repro/internal/tile"
 )
 
@@ -53,19 +54,32 @@ func (a *Matrix) TileRows(i int) int {
 // CompressSPD converts a symmetric tiled dense matrix into TLR format with
 // relative per-tile accuracy tol and rank cap maxRank (0 = uncapped).
 func CompressSPD(src *tile.Matrix, tol float64, maxRank int) (*Matrix, error) {
+	return CompressSPDPar(nil, src, tol, maxRank)
+}
+
+// CompressSPDPar is CompressSPD with every tile compression submitted as an
+// independent task on sub (the caller's group scope); nil compresses
+// serially.
+func CompressSPDPar(sub taskrt.Submitter, src *tile.Matrix, tol float64, maxRank int) (*Matrix, error) {
 	if src.M != src.N {
 		return nil, fmt.Errorf("tlr: CompressSPD needs square input, got %dx%d", src.M, src.N)
 	}
 	a := &Matrix{N: src.M, TS: src.TS, NT: src.MT, Tol: tol, MaxRank: maxRank}
 	a.Diag = make([]*linalg.Matrix, a.NT)
 	a.Low = make([][]*LRTile, a.NT)
+	run, wait := taskrt.Scatter(sub, "compress")
 	for i := 0; i < a.NT; i++ {
+		i := i
 		a.Diag[i] = src.Tile(i, i).Clone()
 		a.Low[i] = make([]*LRTile, i)
 		for j := 0; j < i; j++ {
-			a.Low[i][j] = Compress(src.Tile(i, j), tol, maxRank)
+			j := j
+			run(func() {
+				a.Low[i][j] = Compress(src.Tile(i, j), tol, maxRank)
+			})
 		}
 	}
+	wait()
 	return a, nil
 }
 
