@@ -117,27 +117,46 @@ func (k KernelSpec) normalized() KernelSpec {
 	return k
 }
 
-func (k KernelSpec) build() (cov.Kernel, error) {
+// validate rejects malformed specs without constructing anything — the
+// warm-query path calls it before touching the factor cache, so invalid
+// specs neither allocate nor occupy (and evict from) the bounded cache.
+func (k KernelSpec) validate() error {
 	k = k.normalized()
 	if k.Range <= 0 {
-		return nil, fmt.Errorf("parmvn: kernel range must be positive, got %g", k.Range)
+		return fmt.Errorf("parmvn: kernel range must be positive, got %g", k.Range)
 	}
+	switch k.Family {
+	case "exponential":
+	case "matern":
+		if k.Nu <= 0 {
+			return fmt.Errorf("parmvn: matern needs Nu > 0")
+		}
+	case "powexp":
+		if k.Nu <= 0 || k.Nu > 2 {
+			return fmt.Errorf("parmvn: powexp needs 0 < Nu ≤ 2")
+		}
+	default:
+		return fmt.Errorf("parmvn: unknown kernel family %q", k.Family)
+	}
+	return nil
+}
+
+func (k KernelSpec) build() (cov.Kernel, error) {
+	if err := k.validate(); err != nil {
+		return nil, err
+	}
+	k = k.normalized()
 	var base cov.Kernel
 	switch k.Family {
 	case "exponential":
 		base = &cov.Exponential{Sigma2: k.Sigma2, Range: k.Range}
 	case "matern":
-		if k.Nu <= 0 {
-			return nil, fmt.Errorf("parmvn: matern needs Nu > 0")
-		}
 		base = cov.NewMatern(k.Sigma2, k.Range, k.Nu)
 	case "powexp":
-		if k.Nu <= 0 || k.Nu > 2 {
-			return nil, fmt.Errorf("parmvn: powexp needs 0 < Nu ≤ 2")
-		}
 		base = &cov.PoweredExponential{Sigma2: k.Sigma2, Range: k.Range, Power: k.Nu}
 	default:
-		return nil, fmt.Errorf("parmvn: unknown kernel family %q", k.Family)
+		// validate and this switch must enumerate the same families.
+		panic(fmt.Sprintf("parmvn: family %q passed validate but has no constructor", k.Family))
 	}
 	if k.Nugget > 0 {
 		base = &cov.Nugget{Kernel: base, Tau2: k.Nugget}
@@ -410,14 +429,25 @@ func (s *Session) mvnOpts() mvn.Options {
 
 // MVNProb computes Φn(a,b;0,Σ) where Σ is assembled from the kernel at the
 // given locations. Repeated queries against the same locations and kernel
-// reuse the session's cached Cholesky factor; for many queries at once
-// prefer MVNProbBatch, which also parallelizes across queries.
+// reuse the session's cached Cholesky factor, and a warm query runs
+// allocation-free end to end (content hash, cache hit, pooled chain-blocked
+// integration); for many queries at once prefer MVNProbBatch, which also
+// parallelizes across queries. Results are identical either way.
 func (s *Session) MVNProb(locs []Point, kernel KernelSpec, a, b []float64) (Result, error) {
-	res, err := s.MVNProbBatch(locs, kernel, []Bounds{{A: a, B: b}})
+	if err := validateLimits(len(locs), a, b); err != nil {
+		return Result{}, err
+	}
+	if err := s.validateTileSize(len(locs)); err != nil {
+		return Result{}, err
+	}
+	f, err := s.factorForKernel(locs, kernel)
 	if err != nil {
 		return Result{}, err
 	}
-	return res[0], nil
+	r := mvn.PMVN(s.rt, f, a, b, s.mvnOpts())
+	res := Result{Prob: r.Prob, StdErr: r.StdErr}
+	s.attachStats(&res)
+	return res, nil
 }
 
 // MVNProbCov computes Φn(a,b;0,Σ) for an explicit covariance matrix given
@@ -438,17 +468,13 @@ func (s *Session) MVTProb(locs []Point, kernel KernelSpec, nu float64, a, b []fl
 	if nu <= 0 {
 		return Result{}, fmt.Errorf("parmvn: degrees of freedom %g must be positive", nu)
 	}
-	k, err := kernel.build()
-	if err != nil {
+	if err := validateLimits(len(locs), a, b); err != nil {
 		return Result{}, err
-	}
-	if n := len(locs); len(a) != n || len(b) != n {
-		return Result{}, fmt.Errorf("parmvn: limits length (%d,%d) != dimension %d", len(a), len(b), n)
 	}
 	if err := s.validateTileSize(len(locs)); err != nil {
 		return Result{}, err
 	}
-	f, err := s.factorForKernel(locs, kernel, k)
+	f, err := s.factorForKernel(locs, kernel)
 	if err != nil {
 		return Result{}, err
 	}

@@ -19,17 +19,13 @@ type Bounds struct {
 // parallel integrations. With a fixed configuration the results are
 // identical to len(queries) sequential MVNProb calls.
 func (s *Session) MVNProbBatch(locs []Point, kernel KernelSpec, queries []Bounds) ([]Result, error) {
-	k, err := kernel.build()
-	if err != nil {
-		return nil, err
-	}
 	if err := validateQueries(len(locs), queries); err != nil {
 		return nil, err
 	}
 	if err := s.validateTileSize(len(locs)); err != nil {
 		return nil, err
 	}
-	f, err := s.factorForKernel(locs, kernel, k)
+	f, err := s.factorForKernel(locs, kernel)
 	if err != nil {
 		return nil, err
 	}
@@ -56,12 +52,20 @@ func (s *Session) MVNProbCovBatch(sigma [][]float64, queries []Bounds) ([]Result
 	return s.evalBatch(f, queries)
 }
 
-// validateQueries rejects mis-sized limit vectors before any assembly or
+// validateLimits rejects mis-sized limit vectors before any assembly or
 // factorization work is spent (the dimension is known from the inputs).
+func validateLimits(n int, a, b []float64) error {
+	if len(a) != n || len(b) != n {
+		return fmt.Errorf("parmvn: limits length (%d,%d) != dimension %d", len(a), len(b), n)
+	}
+	return nil
+}
+
+// validateQueries is validateLimits over a batch.
 func validateQueries(n int, queries []Bounds) error {
 	for i, q := range queries {
-		if len(q.A) != n || len(q.B) != n {
-			return fmt.Errorf("parmvn: query %d limits length (%d,%d) != dimension %d", i, len(q.A), len(q.B), n)
+		if err := validateLimits(n, q.A, q.B); err != nil {
+			return fmt.Errorf("parmvn: query %d: %w", i, err)
 		}
 	}
 	return nil
@@ -81,10 +85,14 @@ func (s *Session) evalBatch(f mvn.Factor, queries []Bounds) ([]Result, error) {
 		return s.finishBatch(out), nil
 	}
 	// Fan out with at most Workers queries in flight, bounding the working
-	// memory while keeping the pool saturated (each query is itself a
-	// parallel task graph).
+	// memory while keeping the pool saturated. Each fanned query runs its
+	// chain-blocked sweep inline on its own goroutine — one query per
+	// worker, no per-query task graphs, allocation-free when warm — and
+	// produces exactly the same result either way.
+	opts := s.mvnOpts()
+	opts.Inline = true
 	taskrt.ForEachLimit(len(queries), s.cfg.Workers, func(i int) {
-		r := mvn.PMVN(s.rt, f, queries[i].A, queries[i].B, s.mvnOpts())
+		r := mvn.PMVN(s.rt, f, queries[i].A, queries[i].B, opts)
 		out[i] = Result{Prob: r.Prob, StdErr: r.StdErr}
 	})
 	return s.finishBatch(out), nil

@@ -355,3 +355,28 @@ func TestConcurrentSessionUse(t *testing.T) {
 		t.Errorf("misses = %d, want 2", misses)
 	}
 }
+
+// TestInvalidKernelSpecDoesNotPolluteCache: malformed specs must fail fast
+// without occupying (and evicting from) the bounded factor cache.
+func TestInvalidKernelSpecDoesNotPolluteCache(t *testing.T) {
+	s := NewSession(Config{TileSize: 8, QMCSize: 50})
+	defer s.Close()
+	locs := Grid(4, 4)
+	a := make([]float64, len(locs))
+	b := make([]float64, len(locs))
+	for _, bad := range []KernelSpec{
+		{Family: "nope", Range: 0.2},
+		{Family: "matern", Range: 0.2}, // Nu missing
+		{Family: "exponential"},        // Range missing
+	} {
+		if _, err := s.MVNProb(locs, bad, a, b); err == nil {
+			t.Errorf("spec %+v: want error", bad)
+		}
+	}
+	if n := s.Cache().Len(); n != 0 {
+		t.Errorf("invalid specs left %d cache entries, want 0", n)
+	}
+	if hits, misses := s.Cache().Stats(); hits != 0 || misses != 0 {
+		t.Errorf("invalid specs touched the cache: %d hits / %d misses", hits, misses)
+	}
+}

@@ -1,12 +1,11 @@
 package parmvn
 
 import (
-	"hash"
-	"hash/fnv"
 	"math"
+	"math/bits"
 	"sync"
+	"sync/atomic"
 
-	"repro/internal/cov"
 	"repro/internal/linalg"
 	"repro/internal/mvn"
 )
@@ -33,11 +32,13 @@ type factorKey struct {
 }
 
 // cacheEntry builds its factor exactly once; concurrent requesters for the
-// same key block on the first build instead of duplicating it.
+// same key block on the first build instead of duplicating it. done flips
+// after the build, opening the allocation-free hit fast path.
 type cacheEntry struct {
 	once    sync.Once
 	f       mvn.Factor
 	err     error
+	done    atomic.Bool
 	lastUse int64 // LRU stamp, guarded by FactorCache.mu
 }
 
@@ -63,6 +64,25 @@ func newFactorCache(cap int) *FactorCache {
 	return &FactorCache{cap: cap, entries: map[factorKey]*cacheEntry{}}
 }
 
+// lookupDone returns the entry for key when its factor is already built,
+// recording a cache hit — the warm-query fast path, which performs no
+// allocation. It returns nil on a miss or while the first build is still in
+// flight; callers then take getOrBuild (whose build closure is the only
+// allocation, paid on the cold path).
+func (c *FactorCache) lookupDone(key factorKey) *cacheEntry {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok || !e.done.Load() {
+		c.mu.Unlock()
+		return nil
+	}
+	c.hits++
+	c.tick++
+	e.lastUse = c.tick
+	c.mu.Unlock()
+	return e
+}
+
 // getOrBuild returns the factor for key, invoking build at most once per key
 // across all goroutines.
 func (c *FactorCache) getOrBuild(key factorKey, build func() (mvn.Factor, error)) (mvn.Factor, error) {
@@ -81,7 +101,10 @@ func (c *FactorCache) getOrBuild(key factorKey, build func() (mvn.Factor, error)
 	c.tick++
 	e.lastUse = c.tick
 	c.mu.Unlock()
-	e.once.Do(func() { e.f, e.err = build() })
+	e.once.Do(func() {
+		e.f, e.err = build()
+		e.done.Store(true)
+	})
 	return e.f, e.err
 }
 
@@ -123,44 +146,52 @@ func (c *FactorCache) Purge() {
 	c.entries = map[factorKey]*cacheEntry{}
 }
 
+// fnv128a is an inline 128-bit FNV-1a hash (identical output to
+// hash/fnv.New128a over the same byte stream) without the stdlib's
+// per-query Sum allocation — content hashing runs on every warm query, so
+// the cache key must be allocation-free.
+type fnv128a struct{ hi, lo uint64 }
+
+const fnvPrimeLo128 = 0x13b // FNV-128 prime is 2^88 + 0x13b
+
+func newFNV128a() fnv128a {
+	return fnv128a{hi: 0x6c62272e07bb0142, lo: 0x62b821756295c58d}
+}
+
+// writeFloat absorbs the little-endian bytes of v's bit pattern.
+func (h *fnv128a) writeFloat(v float64) {
+	u := math.Float64bits(v)
+	for i := 0; i < 8; i++ {
+		h.lo ^= uint64(byte(u >> (8 * i)))
+		// state *= 2^88 + 0x13b (mod 2^128): the 2^88 term folds the low
+		// word's bottom 40 bits into the high word.
+		carry, lo := bits.Mul64(h.lo, fnvPrimeLo128)
+		h.hi = h.hi*fnvPrimeLo128 + carry + h.lo<<24
+		h.lo = lo
+	}
+}
+
+func (h *fnv128a) sum() [2]uint64 { return [2]uint64{h.hi, h.lo} }
+
 // hashPoints content-hashes a location set.
 func hashPoints(locs []Point) [2]uint64 {
-	h := fnv.New128a()
-	var buf [16]byte
+	h := newFNV128a()
 	for _, p := range locs {
-		putFloat(buf[:8], p.X)
-		putFloat(buf[8:], p.Y)
-		h.Write(buf[:])
+		h.writeFloat(p.X)
+		h.writeFloat(p.Y)
 	}
-	return sum128(h)
+	return h.sum()
 }
 
 // hashMatrix content-hashes a dense matrix column by column.
 func hashMatrix(m *linalg.Matrix) [2]uint64 {
-	h := fnv.New128a()
-	var buf [8]byte
+	h := newFNV128a()
 	for j := 0; j < m.Cols; j++ {
 		for _, v := range m.Col(j) {
-			putFloat(buf[:], v)
-			h.Write(buf[:])
+			h.writeFloat(v)
 		}
 	}
-	return sum128(h)
-}
-
-func sum128(h hash.Hash) [2]uint64 {
-	var out [2]uint64
-	for i, c := range h.Sum(nil) {
-		out[i/8] = out[i/8]<<8 | uint64(c)
-	}
-	return out
-}
-
-func putFloat(b []byte, v float64) {
-	u := math.Float64bits(v)
-	for i := 0; i < 8; i++ {
-		b[i] = byte(u >> (8 * i))
-	}
+	return h.sum()
 }
 
 // key assembles the cache key for the session's current configuration.
@@ -179,25 +210,50 @@ func (s *Session) key(kind byte, hash [2]uint64, n int, spec KernelSpec) factorK
 }
 
 // factorForKernel returns the (possibly cached) factor of the covariance of
-// kernel k at locs. Assembly of Σ itself is also skipped on a cache hit.
-// The spec is normalized before keying so equivalent specs (defaulted
-// Sigma2, implicit exponential family, family-irrelevant Nu) share a factor.
-func (s *Session) factorForKernel(locs []Point, spec KernelSpec, k cov.Kernel) (mvn.Factor, error) {
-	build := func() (mvn.Factor, error) {
-		return s.factorizeKernel(toGeom(locs), k)
+// spec's kernel at locs; the kernel itself is only built — and Σ only
+// assembled — on a cache miss, so a warm query pays nothing but the content
+// hash and the lookup. The spec is normalized before keying so equivalent
+// specs (defaulted Sigma2, implicit exponential family, family-irrelevant
+// Nu) share a factor.
+func (s *Session) factorForKernel(locs []Point, spec KernelSpec) (mvn.Factor, error) {
+	// Reject malformed specs before keying: error entries must not occupy
+	// the bounded cache and evict real factors.
+	if err := spec.validate(); err != nil {
+		return nil, err
 	}
 	if s.cfg.NoFactorCache {
-		return build()
+		return s.buildKernelFactor(locs, spec)
 	}
-	return s.cache.getOrBuild(s.key('k', hashPoints(locs), len(locs), spec.normalized()), build)
+	key := s.key('k', hashPoints(locs), len(locs), spec.normalized())
+	if e := s.cache.lookupDone(key); e != nil {
+		return e.f, e.err
+	}
+	// Cold path only: the build closure below is the single allocation the
+	// cache layer ever makes per query, and it is never reached warm.
+	return s.cache.getOrBuild(key, func() (mvn.Factor, error) {
+		return s.buildKernelFactor(locs, spec)
+	})
+}
+
+// buildKernelFactor builds the kernel from its spec and factorizes its
+// covariance at locs (the cache-miss path).
+func (s *Session) buildKernelFactor(locs []Point, spec KernelSpec) (mvn.Factor, error) {
+	k, err := spec.build()
+	if err != nil {
+		return nil, err
+	}
+	return s.factorizeKernel(toGeom(locs), k)
 }
 
 // factorForSigma returns the (possibly cached) factor of an explicit matrix,
 // keyed by its content hash.
 func (s *Session) factorForSigma(sigma *linalg.Matrix) (mvn.Factor, error) {
-	build := func() (mvn.Factor, error) { return s.factorize(sigma) }
 	if s.cfg.NoFactorCache {
-		return build()
+		return s.factorize(sigma)
 	}
-	return s.cache.getOrBuild(s.key('c', hashMatrix(sigma), sigma.Rows, KernelSpec{}), build)
+	key := s.key('c', hashMatrix(sigma), sigma.Rows, KernelSpec{})
+	if e := s.cache.lookupDone(key); e != nil {
+		return e.f, e.err
+	}
+	return s.cache.getOrBuild(key, func() (mvn.Factor, error) { return s.factorize(sigma) })
 }

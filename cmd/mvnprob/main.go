@@ -7,10 +7,14 @@
 // factorization is paid once (and cached on the session) and the queries run
 // in parallel on the task runtime.
 //
+// With -cpuprofile/-memprofile it writes pprof profiles of the run, so
+// query-path performance work starts from data (`go tool pprof <file>`).
+//
 // Example:
 //
 //	mvnprob -grid 40 -kernel exponential -range 0.1 -lower -0.5 -method tlr -qmc 5000
 //	mvnprob -grid 32 -batch 10 -batch-span 1.5
+//	mvnprob -grid 32 -batch 20 -cpuprofile cpu.prof -memprofile mem.prof
 package main
 
 import (
@@ -18,6 +22,8 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"time"
 
@@ -60,7 +66,39 @@ func main() {
 	batch := flag.Int("batch", 0, "evaluate this many lower-limit thresholds as one batched query (0 = single query)")
 	batchSpan := flag.Float64("batch-span", 1.0, "lower-limit span covered by the -batch thresholds")
 	stats := flag.Bool("stats", false, "report runtime scheduler statistics (tasks executed, peak ready-queue depth)")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile (taken after the run) to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mvnprob:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "mvnprob:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		// Report-only on failure: os.Exit here would skip the CPU-profile
+		// defers registered above and truncate that file too.
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mvnprob:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "mvnprob:", err)
+			}
+		}()
+	}
 
 	m := parmvn.Dense
 	switch *method {

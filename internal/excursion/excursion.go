@@ -148,18 +148,22 @@ func (c *Computer) PrefixProb(k int) float64 {
 	if p, ok := c.cache[k]; ok {
 		return p
 	}
-	p := c.prefixProbUncached(k)
+	p := c.prefixProbUncached(k, false)
 	c.cache[k] = p
 	return p
 }
 
 // prefixProbUncached runs the single PMVN evaluation for prefix size k
-// (1 ≤ k ≤ n). It only reads the Computer, so independent prefix sizes may
-// evaluate concurrently.
-func (c *Computer) prefixProbUncached(k int) float64 {
+// (1 ≤ k ≤ n), with pooled limit vectors. It only reads the Computer, so
+// independent prefix sizes may evaluate concurrently; inline runs the
+// integration on the calling goroutine (the batched fan-out sets it so each
+// prefix occupies exactly one worker, and a warm prefix query then runs
+// allocation-free — mostly on the chain-blocked sweep's free-row fast path,
+// since only the prefix locations are constrained).
+func (c *Computer) prefixProbUncached(k int, inline bool) float64 {
 	n := c.Factor.N()
-	a := make([]float64, n)
-	b := make([]float64, n)
+	a := linalg.GetVec(n)
+	b := linalg.GetVec(n)
 	for i := range a {
 		a[i] = math.Inf(-1)
 		b[i] = math.Inf(1)
@@ -172,7 +176,12 @@ func (c *Computer) prefixProbUncached(k int) float64 {
 			a[loc] = lim // P(X > u) on the prefix
 		}
 	}
-	return mvn.PMVN(c.RT, c.Factor, a, b, c.Opts).Prob
+	opts := c.Opts
+	opts.Inline = inline
+	p := mvn.PMVN(c.RT, c.Factor, a, b, opts).Prob
+	linalg.PutVec(a)
+	linalg.PutVec(b)
+	return p
 }
 
 // PrefixProbs evaluates the joint prefix probability at every size in ks —
@@ -209,15 +218,16 @@ func (c *Computer) PrefixProbs(ks []int) []float64 {
 	probs := make([]float64, len(miss))
 	if c.Sequential || sharedRng || len(miss) <= 1 {
 		for i, k := range miss {
-			probs[i] = c.prefixProbUncached(k)
+			probs[i] = c.prefixProbUncached(k, false)
 		}
 	} else {
-		// Fan out bounded by the worker count: each PMVN allocates its
-		// whole O(n·N) working set up front, so an unbounded fan-out over
-		// many prefixes (fPoints=0, the literal Algorithm 1 loop) would
-		// blow memory long before the pool could drain it.
+		// Fan out bounded by the worker count: each query occupies one
+		// worker and sweeps inline (pooled working sets, no per-query task
+		// graphs), so the fan-out is also what bounds the O(n·N) working
+		// memory of the batch (fPoints=0, the literal Algorithm 1 loop,
+		// evaluates every prefix).
 		taskrt.ForEachLimit(len(miss), c.RT.Workers(), func(i int) {
-			probs[i] = c.prefixProbUncached(miss[i])
+			probs[i] = c.prefixProbUncached(miss[i], true)
 		})
 	}
 	for i, k := range miss {

@@ -1,6 +1,9 @@
 package linalg
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+)
 
 // The workspace pool recycles float64 scratch buffers across the hot kernel
 // paths: GEMM packing panels, low-rank recompression intermediates, QR tau
@@ -84,6 +87,29 @@ func PutMat(m *Matrix) {
 		return
 	}
 	PutVec(m.Data)
+	m.Data = nil
+	matHeaderPool.Put(m)
+}
+
+// GetMatView returns a pooled Matrix header for the r×c submatrix of parent
+// with upper-left corner (i,j), sharing parent's backing storage — View
+// without the header allocation. Return it with PutMatView (never PutMat:
+// the data belongs to the parent).
+func GetMatView(parent *Matrix, i, j, r, c int) *Matrix {
+	if i < 0 || j < 0 || r < 0 || c < 0 || i+r > parent.Rows || j+c > parent.Cols {
+		panic(fmt.Sprintf("linalg: view (%d,%d,%d,%d) out of %dx%d", i, j, r, c, parent.Rows, parent.Cols))
+	}
+	m := matHeaderPool.Get().(*Matrix)
+	m.Rows, m.Cols, m.Stride, m.Data = r, c, parent.Stride, parent.Data[i+j*parent.Stride:]
+	return m
+}
+
+// PutMatView recycles a header obtained from GetMatView. The shared backing
+// data is left with its owner; the caller must drop its pointer.
+func PutMatView(m *Matrix) {
+	if m == nil {
+		return
+	}
 	m.Data = nil
 	matHeaderPool.Put(m)
 }

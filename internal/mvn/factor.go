@@ -18,9 +18,9 @@ import (
 
 // Factor abstracts the lower Cholesky factor the PMVN integration consumes.
 // The integration needs only two things from L: dense diagonal tiles (for
-// the QMC kernel) and the action of off-diagonal tiles on a block of Y
-// columns (for the GEMM propagation). The dense path implements the latter
-// with a dense GEMM; the TLR path with the cheap U·(Vᵀ·Y) form — which is
+// the QMC kernel) and the action of off-diagonal tiles on a lane block of Y
+// values (for the GEMM propagation). The dense path implements the latter
+// with a dense GEMM; the TLR path with the cheap (Y·V)·Uᵀ form — which is
 // exactly where the paper's TLR speedup materializes.
 type Factor interface {
 	// N returns the problem dimension.
@@ -33,13 +33,15 @@ type Factor interface {
 	TileRows(i int) int
 	// Diag returns the dense diagonal tile k of L (lower triangular).
 	Diag(k int) *linalg.Matrix
-	// ApplyOffDiag accumulates dst += alpha·L(i,j)·y for the strictly-lower
-	// tile (i,j), i > j.
-	ApplyOffDiag(i, j int, alpha float64, y, dst *linalg.Matrix)
-	// ApplyOffDiagPair applies the same tile to one y against two outputs
-	// (the A and B limit tiles of Algorithm 2). The TLR implementation
-	// computes the shared Vᵀ·y product once, halving the propagation cost.
-	ApplyOffDiagPair(i, j int, alpha float64, y, dst1, dst2 *linalg.Matrix)
+	// ApplyOffDiagLanes computes dst = alpha·y·L(i,j)ᵀ + beta·dst for the
+	// strictly-lower tile (i,j), i > j, in the lane-major (chains × rows)
+	// layout of the chain-blocked sweep: y holds the source tile's
+	// conditioning values and dst the accumulated conditioning sums the A/B
+	// limits of Algorithm 2 are shifted by. (The A and B limits share one
+	// conditioning sum, so a single accumulation replaces the seed's paired
+	// A/B tile updates — half the propagation GEMMs; beta = 0 overwrites
+	// dst, sparing the sweep a zeroing pass over pooled scratch.)
+	ApplyOffDiagLanes(i, j int, alpha float64, y *linalg.Matrix, beta float64, dst *linalg.Matrix)
 }
 
 // DenseFactor adapts a dense tiled Cholesky factor to the Factor interface.
@@ -68,16 +70,9 @@ func (f *DenseFactor) TileRows(i int) int { return f.L.TileRows(i) }
 // Diag implements Factor.
 func (f *DenseFactor) Diag(k int) *linalg.Matrix { return f.L.Tile(k, k) }
 
-// ApplyOffDiag implements Factor.
-func (f *DenseFactor) ApplyOffDiag(i, j int, alpha float64, y, dst *linalg.Matrix) {
-	linalg.Gemm(false, false, alpha, f.L.Tile(i, j), y, 1, dst)
-}
-
-// ApplyOffDiagPair implements Factor.
-func (f *DenseFactor) ApplyOffDiagPair(i, j int, alpha float64, y, dst1, dst2 *linalg.Matrix) {
-	t := f.L.Tile(i, j)
-	linalg.Gemm(false, false, alpha, t, y, 1, dst1)
-	linalg.Gemm(false, false, alpha, t, y, 1, dst2)
+// ApplyOffDiagLanes implements Factor.
+func (f *DenseFactor) ApplyOffDiagLanes(i, j int, alpha float64, y *linalg.Matrix, beta float64, dst *linalg.Matrix) {
+	linalg.Gemm(false, true, alpha, y, f.L.Tile(i, j), beta, dst)
 }
 
 // TLRFactor adapts a TLR Cholesky factor to the Factor interface.
@@ -101,14 +96,9 @@ func (f *TLRFactor) TileRows(i int) int { return f.L.TileRows(i) }
 // Diag implements Factor.
 func (f *TLRFactor) Diag(k int) *linalg.Matrix { return f.L.Diag[k] }
 
-// ApplyOffDiag implements Factor.
-func (f *TLRFactor) ApplyOffDiag(i, j int, alpha float64, y, dst *linalg.Matrix) {
-	f.L.Low[i][j].ApplyTo(alpha, y, dst)
-}
-
-// ApplyOffDiagPair implements Factor.
-func (f *TLRFactor) ApplyOffDiagPair(i, j int, alpha float64, y, dst1, dst2 *linalg.Matrix) {
-	f.L.Low[i][j].ApplyToPair(alpha, y, dst1, dst2)
+// ApplyOffDiagLanes implements Factor.
+func (f *TLRFactor) ApplyOffDiagLanes(i, j int, alpha float64, y *linalg.Matrix, beta float64, dst *linalg.Matrix) {
+	f.L.Low[i][j].ApplyRightTrans(alpha, y, beta, dst)
 }
 
 // GridFactor adapts a factored engine grid — tiles in whatever mix of
@@ -151,28 +141,14 @@ func (f *GridFactor) TileRows(i int) int { return f.G.TileRows(i) }
 // Diag implements Factor.
 func (f *GridFactor) Diag(k int) *linalg.Matrix { return f.G.Diag(k) }
 
-// ApplyOffDiag implements Factor.
-func (f *GridFactor) ApplyOffDiag(i, j int, alpha float64, y, dst *linalg.Matrix) {
+// ApplyOffDiagLanes implements Factor.
+func (f *GridFactor) ApplyOffDiagLanes(i, j int, alpha float64, y *linalg.Matrix, beta float64, dst *linalg.Matrix) {
 	switch t := f.G.At(i, j).(type) {
 	case *tile.DenseF64:
-		linalg.Gemm(false, false, alpha, t.D, y, 1, dst)
+		linalg.Gemm(false, true, alpha, y, t.D, beta, dst)
 	case *tile.LowRank:
-		t.ApplyTo(alpha, y, dst)
+		t.ApplyRightTrans(alpha, y, beta, dst)
 	case *tile.DenseF32:
-		linalg.Gemm(false, false, alpha, f.f32[i][j], y, 1, dst)
-	}
-}
-
-// ApplyOffDiagPair implements Factor.
-func (f *GridFactor) ApplyOffDiagPair(i, j int, alpha float64, y, dst1, dst2 *linalg.Matrix) {
-	switch t := f.G.At(i, j).(type) {
-	case *tile.DenseF64:
-		linalg.Gemm(false, false, alpha, t.D, y, 1, dst1)
-		linalg.Gemm(false, false, alpha, t.D, y, 1, dst2)
-	case *tile.LowRank:
-		t.ApplyToPair(alpha, y, dst1, dst2)
-	case *tile.DenseF32:
-		linalg.Gemm(false, false, alpha, f.f32[i][j], y, 1, dst1)
-		linalg.Gemm(false, false, alpha, f.f32[i][j], y, 1, dst2)
+		linalg.Gemm(false, true, alpha, y, f.f32[i][j], beta, dst)
 	}
 }

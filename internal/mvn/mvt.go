@@ -78,10 +78,11 @@ func scaleLimit(v, s float64) float64 {
 	return v * s
 }
 
-// PMVT evaluates the MVT probability T_n(a,b;Σ,ν) on the tiled task-parallel
-// backend: identical task graph to PMVN, with each chain's limits pre-scaled
-// by its χ² draw. Like PMVN, the randomized replicates run concurrently in
-// their own runtime groups, with all shifts pre-drawn from Options.Rng.
+// PMVT evaluates the MVT probability T_n(a,b;Σ,ν) on the chain-blocked
+// backend: the identical sweep to PMVN, with each lane's limits pre-scaled
+// by its χ² draw (the generator's extra leading coordinate). Like PMVN, the
+// randomized replicates run concurrently in their own runtime groups, with
+// all shifts pre-drawn from Options.Rng.
 func PMVT(rt *taskrt.Runtime, f Factor, a, b []float64, nu float64, opt Options) Result {
 	n := f.N()
 	if len(a) != n || len(b) != n {
@@ -90,10 +91,5 @@ func PMVT(rt *taskrt.Runtime, f Factor, a, b []float64, nu float64, opt Options)
 	if nu <= 0 {
 		panic("mvn: degrees of freedom must be positive")
 	}
-	o := opt.withDefaults(f.TS())
-	gens := drawGenerators(n+1, o)
-	probs := runReplicates(rt, gens, func(sub taskrt.Submitter, gen qmc.Generator) float64 {
-		return pmvnScaled(sub, f, a, b, gen, o.N, o.SampleTile, nu)
-	})
-	return reduceReplicates(probs)
+	return integrate(rt, f, a, b, opt.withDefaults(f.TS()), nu)
 }

@@ -15,17 +15,27 @@ import (
 type Options struct {
 	// N is the QMC sample size (number of chains). Default 1000.
 	N int
-	// SampleTile is the number of chains per tile column (the m of
+	// SampleTile is the number of chains per lane block (the m of
 	// Algorithm 3 along the sample axis). Default: the factor tile size.
 	SampleTile int
 	// NewGen builds the point generator for a replicate given its shift;
-	// nil means the Richtmyer lattice (the paper's QMC choice).
+	// nil means the Richtmyer lattice (the paper's QMC choice), drawn from a
+	// pool so warm queries allocate nothing. Generators implementing
+	// qmc.BlockGenerator feed the lane blocks by random access; others are
+	// pre-expanded once per replicate.
 	NewGen func(dim int, shift []float64) qmc.Generator
 	// Replicates is the number of randomized-shift replicates used for the
 	// error estimate. Default 1 (no error estimate).
 	Replicates int
 	// Rng drives the replicate shifts. Default: deterministic seed 1.
 	Rng *rand.Rand
+	// Inline runs the integration on the calling goroutine instead of
+	// fanning sample-tile columns out as runtime tasks. Batched callers set
+	// it so each query occupies exactly one worker; a warm (cached-factor)
+	// inline query runs allocation-free. It is implied when the runtime is
+	// nil or has a single worker, where task submission is pure overhead.
+	// Results are bit-identical either way.
+	Inline bool
 }
 
 func (o Options) withDefaults(ts int) Options {
@@ -38,16 +48,8 @@ func (o Options) withDefaults(ts int) Options {
 	if o.SampleTile > o.N {
 		o.SampleTile = o.N
 	}
-	if o.NewGen == nil {
-		o.NewGen = func(dim int, shift []float64) qmc.Generator {
-			return qmc.NewRichtmyerShifted(dim, shift)
-		}
-	}
 	if o.Replicates <= 0 {
 		o.Replicates = 1
-	}
-	if o.Rng == nil {
-		o.Rng = rand.New(rand.NewSource(1))
 	}
 	return o
 }
@@ -60,47 +62,63 @@ type Result struct {
 }
 
 // PMVN evaluates Φn(a,b;0,Σ) = E[Π factors] given a Cholesky factor of Σ
-// (dense tiled or TLR), running the paper's Algorithm 2 as a task graph on
-// rt: per-tile QMC kernels on the diagonal rows and GEMM propagation tasks
-// below, parallel across sample-tile columns. Randomized-QMC replicates run
-// concurrently, each as its own task-graph instance in its own runtime
-// group; PMVN itself is safe to call from multiple goroutines on one
-// runtime (the Factor is only read).
+// (dense tiled, TLR or adaptive), running the paper's Algorithm 2 with the
+// chain-blocked SOV sweep: every sample-tile column is an independent lane
+// block swept left-looking through the factor, parallel across columns and
+// across randomized-QMC replicates. PMVN is safe to call from multiple
+// goroutines on one runtime (the Factor is only read).
 func PMVN(rt *taskrt.Runtime, f Factor, a, b []float64, opt Options) Result {
 	n := f.N()
 	if len(a) != n || len(b) != n {
 		panic(fmt.Sprintf("mvn: limits length %d,%d != dimension %d", len(a), len(b), n))
 	}
-	o := opt.withDefaults(f.TS())
-	gens := drawGenerators(n, o)
-	probs := runReplicates(rt, gens, func(sub taskrt.Submitter, gen qmc.Generator) float64 {
-		return pmvnScaled(sub, f, a, b, gen, o.N, o.SampleTile, 0)
-	})
-	return reduceReplicates(probs)
+	return integrate(rt, f, a, b, opt.withDefaults(f.TS()), 0)
 }
 
-// drawGenerators pre-draws all replicate shifts from the (shared, not
-// goroutine-safe) Options.Rng up front, so the replicates themselves can run
-// concurrently without touching it.
-func drawGenerators(dim int, o Options) []qmc.Generator {
+// integrate runs the replicated integration behind PMVN (nu = 0) and PMVT
+// (nu > 0) on defaulted options.
+func integrate(rt *taskrt.Runtime, f Factor, a, b []float64, o Options, nu float64) Result {
+	genDim := f.N()
+	if nu > 0 {
+		genDim++
+	}
+	inline := o.Inline || rt == nil || rt.Workers() == 1
+
+	// Warm fast path: one replicate, default generator — a pooled lattice
+	// and pooled workspaces end to end, so a cached-factor query allocates
+	// nothing.
+	if o.Replicates == 1 && o.NewGen == nil {
+		g := qmc.GetRichtmyer(genDim, nil)
+		p := runReplicate(rt, f, a, b, g, o, nu, inline)
+		qmc.PutRichtmyer(g)
+		return Result{Prob: clampProb(p)}
+	}
+
+	// Replicated path: pre-draw all shifts from the (shared, not
+	// goroutine-safe) Rng up front, then run the replicates concurrently
+	// unless inline.
+	rng := o.Rng
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
 	gens := make([]qmc.Generator, o.Replicates)
 	for rep := range gens {
 		var shift []float64
 		if rep > 0 {
-			shift = qmc.RandomShift(dim, o.Rng)
+			shift = qmc.RandomShift(genDim, rng)
 		}
-		gens[rep] = o.NewGen(dim, shift)
+		if o.NewGen != nil {
+			gens[rep] = o.NewGen(genDim, shift)
+		} else {
+			gens[rep] = qmc.NewRichtmyerShifted(genDim, shift)
+		}
 	}
-	return gens
-}
-
-// runReplicates evaluates one integration per generator, concurrently when
-// there is more than one, each inside its own runtime group.
-func runReplicates(rt *taskrt.Runtime, gens []qmc.Generator, eval func(taskrt.Submitter, qmc.Generator) float64) []float64 {
 	probs := make([]float64, len(gens))
-	if len(gens) == 1 {
-		probs[0] = eval(rt.NewGroup(), gens[0])
-		return probs
+	if inline || len(gens) == 1 {
+		for rep, gen := range gens {
+			probs[rep] = runReplicate(rt, f, a, b, gen, o, nu, inline)
+		}
+		return reduceReplicates(probs)
 	}
 	var wg sync.WaitGroup
 	for rep := range gens {
@@ -108,11 +126,63 @@ func runReplicates(rt *taskrt.Runtime, gens []qmc.Generator, eval func(taskrt.Su
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			probs[rep] = eval(rt.NewGroup(), gens[rep])
+			probs[rep] = runReplicate(rt, f, a, b, gens[rep], o, nu, false)
 		}()
 	}
 	wg.Wait()
-	return probs
+	return reduceReplicates(probs)
+}
+
+// runReplicate evaluates one replicate: the sample-tile columns are
+// independent lane blocks, swept inline on the calling goroutine or fanned
+// out as one task each in their own runtime group. The per-column sums land
+// in fixed slots, so the estimate is deterministic regardless of scheduling.
+func runReplicate(rt *taskrt.Runtime, f Factor, a, b []float64, gen qmc.Generator, o Options, nu float64, inline bool) float64 {
+	if gen.Dim() != genDimFor(f, nu) {
+		panic(fmt.Sprintf("mvn: generator dim %d, want %d", gen.Dim(), genDimFor(f, nu)))
+	}
+	n, mc := o.N, o.SampleTile
+	kt := (n + mc - 1) / mc
+	sums := linalg.GetVec(kt)
+	if inline || kt == 1 {
+		// Kept free of the task path's closures so the block source stays
+		// on the stack: the warm inline query allocates nothing.
+		src := newBlockSource(gen, n)
+		for k := 0; k < kt; k++ {
+			sums[k] = sweepColumn(f, a, b, &src, k*mc, min(mc, n-k*mc), nu)
+		}
+		src.release()
+	} else {
+		runColumnTasks(rt, f, a, b, gen, sums, n, mc, nu)
+	}
+	sum := 0.0
+	for _, v := range sums {
+		sum += v
+	}
+	linalg.PutVec(sums)
+	return sum / float64(n)
+}
+
+// runColumnTasks fans the sample-tile columns out as one task each in their
+// own runtime group (the block source is read-only across them).
+func runColumnTasks(rt *taskrt.Runtime, f Factor, a, b []float64, gen qmc.Generator, sums []float64, n, mc int, nu float64) {
+	src := newBlockSource(gen, n)
+	g := rt.NewGroup()
+	for k := range sums {
+		k := k
+		g.Submit("qmc", 0, func() {
+			sums[k] = sweepColumn(f, a, b, &src, k*mc, min(mc, n-k*mc), nu)
+		})
+	}
+	g.Wait()
+	src.release()
+}
+
+func genDimFor(f Factor, nu float64) int {
+	if nu > 0 {
+		return f.N() + 1
+	}
+	return f.N()
 }
 
 // reduceReplicates averages the replicate estimates and, with ≥2 replicates,
@@ -135,194 +205,3 @@ func reduceReplicates(probs []float64) Result {
 }
 
 func clampProb(p float64) float64 { return math.Min(1, math.Max(0, p)) }
-
-// pmvnScaled runs one replicate of the tiled integration, submitting its
-// task graph through rt — a runtime group when replicates or batched
-// queries run concurrently. With nu > 0 it computes the Student-t variant:
-// the generator then has dimension dim+1 and each chain's limits are scaled
-// by s_j = √(χ²inv_ν(w₀)/ν); nu ≤ 0 is the plain MVN path.
-func pmvnScaled(rt taskrt.Submitter, f Factor, a, b []float64, gen qmc.Generator, n, mc int, nu float64) float64 {
-	dim := f.N()
-	nt := f.NT()
-	ts := f.TS()
-	kt := (n + mc - 1) / mc
-	tileCols := func(k int) int {
-		if k == kt-1 {
-			if c := n - k*mc; c > 0 {
-				return c
-			}
-		}
-		return min(mc, n)
-	}
-
-	// Per-(rowTile, colTile) work matrices. A and B start as the limit
-	// vectors replicated across chains (Algorithm 2 lines 2–3); R holds the
-	// QMC points; Y the conditioning values.
-	aT := make([][]*linalg.Matrix, nt)
-	bT := make([][]*linalg.Matrix, nt)
-	rT := make([][]*linalg.Matrix, nt)
-	yT := make([][]*linalg.Matrix, nt)
-	for r := 0; r < nt; r++ {
-		rows := f.TileRows(r)
-		aT[r] = make([]*linalg.Matrix, kt)
-		bT[r] = make([]*linalg.Matrix, kt)
-		rT[r] = make([]*linalg.Matrix, kt)
-		yT[r] = make([]*linalg.Matrix, kt)
-		for k := 0; k < kt; k++ {
-			cols := tileCols(k)
-			am := linalg.NewMatrix(rows, cols)
-			bm := linalg.NewMatrix(rows, cols)
-			for j := 0; j < cols; j++ {
-				ac, bc := am.Col(j), bm.Col(j)
-				for i := 0; i < rows; i++ {
-					ac[i] = a[r*ts+i]
-					bc[i] = b[r*ts+i]
-				}
-			}
-			aT[r][k] = am
-			bT[r][k] = bm
-			rT[r][k] = linalg.NewMatrix(rows, cols)
-			yT[r][k] = linalg.NewMatrix(rows, cols)
-		}
-	}
-	// Scatter the QMC points: point j is the j-th global sample column. In
-	// the Student-t variant the leading coordinate of each point fixes the
-	// chain's χ² scale, which is folded into that chain's A/B limits.
-	genDim := dim
-	if nu > 0 {
-		genDim = dim + 1
-	}
-	if gen.Dim() != genDim {
-		panic(fmt.Sprintf("mvn: generator dim %d, want %d", gen.Dim(), genDim))
-	}
-	point := make([]float64, genDim)
-	for j := 0; j < n; j++ {
-		gen.Next(point)
-		coords := point
-		s := 1.0
-		if nu > 0 {
-			s = chiScale(point[0], nu)
-			coords = point[1:]
-		}
-		k := j / mc
-		jj := j - k*mc
-		for r := 0; r < nt; r++ {
-			rows := f.TileRows(r)
-			copy(rT[r][k].Col(jj), coords[r*ts:r*ts+rows])
-			if nu > 0 {
-				ac := aT[r][k].Col(jj)
-				bc := bT[r][k].Col(jj)
-				for i := 0; i < rows; i++ {
-					ac[i] = scaleLimit(a[r*ts+i], s)
-					bc[i] = scaleLimit(b[r*ts+i], s)
-				}
-			}
-		}
-	}
-	// Per-column-tile probability accumulators.
-	p := make([][]float64, kt)
-	for k := range p {
-		p[k] = make([]float64, tileCols(k))
-		for j := range p[k] {
-			p[k][j] = 1
-		}
-	}
-
-	// Handles: one per (A,B) tile pair, one per Y tile, one per p segment.
-	hAB := make([][]*taskrt.Handle, nt)
-	hY := make([][]*taskrt.Handle, nt)
-	for r := 0; r < nt; r++ {
-		hAB[r] = make([]*taskrt.Handle, kt)
-		hY[r] = make([]*taskrt.Handle, kt)
-		for k := 0; k < kt; k++ {
-			hAB[r][k] = rt.NewHandle("AB(%d,%d)", r, k)
-			hY[r][k] = rt.NewHandle("Y(%d,%d)", r, k)
-		}
-	}
-	hP := make([]*taskrt.Handle, kt)
-	for k := range hP {
-		hP[k] = rt.NewHandle("p(%d)", k)
-	}
-
-	// Row 0: QMC kernels (Algorithm 2 lines 5–7, red box (b)).
-	for k := 0; k < kt; k++ {
-		k := k
-		rt.Submit("qmc", nt, func() {
-			qmcKernel(f.Diag(0), rT[0][k], aT[0][k], bT[0][k], yT[0][k], p[k])
-		}, taskrt.Read(hAB[0][k]), taskrt.Write(hY[0][k]), taskrt.ReadWrite(hP[k]))
-	}
-	// Rows 1..nt-1: propagation GEMMs then QMC (lines 8–18, boxes (c),(d)).
-	for r := 1; r < nt; r++ {
-		r := r
-		for j := r; j < nt; j++ {
-			j := j
-			for k := 0; k < kt; k++ {
-				k := k
-				rt.Submit("prop", nt-r, func() {
-					f.ApplyOffDiagPair(j, r-1, -1, yT[r-1][k], aT[j][k], bT[j][k])
-				}, taskrt.Read(hY[r-1][k]), taskrt.ReadWrite(hAB[j][k]))
-			}
-		}
-		for k := 0; k < kt; k++ {
-			k := k
-			rt.Submit("qmc", nt-r, func() {
-				qmcKernel(f.Diag(r), rT[r][k], aT[r][k], bT[r][k], yT[r][k], p[k])
-			}, taskrt.Read(hAB[r][k]), taskrt.Write(hY[r][k]), taskrt.ReadWrite(hP[k]))
-		}
-	}
-	rt.Wait()
-
-	sum := 0.0
-	for k := 0; k < kt; k++ {
-		for _, pj := range p[k] {
-			sum += pj
-		}
-	}
-	return sum / float64(n)
-}
-
-// qmcKernel is Algorithm 3: it advances every chain (column) of one tile by
-// the tile's rows, multiplying the interval-probability factors into p and
-// writing the conditioning values into the Y tile. The A and B tiles
-// already contain the limits minus all inter-tile contributions; intra-tile
-// contributions are accumulated through the lower triangle of lkk.
-//
-// The intra-tile recurrence needs row i of the column-major lkk at every
-// chain step — a stride-m walk. The rows are packed once per kernel
-// invocation into row-major pooled scratch (O(m²) work amortized over the
-// tile's chains), making the inner dot product stride-1 on both operands.
-func qmcKernel(lkk, rTile, aTile, bTile, yTile *linalg.Matrix, p []float64) {
-	m := lkk.Rows
-	mc := aTile.Cols
-	rows := linalg.GetVec(m * m)
-	for i := 0; i < m; i++ {
-		ri := rows[i*m : i*m+i+1]
-		for t := 0; t <= i; t++ {
-			ri[t] = lkk.At(i, t)
-		}
-	}
-	for j := 0; j < mc; j++ {
-		yCol := yTile.Col(j)
-		aCol := aTile.Col(j)
-		bCol := bTile.Col(j)
-		rCol := rTile.Col(j)
-		pj := p[j]
-		for i := 0; i < m; i++ {
-			if pj == 0 {
-				// Dead chain: keep Y finite, skip the special functions.
-				for t := i; t < m; t++ {
-					yCol[t] = 0
-				}
-				break
-			}
-			ri := rows[i*m : i*m+i+1]
-			acc := linalg.Dot(ri[:i], yCol[:i])
-			d := ri[i]
-			factor, yi := chainStep(shiftLimit(aCol[i], acc, d), shiftLimit(bCol[i], acc, d), rCol[i])
-			pj *= factor
-			yCol[i] = yi
-		}
-		p[j] = pj
-	}
-	linalg.PutVec(rows)
-}

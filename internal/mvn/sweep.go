@@ -1,0 +1,320 @@
+package mvn
+
+import (
+	"math"
+
+	"repro/internal/linalg"
+	"repro/internal/qmc"
+	"repro/internal/stats"
+)
+
+// The chain-blocked SOV path. One sample-tile column — a lane block of mc
+// chains — runs through the whole factor in a single left-looking sweep:
+// at row tile r the A/B limit tiles are initialized from the limits, all
+// inter-tile conditioning contributions Σ_{t<r} Y_t·L(r,t)ᵀ are applied as
+// lane-major GEMMs, and the diagonal kernel advances every lane through the
+// tile's rows with batched special functions. Work tiles are laid out
+// chain-major (mc × rows): the sample lanes run down the stride-1 axis, so
+// the intra-tile conditioning at row i is i stride-1 axpys across lanes and
+// the Genz step applies Φ/Φ⁻¹ to one contiguous lane vector.
+//
+// Compared to the seed's right-looking task graph (per-(row,column) QMC
+// kernels with GEMM propagation tasks fanned between them), columns are now
+// fully independent: no handles, no cross-column barriers, and a column
+// whose lanes have all died (p == 0) stops sweeping — skipping every
+// remaining propagation GEMM, QMC block generation and special-function row
+// for that block. All working storage is pooled, so a warm query allocates
+// nothing.
+
+// blockSource supplies lane-major QMC point blocks: fill writes
+// dst[lane][d] = coordinate d0+d of point p0+lane. Random-access generators
+// serve blocks directly (and are safe for concurrent column tasks, since
+// FillBlock does not touch sequential state); sequential generators are
+// pre-expanded into a pooled lane-major matrix.
+type blockSource struct {
+	bg  qmc.BlockGenerator
+	pre *linalg.Matrix // (points × dim) lane-major, used when bg is nil
+}
+
+func newBlockSource(gen qmc.Generator, n int) blockSource {
+	if bg, ok := gen.(qmc.BlockGenerator); ok {
+		return blockSource{bg: bg}
+	}
+	pre := linalg.GetMat(n, gen.Dim())
+	qmc.NextBlock(gen, pre, n)
+	return blockSource{pre: pre}
+}
+
+func (s *blockSource) fill(dst *linalg.Matrix, p0, d0 int) {
+	if s.bg != nil {
+		s.bg.FillBlock(dst, p0, d0)
+		return
+	}
+	for d := 0; d < dst.Cols; d++ {
+		src := s.pre.Col(d0 + d)
+		copy(dst.Col(d), src[p0:p0+dst.Rows])
+	}
+}
+
+func (s *blockSource) release() {
+	if s.pre != nil {
+		linalg.PutMat(s.pre)
+		s.pre = nil
+	}
+}
+
+// laneWS is the per-column lane scratch: one mc-length vector per
+// intermediate of the batched Genz step.
+type laneWS struct {
+	acc, aP, bP, dif, da, u []float64
+}
+
+func getLaneWS(mc int) (laneWS, []float64) {
+	buf := linalg.GetVec(6 * mc)
+	return laneWS{
+		acc: buf[0*mc : 1*mc],
+		aP:  buf[1*mc : 2*mc],
+		bP:  buf[2*mc : 3*mc],
+		dif: buf[3*mc : 4*mc],
+		da:  buf[4*mc : 5*mc],
+		u:   buf[5*mc : 6*mc],
+	}, buf
+}
+
+// freeSpan reports whether rows row0..row0+rows-1 are all unconstrained
+// ((-∞,+∞) limits): such rows contribute factor 1 and y = Φ⁻¹(w) regardless
+// of the conditioning values, so whole free tiles skip their limit tiles and
+// incoming propagation GEMMs entirely — the PrefixProb query shape
+// constrains only a prefix of the locations and leaves most rows free.
+func freeSpan(a, b []float64, row0, rows int) bool {
+	for i := row0; i < row0+rows; i++ {
+		if !math.IsInf(a[i], -1) || !math.IsInf(b[i], 1) {
+			return false
+		}
+	}
+	return true
+}
+
+// sweepColumn integrates the lane block of mc chains starting at global
+// sample index kOff through the whole factor and returns Σ_lanes p. With
+// nu > 0 it computes the Student-t variant: the generator's leading
+// coordinate fixes each lane's χ² scale. Everything it touches is pooled or
+// caller-owned; concurrent calls for disjoint columns are safe (the Factor
+// is only read).
+func sweepColumn(f Factor, a, b []float64, src *blockSource, kOff, mc int, nu float64) float64 {
+	nt, ts := f.NT(), f.TS()
+	yAll := linalg.GetMat(mc, f.N())
+	p := linalg.GetVec(mc)
+	for l := range p {
+		p[l] = 1
+	}
+	ws, wsBuf := getLaneWS(mc)
+	d0Base := 0
+	var s []float64
+	if nu > 0 {
+		// Leading QMC coordinate → per-lane scale s = √(χ²inv_ν(w₀)/ν).
+		d0Base = 1
+		s = linalg.GetVec(mc)
+		w0 := linalg.GetMat(mc, 1)
+		src.fill(w0, kOff, 0)
+		for l, w := range w0.Col(0) {
+			s[l] = chiScale(w, nu)
+		}
+		linalg.PutMat(w0)
+	}
+
+	alive := mc
+	for r := 0; r < nt && alive > 0; r++ {
+		rows := f.TileRows(r)
+		row0 := r * ts
+		yT := linalg.GetMatView(yAll, 0, row0, mc, rows)
+		rT := linalg.GetMat(mc, rows)
+		src.fill(rT, kOff, d0Base+row0)
+		if freeSpan(a, b, row0, rows) {
+			// Unconstrained tile: y = Φ⁻¹(w) for the whole block, factors 1,
+			// and no conditioning GEMMs into it at all.
+			stats.PhiInvBatch(rT.Data[:mc*rows], yT.Data[:mc*rows])
+			clampFreeY(yT.Data[:mc*rows])
+			linalg.PutMat(rT)
+			linalg.PutMatView(yT)
+			continue
+		}
+		// The A and B limits of Algorithm 2 are shifted by the SAME
+		// conditioning sum, so one accumulator tile serves both — half the
+		// propagation GEMMs of the seed's paired A/B updates. The first
+		// apply overwrites (beta 0), so the pooled tile needs no zeroing.
+		var cond *linalg.Matrix
+		if r > 0 {
+			cond = linalg.GetMat(mc, rows)
+			for t := 0; t < r; t++ {
+				yPrev := linalg.GetMatView(yAll, 0, t*ts, mc, f.TileRows(t))
+				beta := 1.0
+				if t == 0 {
+					beta = 0
+				}
+				f.ApplyOffDiagLanes(r, t, 1, yPrev, beta, cond)
+				linalg.PutMatView(yPrev)
+			}
+		}
+		alive = qmcKernelLanes(f.Diag(r), rT, cond, yT, a, b, row0, s, p, ws, alive)
+		linalg.PutMat(cond)
+		linalg.PutMat(rT)
+		linalg.PutMatView(yT)
+	}
+
+	sum := 0.0
+	for _, v := range p {
+		sum += v
+	}
+	if s != nil {
+		linalg.PutVec(s)
+	}
+	linalg.PutVec(wsBuf)
+	linalg.PutVec(p)
+	linalg.PutMat(yAll)
+	return sum
+}
+
+// qmcKernelLanes is Algorithm 3 over one lane block: it advances every lane
+// (chain) of the block through the tile's rows, multiplying the interval
+// probability factors into p and writing the conditioning values into yT.
+// cond holds the inter-tile conditioning sums (nil for the first row tile);
+// intra-tile contributions accumulate on top of it through the lower
+// triangle of lkk, packed row-major once per invocation so the lane axpys
+// read stride-1 coefficients. The (optionally χ²-scaled by s) limits are
+// broadcast per row straight from a and b — no limit tiles exist. It
+// returns the updated count of alive lanes and stops early once none remain
+// (the unread tail of yT stays undefined — the caller abandons the sweep).
+//
+// Rows with most lanes alive run the batched Genz step — shifted limits,
+// the fused PhiIntervalPhiBatch and PhiInvBatch over the contiguous lane
+// vectors, then a fix-up pass for dead lanes, empty intervals and tail
+// clamps. Once most lanes are dead the scalar chainStep over the survivors
+// is cheaper than full-width batches; both paths compute identical values.
+func qmcKernelLanes(lkk, rT, cond, yT *linalg.Matrix, a, b []float64, row0 int, s, p []float64, ws laneWS, alive int) int {
+	m := lkk.Rows
+	mc := len(p)
+	rows := linalg.GetVec(m * m)
+	for i := 0; i < m; i++ {
+		ri := rows[i*m : i*m+i+1]
+		for t := 0; t <= i; t++ {
+			ri[t] = lkk.At(i, t)
+		}
+	}
+	for i := 0; i < m && alive > 0; i++ {
+		yCol := yT.Col(i)
+		wCol := rT.Col(i)
+		av, bv := a[row0+i], b[row0+i]
+		if math.IsInf(av, -1) && math.IsInf(bv, 1) {
+			// Free row inside a constrained tile: factor 1, y = Φ⁻¹(w); the
+			// conditioning sum cancels out of the (-∞,+∞) interval entirely.
+			stats.PhiInvBatch(wCol, yCol)
+			clampFreeY(yCol)
+			continue
+		}
+		ri := rows[i*m : i*m+i+1]
+		// The intra-tile terms accumulate directly on top of the inter-tile
+		// sums: cond's column i is consumed exactly once, at this row.
+		acc := ws.acc
+		if cond != nil {
+			acc = cond.Col(i)
+		} else {
+			for l := range acc {
+				acc[l] = 0
+			}
+		}
+		for t := 0; t < i; t++ {
+			if c := ri[t]; c != 0 {
+				linalg.Axpy(c, yT.Col(t), acc)
+			}
+		}
+		d := ri[i]
+		if 4*alive >= 3*mc {
+			// Batch path: shift the broadcast limits by the conditioning
+			// sums. (limit − acc)/d preserves ±∞ limits, so no per-lane
+			// infinity branch is needed.
+			aP, bP := ws.aP, ws.bP
+			shiftLanes(aP, av, acc, d, s)
+			shiftLanes(bP, bv, acc, d, s)
+			stats.PhiIntervalPhiBatch(aP, bP, ws.dif, ws.da)
+			u := ws.u
+			for l := 0; l < mc; l++ {
+				u[l] = ws.da[l] + wCol[l]*ws.dif[l]
+			}
+			stats.PhiInvBatch(u, yCol)
+			for l := 0; l < mc; l++ {
+				switch {
+				case p[l] == 0:
+					yCol[l] = 0 // dead lane: keep Y finite
+				case ws.dif[l] <= 0:
+					yCol[l] = emptyIntervalY(aP[l], bP[l])
+					p[l] = 0
+					alive--
+				default:
+					if y := yCol[l]; math.IsInf(y, 0) || math.IsNaN(y) {
+						yCol[l] = clampTailY(y, aP[l], bP[l])
+					}
+					p[l] *= ws.dif[l]
+					if p[l] == 0 {
+						alive--
+					}
+				}
+			}
+			continue
+		}
+		// Sparse path: only the surviving lanes pay the special functions.
+		for l := 0; l < mc; l++ {
+			if p[l] == 0 {
+				yCol[l] = 0
+				continue
+			}
+			al, bl := av, bv
+			if s != nil {
+				al, bl = scaleLimit(av, s[l]), scaleLimit(bv, s[l])
+			}
+			factor, yi := chainStep(shiftLimit(al, acc[l], d), shiftLimit(bl, acc[l], d), wCol[l])
+			p[l] *= factor
+			yCol[l] = yi
+			if p[l] == 0 {
+				alive--
+			}
+		}
+	}
+	linalg.PutVec(rows)
+	return alive
+}
+
+// clampFreeY applies chainStep's tail clamp to the free-row fast path:
+// Φ⁻¹ of an exact 0 or 1 draw (possible with a custom generator that does
+// not clamp its output into (0,1)) would send an infinity into the Y grid
+// and NaN every downstream conditioning sum. The in-repo generators never
+// produce one, so the scan stays branch-predicted free.
+func clampFreeY(ys []float64) {
+	for l, y := range ys {
+		if math.IsInf(y, 0) || math.IsNaN(y) {
+			ys[l] = clampTailY(y, math.Inf(-1), math.Inf(1))
+		}
+	}
+}
+
+// shiftLanes fills dst[l] = (limit·s[l] − acc[l])/d — the per-lane shifted
+// limit of one row. An infinite limit short-circuits to itself across all
+// lanes (the χ² scale and the conditioning shift both preserve it); s is nil
+// for the plain MVN path.
+func shiftLanes(dst []float64, limit float64, acc []float64, d float64, s []float64) {
+	if math.IsInf(limit, 0) {
+		for l := range dst {
+			dst[l] = limit
+		}
+		return
+	}
+	if s == nil {
+		for l := range dst {
+			dst[l] = (limit - acc[l]) / d
+		}
+		return
+	}
+	for l := range dst {
+		dst[l] = (limit*s[l] - acc[l]) / d
+	}
+}

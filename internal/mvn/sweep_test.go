@@ -1,0 +1,220 @@
+package mvn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/qmc"
+	"repro/internal/taskrt"
+	"repro/internal/tile"
+	"repro/internal/tiledalg"
+	"repro/internal/tlr"
+)
+
+// randomSPD builds a random SPD covariance with unit-scale diagonal: a
+// random square root plus a diagonal shift.
+func randomSPD(n int, rng *rand.Rand) *linalg.Matrix {
+	g := linalg.NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		col := g.Col(j)
+		for i := range col {
+			col[i] = rng.NormFloat64() / math.Sqrt(float64(n))
+		}
+	}
+	s := linalg.NewMatrix(n, n)
+	linalg.Syrk(false, 1, g, 0, s)
+	s.SymmetrizeFromLower()
+	for i := 0; i < n; i++ {
+		s.Add(i, i, 1)
+	}
+	return s
+}
+
+// randomLimits draws limit vectors mixing finite values, half-open and free
+// coordinates — the shapes the lane kernel's fast paths dispatch on.
+func randomLimits(n int, rng *rand.Rand) (a, b []float64) {
+	a = make([]float64, n)
+	b = make([]float64, n)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(4) {
+		case 0: // finite box
+			a[i] = -1 - rng.Float64()
+			b[i] = rng.Float64() * 2
+		case 1: // exceedance
+			a[i] = -0.5 - rng.Float64()
+			b[i] = math.Inf(1)
+		case 2: // lower tail
+			a[i] = math.Inf(-1)
+			b[i] = 0.5 + rng.Float64()
+		default: // free
+			a[i] = math.Inf(-1)
+			b[i] = math.Inf(1)
+		}
+	}
+	return a, b
+}
+
+// TestChainBlockedMatchesSequentialRandomSPD pins the chain-blocked sweep
+// against the scalar SOV reference on random SPD matrices and mixed limit
+// shapes, for both MVN and MVT, at a tile size that exercises ragged edge
+// tiles and multiple lane blocks.
+func TestChainBlockedMatchesSequentialRandomSPD(t *testing.T) {
+	rt := taskrt.New(3)
+	defer rt.Shutdown()
+	const N = 400
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed + 100))
+		n := 20 + rng.Intn(25)
+		sigma := randomSPD(n, rng)
+		l, err := linalg.Cholesky(sigma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b := randomLimits(n, rng)
+
+		tl := tile.FromDense(sigma, 7)
+		if err := tiledalg.Potrf(rt, tl); err != nil {
+			t.Fatal(err)
+		}
+		f := NewDenseFactor(tl)
+
+		want := SOVSequential(a, b, l, qmc.NewRichtmyer(n), N)
+		got := PMVN(rt, f, a, b, Options{N: N, SampleTile: 64})
+		tol := 1e-9 * math.Max(1, math.Abs(want))
+		if math.Abs(got.Prob-want) > tol {
+			t.Errorf("seed %d (n=%d): chain-blocked %v vs sequential %v", seed, n, got.Prob, want)
+		}
+
+		nu := 3 + 5*rng.Float64()
+		wantT := SOVSequentialT(a, b, l, nu, qmc.NewRichtmyer(n+1), N)
+		gotT := PMVT(rt, f, a, b, nu, Options{N: N, SampleTile: 64})
+		if math.Abs(gotT.Prob-wantT) > tol {
+			t.Errorf("seed %d (n=%d, nu=%.2f): chain-blocked MVT %v vs sequential %v", seed, n, nu, gotT.Prob, wantT)
+		}
+	}
+}
+
+// TestPMVNInlineMatchesTasks: the inline sweep and the task-fanned sweep
+// must produce bit-identical results — the batch fan-out relies on it.
+func TestPMVNInlineMatchesTasks(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	n := 30
+	sigma := randomSPD(n, rng)
+	a, b := randomLimits(n, rng)
+	rt := taskrt.New(4)
+	defer rt.Shutdown()
+	tl := tile.FromDense(sigma, 8)
+	if err := tiledalg.Potrf(rt, tl); err != nil {
+		t.Fatal(err)
+	}
+	f := NewDenseFactor(tl)
+	for _, reps := range []int{1, 3} {
+		opt := Options{N: 300, SampleTile: 32, Replicates: reps}
+		tasks := PMVN(rt, f, a, b, opt)
+		opt.Inline = true
+		inline := PMVN(rt, f, a, b, opt)
+		if tasks != inline {
+			t.Errorf("replicates=%d: inline %+v != tasks %+v", reps, inline, tasks)
+		}
+		tasksT := PMVT(rt, f, a, b, 4, opt)
+		opt.Inline = false
+		inlineT := PMVT(rt, f, a, b, 4, opt)
+		if tasksT != inlineT {
+			t.Errorf("replicates=%d: MVT inline %+v != tasks %+v", reps, inlineT, tasksT)
+		}
+	}
+}
+
+// TestPMVNPrefixShape: the PrefixProb query shape (constrained prefix,
+// free elsewhere) rides the free-row/free-tile fast paths; pin it against
+// the sequential reference and against the dense-limit equivalent.
+func TestPMVNPrefixShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 40
+	sigma := randomSPD(n, rng)
+	l, err := linalg.Cholesky(sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i] = math.Inf(-1)
+		b[i] = math.Inf(1)
+	}
+	// Scattered prefix: constrain 9 locations spread over the tiles.
+	for i := 0; i < n; i += 5 {
+		a[i] = -0.3
+	}
+	rt := taskrt.New(2)
+	defer rt.Shutdown()
+	tl := tile.FromDense(sigma, 8)
+	if err := tiledalg.Potrf(rt, tl); err != nil {
+		t.Fatal(err)
+	}
+	f := NewDenseFactor(tl)
+	const N = 2000
+	want := SOVSequential(a, b, l, qmc.NewRichtmyer(n), N)
+	got := PMVN(rt, f, a, b, Options{N: N})
+	if math.Abs(got.Prob-want) > 1e-9 {
+		t.Errorf("prefix shape: chain-blocked %v vs sequential %v", got.Prob, want)
+	}
+}
+
+// TestPMVNTLRLaneApply pins the lane-major low-rank propagation: a TLR
+// factor at tight tolerance must reproduce the dense chain-blocked result.
+func TestPMVNTLRLaneApplyMatchesDense(t *testing.T) {
+	// Covered for kernels in mvn_test (TestPMVNTLRMatchesDense); here the
+	// lane-major ApplyRightTrans path is exercised with rank-0 tiles too:
+	// a block-diagonal covariance compresses off-diagonal tiles to rank 0.
+	n := 24
+	sigma := linalg.NewMatrix(n, n)
+	rng := rand.New(rand.NewSource(3))
+	for blk := 0; blk < 3; blk++ {
+		base := blk * 8
+		s := randomSPD(8, rng)
+		for j := 0; j < 8; j++ {
+			for i := 0; i < 8; i++ {
+				sigma.Set(base+i, base+j, s.At(i, j))
+			}
+		}
+	}
+	l, err := linalg.Cholesky(sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i] = -0.8
+		b[i] = 1.5
+	}
+	rt := taskrt.New(2)
+	defer rt.Shutdown()
+	const N = 500
+	want := SOVSequential(a, b, l, qmc.NewRichtmyer(n), N)
+	tc, err := tlr.CompressSPDPar(rt.NewGroup(), tile.FromDense(sigma, 8), 1e-10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero := 0
+	for i := 1; i < tc.NT; i++ {
+		for j := 0; j < i; j++ {
+			if tc.Low[i][j].Rank() == 0 {
+				zero++
+			}
+		}
+	}
+	if zero == 0 {
+		t.Fatal("block-diagonal covariance produced no rank-0 tiles; test is vacuous")
+	}
+	if err := tlr.Potrf(rt.NewGroup(), tc); err != nil {
+		t.Fatal(err)
+	}
+	got := PMVN(rt, NewTLRFactor(tc), a, b, Options{N: N})
+	if math.Abs(got.Prob-want) > 1e-8 {
+		t.Errorf("block-diagonal TLR: %v vs sequential %v", got.Prob, want)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"repro/internal/linalg"
 )
@@ -23,6 +24,60 @@ type Generator interface {
 	Next(dst []float64)
 	// Reset rewinds the sequence to its beginning.
 	Reset()
+}
+
+// BlockGenerator is a Generator whose point k is a direct function of its
+// index, so any rectangular (points × dimensions) block of the sequence can
+// be produced without advancing sequential state. The chain-blocked SOV
+// kernel relies on this to generate exactly the lane block it is about to
+// consume — per sample-tile column, per row tile — instead of scattering
+// whole points into a pre-allocated grid, and to skip generation entirely
+// for dead lane blocks. All the deterministic generators in this package
+// (Richtmyer, Halton, ScrambledHalton) implement it; Pseudo cannot.
+type BlockGenerator interface {
+	Generator
+	// FillBlock writes the lane-major block dst[lane][d] = coordinate d0+d
+	// of point p0+lane, for lane < dst.Rows and d < dst.Cols: each column of
+	// dst holds one QMC dimension across a contiguous run of points. Point
+	// indices are zero-based: point 0 is the first point Next produces after
+	// Reset, and the values are identical to the sequential ones. FillBlock
+	// does not advance the generator's sequential state.
+	FillBlock(dst *linalg.Matrix, p0, d0 int)
+	// Pos returns the zero-based index of the point the next Next call would
+	// produce.
+	Pos() int
+	// Skip advances the sequential state by count points without producing
+	// them.
+	Skip(count int)
+}
+
+// NextBlock advances g by count points, writing them lane-major into dst:
+// dst[l][d] = coordinate d of point l, so dst must be count × g.Dim().
+// Block-capable generators fill whole columns directly (stride-1 writes, one
+// pass per dimension); sequential generators fall back to per-point Next
+// with a strided scatter through pooled scratch.
+func NextBlock(g Generator, dst *linalg.Matrix, count int) {
+	if dst.Rows < count || dst.Cols != g.Dim() {
+		panic(fmt.Sprintf("qmc: NextBlock dst %dx%d cannot hold %d points of dim %d",
+			dst.Rows, dst.Cols, count, g.Dim()))
+	}
+	if bg, ok := g.(BlockGenerator); ok {
+		block := dst
+		if dst.Rows != count {
+			block = dst.View(0, 0, count, dst.Cols)
+		}
+		bg.FillBlock(block, bg.Pos(), 0)
+		bg.Skip(count)
+		return
+	}
+	point := linalg.GetVec(g.Dim())
+	for l := 0; l < count; l++ {
+		g.Next(point)
+		for d, v := range point {
+			dst.Set(l, d, v)
+		}
+	}
+	linalg.PutVec(point)
 }
 
 // Primes returns the first n primes (sieve of Eratosthenes with a grown
@@ -61,9 +116,34 @@ func Primes(n int) []int {
 // generator used by Genz's MVN implementations because it extends to
 // arbitrary dimension.
 type Richtmyer struct {
-	alpha []float64 // frac(√p_i)
+	alpha []float64 // frac(√p_i), a read-only view of the shared table
 	shift []float64
 	k     float64
+}
+
+// alphaTable caches frac(√p_i) across generators: a served workload builds a
+// Richtmyer per query (or per replicate), and re-sieving the primes and
+// re-rooting them each time is both wasteful and an allocation the warm
+// query path cannot afford. The table only ever grows; readers share it.
+var alphaTable struct {
+	sync.Mutex
+	v []float64
+}
+
+// richtmyerAlpha returns the first dim lattice multipliers as a shared
+// read-only slice.
+func richtmyerAlpha(dim int) []float64 {
+	alphaTable.Lock()
+	defer alphaTable.Unlock()
+	if len(alphaTable.v) < dim {
+		grown := make([]float64, dim+dim/2)
+		for i, p := range Primes(len(grown)) {
+			s := math.Sqrt(float64(p))
+			grown[i] = s - math.Floor(s)
+		}
+		alphaTable.v = grown
+	}
+	return alphaTable.v[:dim]
 }
 
 // NewRichtmyer returns an unshifted Richtmyer generator of dimension dim.
@@ -74,22 +154,47 @@ func NewRichtmyer(dim int) *Richtmyer {
 // NewRichtmyerShifted returns a Richtmyer generator with the given shift
 // (length dim); a nil shift means no shift. The shift slice is copied.
 func NewRichtmyerShifted(dim int, shift []float64) *Richtmyer {
+	r := new(Richtmyer)
+	initRichtmyer(r, dim, shift)
+	return r
+}
+
+func initRichtmyer(r *Richtmyer, dim int, shift []float64) {
 	if dim <= 0 {
 		panic(fmt.Sprintf("qmc: invalid dimension %d", dim))
 	}
 	if shift != nil && len(shift) != dim {
 		panic("qmc: shift length mismatch")
 	}
-	primes := Primes(dim)
-	r := &Richtmyer{alpha: make([]float64, dim), k: 1}
-	for i, p := range primes {
-		s := math.Sqrt(float64(p))
-		r.alpha[i] = s - math.Floor(s)
-	}
+	r.alpha = richtmyerAlpha(dim)
+	r.k = 1
 	if shift != nil {
-		r.shift = append([]float64(nil), shift...)
+		r.shift = append(r.shift[:0], shift...)
+	} else {
+		r.shift = nil
 	}
+}
+
+// richtmyerPool recycles Richtmyer generators (and their shift backing
+// arrays) so the warm query path can draw one per replicate without
+// allocating; the lattice multipliers themselves come from the shared table.
+var richtmyerPool = sync.Pool{New: func() any { return new(Richtmyer) }}
+
+// GetRichtmyer returns a pooled Richtmyer generator, identical to
+// NewRichtmyerShifted(dim, shift). Return it with PutRichtmyer once the
+// caller no longer holds it.
+func GetRichtmyer(dim int, shift []float64) *Richtmyer {
+	r := richtmyerPool.Get().(*Richtmyer)
+	initRichtmyer(r, dim, shift)
 	return r
+}
+
+// PutRichtmyer recycles a generator obtained from GetRichtmyer. The caller
+// must drop its pointer.
+func PutRichtmyer(r *Richtmyer) {
+	if r != nil {
+		richtmyerPool.Put(r)
+	}
 }
 
 // Dim implements Generator.
@@ -115,6 +220,43 @@ func (r *Richtmyer) Next(dst []float64) {
 
 // Reset implements Generator.
 func (r *Richtmyer) Reset() { r.k = 1 }
+
+// Pos implements BlockGenerator.
+func (r *Richtmyer) Pos() int { return int(r.k) - 1 }
+
+// Skip implements BlockGenerator.
+func (r *Richtmyer) Skip(count int) { r.k += float64(count) }
+
+// FillBlock implements BlockGenerator: one pass per dimension, stride-1
+// writes, the lattice recurrence reduced to a multiply, a floor and the
+// shift fold per element.
+func (r *Richtmyer) FillBlock(dst *linalg.Matrix, p0, d0 int) {
+	for d := 0; d < dst.Cols; d++ {
+		a := r.alpha[d0+d]
+		col := dst.Col(d)
+		if r.shift == nil {
+			k := float64(p0 + 1)
+			for l := range col {
+				v := k * a
+				col[l] = clamp01(v - math.Floor(v))
+				k++
+			}
+			continue
+		}
+		sh := r.shift[d0+d]
+		k := float64(p0 + 1)
+		for l := range col {
+			v := k * a
+			v -= math.Floor(v)
+			v += sh
+			if v >= 1 {
+				v--
+			}
+			col[l] = clamp01(v)
+			k++
+		}
+	}
+}
 
 // Halton is the van der Corput / Halton sequence in the first Dim prime
 // bases with an optional random shift.
@@ -159,6 +301,31 @@ func (h *Halton) Next(dst []float64) {
 
 // Reset implements Generator.
 func (h *Halton) Reset() { h.k = 1 }
+
+// Pos implements BlockGenerator.
+func (h *Halton) Pos() int { return int(h.k) - 1 }
+
+// Skip implements BlockGenerator.
+func (h *Halton) Skip(count int) { h.k += int64(count) }
+
+// FillBlock implements BlockGenerator.
+func (h *Halton) FillBlock(dst *linalg.Matrix, p0, d0 int) {
+	for d := 0; d < dst.Cols; d++ {
+		b := h.bases[d0+d]
+		col := dst.Col(d)
+		var sh float64
+		if h.shift != nil {
+			sh = h.shift[d0+d]
+		}
+		for l := range col {
+			v := radicalInverse(int64(p0+l+1), b) + sh
+			if v >= 1 {
+				v--
+			}
+			col[l] = clamp01(v)
+		}
+	}
+}
 
 func radicalInverse(k int64, base int) float64 {
 	inv := 1.0 / float64(base)
@@ -227,6 +394,24 @@ func (h *ScrambledHalton) Next(dst []float64) {
 
 // Reset implements Generator.
 func (h *ScrambledHalton) Reset() { h.k = 1 }
+
+// Pos implements BlockGenerator.
+func (h *ScrambledHalton) Pos() int { return int(h.k) - 1 }
+
+// Skip implements BlockGenerator.
+func (h *ScrambledHalton) Skip(count int) { h.k += int64(count) }
+
+// FillBlock implements BlockGenerator.
+func (h *ScrambledHalton) FillBlock(dst *linalg.Matrix, p0, d0 int) {
+	for d := 0; d < dst.Cols; d++ {
+		b := h.bases[d0+d]
+		perm := h.perms[d0+d]
+		col := dst.Col(d)
+		for l := range col {
+			col[l] = clamp01(scrambledRadicalInverse(int64(p0+l+1), b, perm))
+		}
+	}
+}
 
 func scrambledRadicalInverse(k int64, base int, perm []uint8) float64 {
 	inv := 1.0 / float64(base)
@@ -306,8 +491,14 @@ func FillMatrix(g Generator, r *linalg.Matrix) {
 // replicates.
 func RandomShift(dim int, rng *rand.Rand) []float64 {
 	s := make([]float64, dim)
-	for i := range s {
-		s[i] = rng.Float64()
-	}
+	FillShift(s, rng)
 	return s
+}
+
+// FillShift is RandomShift into caller-owned storage (pooled by the warm
+// replicate path).
+func FillShift(dst []float64, rng *rand.Rand) {
+	for i := range dst {
+		dst[i] = rng.Float64()
+	}
 }

@@ -273,3 +273,111 @@ func TestConstructorsPanicOnBadDim(t *testing.T) {
 		}()
 	}
 }
+
+// blockGens enumerates the block-capable generators with and without shifts.
+func blockGens(dim int) map[string]BlockGenerator {
+	rng := rand.New(rand.NewSource(9))
+	return map[string]BlockGenerator{
+		"richtmyer":         NewRichtmyer(dim),
+		"richtmyer-shifted": NewRichtmyerShifted(dim, RandomShift(dim, rng)),
+		"halton":            NewHalton(dim, nil),
+		"halton-shifted":    NewHalton(dim, RandomShift(dim, rng)),
+		"scrambled-halton":  NewScrambledHalton(dim, 3),
+	}
+}
+
+// TestFillBlockMatchesSequential: any rectangular block must reproduce the
+// sequential Next values exactly, at any (point, dimension) offset.
+func TestFillBlockMatchesSequential(t *testing.T) {
+	const dim, npts = 13, 40
+	for name, g := range blockGens(dim) {
+		// Reference: the sequential sequence.
+		ref := linalg.NewMatrix(npts, dim)
+		pt := make([]float64, dim)
+		for p := 0; p < npts; p++ {
+			g.Next(pt)
+			for d, v := range pt {
+				ref.Set(p, d, v)
+			}
+		}
+		for _, c := range [][4]int{{0, 0, npts, dim}, {3, 2, 8, 5}, {17, 12, 23, 1}, {npts - 1, 0, 1, dim}} {
+			p0, d0, rows, cols := c[0], c[1], c[2], c[3]
+			blk := linalg.NewMatrix(rows, cols)
+			g.FillBlock(blk, p0, d0)
+			for l := 0; l < rows; l++ {
+				for d := 0; d < cols; d++ {
+					if got, want := blk.At(l, d), ref.At(p0+l, d0+d); got != want {
+						t.Fatalf("%s: FillBlock(p0=%d,d0=%d)[%d,%d] = %v, sequential %v",
+							name, p0, d0, l, d, got, want)
+					}
+				}
+			}
+		}
+		// FillBlock must not have consumed sequential state.
+		if got := g.Pos(); got != npts {
+			t.Fatalf("%s: Pos after %d Next calls = %d", name, npts, got)
+		}
+	}
+}
+
+// TestNextBlockMatchesNext: the lane-major block fill advances the sequence
+// exactly like per-point Next, for block-capable and sequential generators.
+func TestNextBlockMatchesNext(t *testing.T) {
+	const dim, npts = 7, 30
+	gens := map[string]Generator{"pseudo": NewPseudo(dim, 5)}
+	for name, g := range blockGens(dim) {
+		gens[name] = g
+	}
+	for name, g := range gens {
+		g.Reset()
+		ref := linalg.NewMatrix(npts, dim)
+		pt := make([]float64, dim)
+		for p := 0; p < npts; p++ {
+			g.Next(pt)
+			for d, v := range pt {
+				ref.Set(p, d, v)
+			}
+		}
+		g.Reset()
+		blk := linalg.NewMatrix(npts, dim)
+		NextBlock(g, blk, 12)
+		NextBlock(g, blk.View(12, 0, npts-12, dim), npts-12)
+		if d := blk.MaxAbsDiff(ref); d != 0 {
+			t.Fatalf("%s: NextBlock diverges from Next by %v", name, d)
+		}
+	}
+}
+
+// TestPooledRichtmyerMatchesFresh: the pooled constructor is substitutable
+// for NewRichtmyerShifted.
+func TestPooledRichtmyerMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	shift := RandomShift(6, rng)
+	fresh := NewRichtmyerShifted(6, shift)
+	for round := 0; round < 3; round++ {
+		g := GetRichtmyer(6, shift)
+		fresh.Reset()
+		a, b := make([]float64, 6), make([]float64, 6)
+		for p := 0; p < 50; p++ {
+			g.Next(a)
+			fresh.Next(b)
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("round %d point %d: pooled %v vs fresh %v", round, p, a, b)
+				}
+			}
+		}
+		PutRichtmyer(g)
+		// An unshifted pooled generator must not inherit the old shift.
+		g2 := GetRichtmyer(6, nil)
+		un := NewRichtmyer(6)
+		g2.Next(a)
+		un.Next(b)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("round %d: pooled unshifted %v vs fresh %v", round, a, b)
+			}
+		}
+		PutRichtmyer(g2)
+	}
+}

@@ -1,0 +1,95 @@
+package stats
+
+import "math"
+
+// Batched special functions for the chain-blocked SOV kernel: the QMC
+// integration applies Φ, Φ⁻¹ and the interval probability to a whole lane
+// block of chains at once, so the batch forms take contiguous slices and
+// keep the inner loops branch-light. Every batch function computes exactly
+// the same expressions as its scalar counterpart — results are bit-identical,
+// which the property tests in batch_test.go pin — so callers can mix scalar
+// and batched evaluation freely.
+
+// PhiBatch fills dst[i] = Phi(x[i]). x and dst must have equal length and may
+// alias.
+func PhiBatch(x, dst []float64) {
+	dst = dst[:len(x)]
+	for i, v := range x {
+		dst[i] = 0.5 * math.Erfc(-v/Sqrt2)
+	}
+}
+
+// PhiIntervalBatch fills dst[i] = PhiInterval(a[i], b[i]), the tail-stable
+// interval probability per lane. The slices must have equal length; dst may
+// alias a or b.
+func PhiIntervalBatch(a, b, dst []float64) {
+	dst = dst[:len(a)]
+	b = b[:len(a)]
+	for i, ai := range a {
+		dst[i] = PhiInterval(ai, b[i])
+	}
+}
+
+// PhiIntervalAndPhi returns dif = PhiInterval(a, b) together with the lower
+// distribution value da the Genz chain step combines it with
+// (u = da + w·dif), sharing erfc evaluations between the two. dif is
+// bit-identical to PhiInterval in every branch. da is Phi(a) except in two
+// places where a cheaper exact-complement form is used: for the half-open
+// interval (a, +∞) with a ≥ 0, da = 1 − dif (one erfc instead of two,
+// within one ulp of Phi(a)); and when dif ≤ 0, da is 0 and must not be used
+// (the chain is dead and the step never forms u). The scalar chainStep and
+// the batched kernel both evaluate through this function, so their values
+// agree exactly.
+func PhiIntervalAndPhi(a, b float64) (dif, da float64) {
+	switch {
+	case b <= a:
+		return 0, 0
+	case math.IsInf(b, 1):
+		// Half-open exceedance interval — the excursion/prefix query shape:
+		// one tail erfc serves both quantities.
+		if a >= 0 {
+			dif = 0.5 * math.Erfc(a/Sqrt2)
+			return dif, 1 - dif
+		}
+		da = 0.5 * math.Erfc(-a/Sqrt2)
+		return 1 - da, da
+	case a >= 0: // right tail
+		return 0.5 * (math.Erfc(a/Sqrt2) - math.Erfc(b/Sqrt2)), 0.5 * math.Erfc(-a/Sqrt2)
+	case b <= 0: // left tail: Φ(a) shares the interval's erfc(−a/√2)
+		ea := math.Erfc(-a / Sqrt2)
+		return 0.5 * (math.Erfc(-b/Sqrt2) - ea), 0.5 * ea
+	default: // straddles zero
+		da = 0.5 * math.Erfc(-a/Sqrt2)
+		return 0.5*math.Erfc(-b/Sqrt2) - da, da
+	}
+}
+
+// PhiIntervalPhiBatch fills dif[i], da[i] = PhiIntervalAndPhi(a[i], b[i])
+// over contiguous lane vectors. Slices must have equal length; dif and da
+// may alias a or b.
+func PhiIntervalPhiBatch(a, b, dif, da []float64) {
+	b = b[:len(a)]
+	dif = dif[:len(a)]
+	da = da[:len(a)]
+	for i, ai := range a {
+		dif[i], da[i] = PhiIntervalAndPhi(ai, b[i])
+	}
+}
+
+// PhiInvBatch fills dst[i] = PhiInv(p[i]). The central region
+// |p−1/2| ≤ 0.425 — the bulk of uniform QMC draws — is a single rational
+// polynomial evaluated in a branch-light pass; tails, endpoints and invalid
+// inputs fall back to the scalar PhiInv (NaN compares false, so it lands in
+// the fallback too). p and dst must have equal length and may alias.
+func PhiInvBatch(p, dst []float64) {
+	dst = dst[:len(p)]
+	for i, v := range p {
+		q := v - 0.5
+		if q >= -0.425 && q <= 0.425 {
+			r := 0.180625 - q*q
+			dst[i] = q * poly8(&ppnd16A, r) / poly8(&ppnd16B, r)
+		} else {
+			dst[i] = PhiInv(v)
+		}
+	}
+}

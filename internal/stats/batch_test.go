@@ -1,0 +1,168 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// hardInputs are the deep-tail, endpoint and non-finite arguments the batch
+// functions must handle exactly like their scalar counterparts.
+var hardInputs = []float64{
+	math.Inf(-1), -40, -37.6, -8.3, -8.2, -6, -1.5, -0.425001, -0.425,
+	-1e-9, 0, 1e-9, 0.3, 0.425, 0.425001, 1.2, 6, 8.2, 8.3, 37.6, 40,
+	math.Inf(1), math.NaN(),
+}
+
+// hardProbs covers PhiInv's regions: endpoints, subnormal-tail p, central
+// band boundaries and out-of-range values.
+var hardProbs = []float64{
+	0, 5e-324, 1e-300, 1e-17, 1e-9, 0.074, 0.075, 0.0749999,
+	0.3, 0.5, 0.7, 0.9249999, 0.925, 0.9250001, 1 - 1e-9, 1 - 1e-16, 1,
+	-0.1, 1.1, math.NaN(),
+}
+
+func sameFloat(a, b float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	return a == b
+}
+
+func TestPhiBatchMatchesScalarExactly(t *testing.T) {
+	xs := append([]float64(nil), hardInputs...)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		xs = append(xs, (rng.Float64()-0.5)*80)
+	}
+	dst := make([]float64, len(xs))
+	PhiBatch(xs, dst)
+	for i, x := range xs {
+		if want := Phi(x); !sameFloat(dst[i], want) {
+			t.Fatalf("PhiBatch(%g) = %g, scalar %g", x, dst[i], want)
+		}
+	}
+}
+
+func TestPhiIntervalBatchMatchesScalarExactly(t *testing.T) {
+	var as, bs []float64
+	for _, a := range hardInputs {
+		for _, b := range hardInputs {
+			as = append(as, a)
+			bs = append(bs, b)
+		}
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 2000; i++ {
+		a := (rng.Float64() - 0.5) * 80
+		as = append(as, a)
+		bs = append(bs, a+rng.NormFloat64()*3)
+	}
+	dst := make([]float64, len(as))
+	PhiIntervalBatch(as, bs, dst)
+	for i := range as {
+		if want := PhiInterval(as[i], bs[i]); !sameFloat(dst[i], want) {
+			t.Fatalf("PhiIntervalBatch(%g,%g) = %g, scalar %g", as[i], bs[i], dst[i], want)
+		}
+	}
+}
+
+func TestPhiIntervalPhiBatchMatchesScalarExactly(t *testing.T) {
+	var as, bs []float64
+	for _, a := range hardInputs {
+		for _, b := range hardInputs {
+			as = append(as, a)
+			bs = append(bs, b)
+		}
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		a := (rng.Float64() - 0.5) * 80
+		as = append(as, a)
+		bs = append(bs, a+rng.NormFloat64()*3)
+	}
+	dif := make([]float64, len(as))
+	da := make([]float64, len(as))
+	PhiIntervalPhiBatch(as, bs, dif, da)
+	for i := range as {
+		// The interval probability is bit-identical to the scalar form in
+		// every branch.
+		if want := PhiInterval(as[i], bs[i]); !sameFloat(dif[i], want) {
+			t.Fatalf("PhiIntervalPhiBatch(%g,%g) dif = %g, scalar %g", as[i], bs[i], dif[i], want)
+		}
+		// The batch must equal the shared scalar kernel exactly…
+		wantDif, wantDa := PhiIntervalAndPhi(as[i], bs[i])
+		if !sameFloat(dif[i], wantDif) || !sameFloat(da[i], wantDa) {
+			t.Fatalf("PhiIntervalPhiBatch(%g,%g) = (%g,%g), scalar pair (%g,%g)",
+				as[i], bs[i], dif[i], da[i], wantDif, wantDa)
+		}
+		// …and da tracks Phi(a): exact except the documented half-open
+		// complement form, which is within one ulp; unused when dif ≤ 0.
+		if dif[i] > 0 {
+			want := Phi(as[i])
+			if math.IsInf(bs[i], 1) && as[i] >= 0 {
+				if math.Abs(da[i]-want) > 2.3e-16 {
+					t.Fatalf("PhiIntervalAndPhi(%g,+Inf) da = %g, Phi %g", as[i], da[i], want)
+				}
+			} else if !sameFloat(da[i], want) {
+				t.Fatalf("PhiIntervalPhiBatch(%g,%g) da = %g, scalar %g", as[i], bs[i], da[i], want)
+			}
+		}
+	}
+}
+
+func TestPhiInvBatchMatchesScalarExactly(t *testing.T) {
+	ps := append([]float64(nil), hardProbs...)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 4000; i++ {
+		ps = append(ps, rng.Float64())
+	}
+	// Probabilities clustered hard against 0 and 1.
+	for e := 1; e < 300; e += 7 {
+		ps = append(ps, math.Pow(10, -float64(e)), 1-math.Pow(10, -float64(e)))
+	}
+	dst := make([]float64, len(ps))
+	PhiInvBatch(ps, dst)
+	for i, p := range ps {
+		if want := PhiInv(p); !sameFloat(dst[i], want) {
+			t.Fatalf("PhiInvBatch(%g) = %g, scalar %g", p, dst[i], want)
+		}
+	}
+}
+
+// TestBatchAliasing: dst may alias the input slice.
+func TestBatchAliasing(t *testing.T) {
+	x := []float64{-2, -0.5, 0, 0.5, 2}
+	want := make([]float64, len(x))
+	PhiBatch(x, want)
+	PhiBatch(x, x)
+	for i := range x {
+		if x[i] != want[i] {
+			t.Fatalf("aliased PhiBatch diverged at %d: %g vs %g", i, x[i], want[i])
+		}
+	}
+	p := []float64{0.01, 0.3, 0.5, 0.7, 0.99}
+	wantInv := make([]float64, len(p))
+	PhiInvBatch(p, wantInv)
+	PhiInvBatch(p, p)
+	for i := range p {
+		if p[i] != wantInv[i] {
+			t.Fatalf("aliased PhiInvBatch diverged at %d: %g vs %g", i, p[i], wantInv[i])
+		}
+	}
+}
+
+func BenchmarkPhiInvBatch(b *testing.B) {
+	const n = 64
+	p := make([]float64, n)
+	dst := make([]float64, n)
+	rng := rand.New(rand.NewSource(4))
+	for i := range p {
+		p[i] = rng.Float64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PhiInvBatch(p, dst)
+	}
+}

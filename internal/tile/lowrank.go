@@ -229,31 +229,28 @@ func roundLRCholQR(bigU, bigV *linalg.Matrix, tol float64, maxRank int) (*linalg
 	return u, v, true
 }
 
-// ApplyTo accumulates c += alpha·(U·Vᵀ)·b without densifying the tile:
-// first w = Vᵀ·b (k×cols), then c += alpha·U·w. This is the cheap GEMM the
-// TLR PMVN propagation uses (paper Algorithm 2, lines 11–12).
-func (t *LowRank) ApplyTo(alpha float64, b, c *linalg.Matrix) {
+// ApplyRightTrans computes c = alpha·b·(U·Vᵀ)ᵀ + beta·c = alpha·(b·V)·Uᵀ +
+// beta·c without densifying the tile — the cheap level-3 form the TLR PMVN
+// propagation applies (paper Algorithm 2, lines 11–12), in the lane-major
+// (chains × rows) layout of the chain-blocked sweep: the sample lanes run
+// down the stride-1 axis of b and c. A rank-0 tile still applies the beta
+// scaling (beta = 0 fully defines c, even over uninitialized scratch).
+func (t *LowRank) ApplyRightTrans(alpha float64, b *linalg.Matrix, beta float64, c *linalg.Matrix) {
 	k := t.Rank()
 	if k == 0 {
+		switch beta {
+		case 1:
+		case 0:
+			c.Zero()
+		default:
+			for j := 0; j < c.Cols; j++ {
+				linalg.Scal(beta, c.Col(j))
+			}
+		}
 		return
 	}
-	w := linalg.GetMat(k, b.Cols)
-	linalg.Gemm(true, false, 1, t.V, b, 0, w)
-	linalg.Gemm(false, false, alpha, t.U, w, 1, c)
-	linalg.PutMat(w)
-}
-
-// ApplyToPair accumulates the same low-rank product into two outputs
-// (c1 += alpha·UVᵀb and c2 += alpha·UVᵀb) computing the shared w = Vᵀ·b
-// only once. The PMVN propagation uses it for the paired A/B limit updates.
-func (t *LowRank) ApplyToPair(alpha float64, b, c1, c2 *linalg.Matrix) {
-	k := t.Rank()
-	if k == 0 {
-		return
-	}
-	w := linalg.GetMat(k, b.Cols)
-	linalg.Gemm(true, false, 1, t.V, b, 0, w)
-	linalg.Gemm(false, false, alpha, t.U, w, 1, c1)
-	linalg.Gemm(false, false, alpha, t.U, w, 1, c2)
+	w := linalg.GetMat(b.Rows, k)
+	linalg.Gemm(false, false, 1, b, t.V, 0, w)
+	linalg.Gemm(false, true, alpha, w, t.U, beta, c)
 	linalg.PutMat(w)
 }

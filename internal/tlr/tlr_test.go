@@ -110,42 +110,49 @@ func TestAddLowRankCancellation(t *testing.T) {
 	}
 }
 
-func TestApplyToMatchesDense(t *testing.T) {
+func TestApplyRightTransMatchesDense(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
-	a := randMat(9, 7, rng)
+	a := randMat(9, 7, rng) // tile A ≈ U·Vᵀ, 9×7
 	lt := Compress(a, 1e-13, 0)
-	b := randMat(7, 5, rng)
-	c := randMat(9, 5, rng)
+	b := randMat(5, 7, rng) // lanes × tile cols
+	c := randMat(5, 9, rng)
 	want := c.Clone()
-	linalg.Gemm(false, false, -1, a, b, 1, want)
-	lt.ApplyTo(-1, b, c)
+	linalg.Gemm(false, true, -1, b, a, 1, want) // c += -1·b·Aᵀ
+	lt.ApplyRightTrans(-1, b, 1, c)
 	if d := c.MaxAbsDiff(want); d > 1e-9 {
-		t.Errorf("ApplyTo diff %v", d)
+		t.Errorf("ApplyRightTrans diff %v", d)
 	}
-	// Zero-rank tile: ApplyTo is a no-op.
-	z := &LRTile{M: 9, N: 7}
-	before := c.Clone()
-	z.ApplyTo(1, b, c)
-	if d := c.MaxAbsDiff(before); d != 0 {
-		t.Error("zero-rank ApplyTo modified output")
+	// beta = 0 overwrites, matching the dense form.
+	linalg.Gemm(false, true, 2, b, a, 0, want)
+	lt.ApplyRightTrans(2, b, 0, c)
+	if d := c.MaxAbsDiff(want); d > 1e-9 {
+		t.Errorf("ApplyRightTrans beta=0 diff %v", d)
 	}
 }
 
-func TestApplyToPairMatchesTwoApplies(t *testing.T) {
+func TestApplyRightTransZeroRank(t *testing.T) {
 	rng := rand.New(rand.NewSource(12))
-	a := randMat(9, 7, rng)
-	lt := Compress(a, 1e-13, 0)
-	b := randMat(7, 5, rng)
-	c1, c2 := randMat(9, 5, rng), randMat(9, 5, rng)
-	w1, w2 := c1.Clone(), c2.Clone()
-	lt.ApplyTo(-1, b, w1)
-	lt.ApplyTo(-1, b, w2)
-	lt.ApplyToPair(-1, b, c1, c2)
-	if d := c1.MaxAbsDiff(w1); d > 1e-12 {
-		t.Errorf("pair dst1 diff %v", d)
+	z := &LRTile{M: 9, N: 7}
+	b := randMat(5, 7, rng)
+	c := randMat(5, 9, rng)
+	// beta = 1: no-op.
+	before := c.Clone()
+	z.ApplyRightTrans(1, b, 1, c)
+	if d := c.MaxAbsDiff(before); d != 0 {
+		t.Error("zero-rank beta=1 modified output")
 	}
-	if d := c2.MaxAbsDiff(w2); d > 1e-12 {
-		t.Errorf("pair dst2 diff %v", d)
+	// beta = 0.5: pure scaling; beta = 0: fully zeroes c.
+	z.ApplyRightTrans(3, b, 0.5, c)
+	for j := 0; j < c.Cols; j++ {
+		for i := 0; i < c.Rows; i++ {
+			if c.At(i, j) != 0.5*before.At(i, j) {
+				t.Fatalf("zero-rank beta=0.5 wrong at (%d,%d)", i, j)
+			}
+		}
+	}
+	z.ApplyRightTrans(3, b, 0, c)
+	if n := c.FrobNorm(); n != 0 {
+		t.Errorf("zero-rank beta=0 left norm %v", n)
 	}
 }
 

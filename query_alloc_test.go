@@ -1,0 +1,96 @@
+package parmvn
+
+import (
+	"hash/fnv"
+	"math"
+	"runtime/debug"
+	"testing"
+)
+
+// TestWarmQueryZeroAllocs pins the warm serving path: once the factor cache
+// holds the Cholesky factor, a whole MVNProb — content hash, cache hit,
+// pooled chain-blocked integration — performs zero heap allocations. A
+// single worker forces the inline sweep (the same evaluation the batch
+// fan-out runs per query); GC is paused so sync.Pool contents survive the
+// measurement.
+func TestWarmQueryZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops puts under the race detector")
+	}
+	s := NewSession(Config{Workers: 1, TileSize: 16, QMCSize: 200})
+	defer s.Close()
+	locs := Grid(8, 8)
+	n := len(locs)
+	kernel := KernelSpec{Family: "exponential", Range: 0.2}
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i] = -1
+		b[i] = math.Inf(1)
+	}
+	warm := func() {
+		if _, err := s.MVNProb(locs, kernel, a, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	warm() // factorize once; later calls hit the cache
+	warm() // settle the workspace pools
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	if allocs := testing.AllocsPerRun(20, warm); allocs != 0 {
+		t.Errorf("warm MVNProb allocated %.1f times per query, want 0", allocs)
+	}
+}
+
+// TestWarmMVTQueryZeroAllocs: the Student-t path shares the pooled sweep
+// (plus its per-lane χ² scales) and must stay allocation-free too.
+func TestWarmMVTQueryZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops puts under the race detector")
+	}
+	s := NewSession(Config{Workers: 1, TileSize: 16, QMCSize: 200})
+	defer s.Close()
+	locs := Grid(6, 6)
+	n := len(locs)
+	kernel := KernelSpec{Family: "exponential", Range: 0.2}
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i] = -1.5
+		b[i] = 1
+	}
+	warm := func() {
+		if _, err := s.MVTProb(locs, kernel, 5, a, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	warm()
+	warm()
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	if allocs := testing.AllocsPerRun(20, warm); allocs != 0 {
+		t.Errorf("warm MVTProb allocated %.1f times per query, want 0", allocs)
+	}
+}
+
+// TestFNV128aMatchesStdlib pins the inline allocation-free FNV-1a/128
+// implementation the cache keys use against hash/fnv byte for byte.
+func TestFNV128aMatchesStdlib(t *testing.T) {
+	vals := []float64{0, 1, -1, math.Pi, 1e300, -1e-300, math.Inf(1), 0.5}
+	ref := fnv.New128a()
+	var buf [8]byte
+	h := newFNV128a()
+	for _, v := range vals {
+		u := math.Float64bits(v)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(u >> (8 * i))
+		}
+		ref.Write(buf[:])
+		h.writeFloat(v)
+	}
+	var want [2]uint64
+	for i, c := range ref.Sum(nil) {
+		want[i/8] = want[i/8]<<8 | uint64(c)
+	}
+	if got := h.sum(); got != want {
+		t.Errorf("fnv128a = %x, stdlib %x", got, want)
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package parmvn
+
+const raceEnabled = false

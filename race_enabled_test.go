@@ -1,0 +1,8 @@
+//go:build race
+
+package parmvn
+
+// raceEnabled reports that the race detector instruments this build;
+// sync.Pool intentionally drops puts under -race, so allocation-count
+// assertions are meaningless there.
+const raceEnabled = true
