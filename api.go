@@ -117,6 +117,11 @@ func (k KernelSpec) normalized() KernelSpec {
 	return k
 }
 
+// Validate rejects malformed specs without constructing anything, with
+// exactly the acceptance rules of the query entry points — exported so
+// serving layers can fail a bad request before any routing or aggregation.
+func (k KernelSpec) Validate() error { return k.validate() }
+
 // validate rejects malformed specs without constructing anything — the
 // warm-query path calls it before touching the factor cache, so invalid
 // specs neither allocate nor occupy (and evict from) the bounded cache.
@@ -434,18 +439,34 @@ func (s *Session) mvnOpts() mvn.Options {
 // integration); for many queries at once prefer MVNProbBatch, which also
 // parallelizes across queries. Results are identical either way.
 func (s *Session) MVNProb(locs []Point, kernel KernelSpec, a, b []float64) (Result, error) {
-	if err := validateLimits(len(locs), a, b); err != nil {
+	return s.prob(locs, kernel, 0, a, b)
+}
+
+// prob is the shared direct-query path behind MVNProb (nu = 0) and MVTProb
+// (nu > 0). Validation — limits, tile size, kernel spec — is identical to
+// the batch entry points, and an empty box (some a[i] ≥ b[i]) returns
+// probability 0 without assembling or factorizing anything.
+func (s *Session) prob(locs []Point, kernel KernelSpec, nu float64, a, b []float64) (Result, error) {
+	empty, err := validateQuery(len(locs), a, b)
+	if err != nil {
 		return Result{}, err
 	}
 	if err := s.validateTileSize(len(locs)); err != nil {
 		return Result{}, err
 	}
+	if empty {
+		if err := kernel.validate(); err != nil {
+			return Result{}, err
+		}
+		res := Result{}
+		s.attachStats(&res)
+		return res, nil
+	}
 	f, err := s.factorForKernel(locs, kernel)
 	if err != nil {
 		return Result{}, err
 	}
-	r := mvn.PMVN(s.rt, f, a, b, s.mvnOpts())
-	res := Result{Prob: r.Prob, StdErr: r.StdErr}
+	res := s.query(f, a, b, nu, s.mvnOpts())
 	s.attachStats(&res)
 	return res, nil
 }
@@ -465,23 +486,10 @@ func (s *Session) MVNProbCov(sigma [][]float64, a, b []float64) (Result, error) 
 // given locations — the companion capability of the tlrmvnmvt package the
 // paper builds on, on the same dense/TLR backends.
 func (s *Session) MVTProb(locs []Point, kernel KernelSpec, nu float64, a, b []float64) (Result, error) {
-	if nu <= 0 {
-		return Result{}, fmt.Errorf("parmvn: degrees of freedom %g must be positive", nu)
-	}
-	if err := validateLimits(len(locs), a, b); err != nil {
+	if err := validateNu(nu); err != nil {
 		return Result{}, err
 	}
-	if err := s.validateTileSize(len(locs)); err != nil {
-		return Result{}, err
-	}
-	f, err := s.factorForKernel(locs, kernel)
-	if err != nil {
-		return Result{}, err
-	}
-	r := mvn.PMVT(s.rt, f, a, b, nu, s.mvnOpts())
-	res := Result{Prob: r.Prob, StdErr: r.StdErr}
-	s.attachStats(&res)
-	return res, nil
+	return s.prob(locs, kernel, nu, a, b)
 }
 
 // attachStats snapshots the runtime scheduler statistics onto a result when

@@ -1,8 +1,6 @@
 package parmvn
 
 import (
-	"fmt"
-
 	"repro/internal/mvn"
 	"repro/internal/taskrt"
 )
@@ -19,17 +17,44 @@ type Bounds struct {
 // parallel integrations. With a fixed configuration the results are
 // identical to len(queries) sequential MVNProb calls.
 func (s *Session) MVNProbBatch(locs []Point, kernel KernelSpec, queries []Bounds) ([]Result, error) {
-	if err := validateQueries(len(locs), queries); err != nil {
+	return s.probBatch(locs, kernel, 0, queries)
+}
+
+// MVTProbBatch is MVNProbBatch for the multivariate Student-t probability
+// T_n(a,b;Σ,ν): one shared factorization, parallel queries, results
+// identical to sequential MVTProb calls. The Cholesky factor depends only on
+// the covariance, so MVN and MVT queries against the same locations and
+// kernel share one cached factor across both batch entry points.
+func (s *Session) MVTProbBatch(locs []Point, kernel KernelSpec, nu float64, queries []Bounds) ([]Result, error) {
+	if err := validateNu(nu); err != nil {
+		return nil, err
+	}
+	return s.probBatch(locs, kernel, nu, queries)
+}
+
+// probBatch is the shared kernel-covariance batch path (nu = 0 → MVN,
+// nu > 0 → MVT).
+func (s *Session) probBatch(locs []Point, kernel KernelSpec, nu float64, queries []Bounds) ([]Result, error) {
+	empty, anyLive, err := validateQueries(len(locs), queries)
+	if err != nil {
 		return nil, err
 	}
 	if err := s.validateTileSize(len(locs)); err != nil {
 		return nil, err
 	}
+	if !anyLive {
+		// Every box is empty: all probabilities are exactly 0, so nothing is
+		// assembled or factorized — same as the direct path query by query.
+		if err := kernel.validate(); err != nil {
+			return nil, err
+		}
+		return s.finishBatch(make([]Result, len(queries))), nil
+	}
 	f, err := s.factorForKernel(locs, kernel)
 	if err != nil {
 		return nil, err
 	}
-	return s.evalBatch(f, queries)
+	return s.evalBatch(f, queries, empty, nu)
 }
 
 // MVNProbCovBatch is MVNProbBatch for an explicit covariance matrix given as
@@ -39,48 +64,47 @@ func (s *Session) MVNProbCovBatch(sigma [][]float64, queries []Bounds) ([]Result
 	if err != nil {
 		return nil, err
 	}
-	if err := validateQueries(m.Rows, queries); err != nil {
+	empty, anyLive, err := validateQueries(m.Rows, queries)
+	if err != nil {
 		return nil, err
 	}
 	if err := s.validateTileSize(m.Rows); err != nil {
 		return nil, err
 	}
+	if !anyLive {
+		return s.finishBatch(make([]Result, len(queries))), nil
+	}
 	f, err := s.factorForSigma(m)
 	if err != nil {
 		return nil, err
 	}
-	return s.evalBatch(f, queries)
+	return s.evalBatch(f, queries, empty, 0)
 }
 
-// validateLimits rejects mis-sized limit vectors before any assembly or
-// factorization work is spent (the dimension is known from the inputs).
-func validateLimits(n int, a, b []float64) error {
-	if len(a) != n || len(b) != n {
-		return fmt.Errorf("parmvn: limits length (%d,%d) != dimension %d", len(a), len(b), n)
+// query evaluates one pre-validated box against the factor (nu = 0 → MVN).
+func (s *Session) query(f mvn.Factor, a, b []float64, nu float64, opts mvn.Options) Result {
+	var r mvn.Result
+	if nu > 0 {
+		r = mvn.PMVT(s.rt, f, a, b, nu, opts)
+	} else {
+		r = mvn.PMVN(s.rt, f, a, b, opts)
 	}
-	return nil
-}
-
-// validateQueries is validateLimits over a batch.
-func validateQueries(n int, queries []Bounds) error {
-	for i, q := range queries {
-		if err := validateLimits(n, q.A, q.B); err != nil {
-			return fmt.Errorf("parmvn: query %d: %w", i, err)
-		}
-	}
-	return nil
+	return Result{Prob: r.Prob, StdErr: r.StdErr}
 }
 
 // evalBatch runs the pre-validated queries against one shared factor. Each
 // query gets a fresh deterministic Options (its own default-seeded shift
-// Rng), so result i is bit-identical to a standalone MVNProb with the same
-// inputs regardless of batching or execution order.
-func (s *Session) evalBatch(f mvn.Factor, queries []Bounds) ([]Result, error) {
+// Rng), so result i is bit-identical to a standalone MVNProb/MVTProb with
+// the same inputs regardless of batching or execution order. Empty boxes
+// short-circuit to probability 0 without integrating.
+func (s *Session) evalBatch(f mvn.Factor, queries []Bounds, empty []bool, nu float64) ([]Result, error) {
 	out := make([]Result, len(queries))
 	if s.cfg.SequentialBatch || len(queries) <= 1 {
 		for i, q := range queries {
-			r := mvn.PMVN(s.rt, f, q.A, q.B, s.mvnOpts())
-			out[i] = Result{Prob: r.Prob, StdErr: r.StdErr}
+			if empty[i] {
+				continue
+			}
+			out[i] = s.query(f, q.A, q.B, nu, s.mvnOpts())
 		}
 		return s.finishBatch(out), nil
 	}
@@ -92,8 +116,10 @@ func (s *Session) evalBatch(f mvn.Factor, queries []Bounds) ([]Result, error) {
 	opts := s.mvnOpts()
 	opts.Inline = true
 	taskrt.ForEachLimit(len(queries), s.cfg.Workers, func(i int) {
-		r := mvn.PMVN(s.rt, f, queries[i].A, queries[i].B, opts)
-		out[i] = Result{Prob: r.Prob, StdErr: r.StdErr}
+		if empty[i] {
+			return
+		}
+		out[i] = s.query(f, queries[i].A, queries[i].B, nu, opts)
 	})
 	return s.finishBatch(out), nil
 }

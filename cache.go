@@ -1,6 +1,7 @@
 package parmvn
 
 import (
+	"fmt"
 	"math"
 	"math/bits"
 	"sync"
@@ -33,12 +34,15 @@ type factorKey struct {
 
 // cacheEntry builds its factor exactly once; concurrent requesters for the
 // same key block on the first build instead of duplicating it. done flips
-// after the build, opening the allocation-free hit fast path.
+// after the build, opening the allocation-free hit fast path, and ready is
+// closed at the same moment so observers (FactorState) can wait for an
+// in-flight build without joining it.
 type cacheEntry struct {
 	once    sync.Once
 	f       mvn.Factor
 	err     error
 	done    atomic.Bool
+	ready   chan struct{}
 	lastUse int64 // LRU stamp, guarded by FactorCache.mu
 }
 
@@ -91,7 +95,7 @@ func (c *FactorCache) getOrBuild(key factorKey, build func() (mvn.Factor, error)
 	if ok {
 		c.hits++
 	} else {
-		e = &cacheEntry{}
+		e = &cacheEntry{ready: make(chan struct{})}
 		c.entries[key] = e
 		c.misses++
 		if c.cap > 0 && len(c.entries) > c.cap {
@@ -104,8 +108,25 @@ func (c *FactorCache) getOrBuild(key factorKey, build func() (mvn.Factor, error)
 	e.once.Do(func() {
 		e.f, e.err = build()
 		e.done.Store(true)
+		close(e.ready)
 	})
 	return e.f, e.err
+}
+
+// state reports whether key's factor is absent, mid-build or built; while a
+// build is in flight it also returns the channel closed at its completion.
+func (c *FactorCache) state(key factorKey) (FactorStatus, <-chan struct{}) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	c.mu.Unlock()
+	switch {
+	case !ok:
+		return FactorAbsent, nil
+	case e.done.Load():
+		return FactorReady, nil
+	default:
+		return FactorBuilding, e.ready
+	}
 }
 
 // evictOldest removes the least-recently-used entry other than keep. A
@@ -159,8 +180,10 @@ func newFNV128a() fnv128a {
 }
 
 // writeFloat absorbs the little-endian bytes of v's bit pattern.
-func (h *fnv128a) writeFloat(v float64) {
-	u := math.Float64bits(v)
+func (h *fnv128a) writeFloat(v float64) { h.writeUint(math.Float64bits(v)) }
+
+// writeUint absorbs the little-endian bytes of u.
+func (h *fnv128a) writeUint(u uint64) {
 	for i := 0; i < 8; i++ {
 		h.lo ^= uint64(byte(u >> (8 * i)))
 		// state *= 2^88 + 0x13b (mod 2^128): the 2^88 term folds the low
@@ -194,19 +217,117 @@ func hashMatrix(m *linalg.Matrix) [2]uint64 {
 	return h.sum()
 }
 
-// key assembles the cache key for the session's current configuration.
-func (s *Session) key(kind byte, hash [2]uint64, n int, spec KernelSpec) factorKey {
+// key assembles the cache key under an effective (already defaulted)
+// configuration.
+func (c Config) key(kind byte, hash [2]uint64, n int, spec KernelSpec) factorKey {
 	k := factorKey{
 		kind: kind, hash: hash, n: n, kernel: spec,
-		method: s.cfg.Method, tile: s.cfg.TileSize,
-		tol: s.cfg.TLRTol, maxRank: s.cfg.TLRMaxRank,
+		method: c.Method, tile: c.TileSize,
+		tol: c.TLRTol, maxRank: c.TLRMaxRank,
 	}
-	if s.cfg.Method == MethodAdaptive {
-		k.band = s.cfg.AdaptiveBand
-		k.rankFrac = s.cfg.AdaptiveRankFrac
-		k.f32Cut = s.cfg.AdaptiveF32Norm
+	if c.Method == MethodAdaptive {
+		k.band = c.AdaptiveBand
+		k.rankFrac = c.AdaptiveRankFrac
+		k.f32Cut = c.AdaptiveF32Norm
 	}
 	return k
+}
+
+// ProblemKey identifies one factorization problem — the covariance content
+// (locations and kernel) plus every configuration knob that changes the
+// factor — exactly as the session factor cache keys it. The type is opaque
+// and comparable (usable as a map key); serving layers use it to route all
+// requests for one problem to one place and to coalesce concurrent cold
+// queries onto a single factorization. MVN and MVT queries over the same
+// covariance share a key: the Cholesky factor does not depend on ν.
+type ProblemKey struct{ k factorKey }
+
+// Hash returns a well-mixed 64-bit digest of the key, suitable for sharding.
+func (p ProblemKey) Hash() uint64 {
+	h := newFNV128a()
+	h.writeUint(p.k.hash[0])
+	h.writeUint(p.k.hash[1])
+	h.writeUint(uint64(p.k.kind)<<32 | uint64(uint32(p.k.n)))
+	h.writeUint(uint64(p.k.method)<<32 | uint64(uint32(p.k.tile)))
+	h.writeFloat(p.k.tol)
+	h.writeUint(uint64(uint32(p.k.maxRank))<<32 | uint64(uint32(p.k.band)))
+	h.writeFloat(p.k.rankFrac)
+	h.writeFloat(p.k.f32Cut)
+	for i := 0; i < len(p.k.kernel.Family); i++ {
+		h.writeUint(uint64(p.k.kernel.Family[i]))
+	}
+	h.writeFloat(p.k.kernel.Sigma2)
+	h.writeFloat(p.k.kernel.Range)
+	h.writeFloat(p.k.kernel.Nu)
+	h.writeFloat(p.k.kernel.Nugget)
+	s := h.sum()
+	return s[0] ^ s[1]
+}
+
+// ProblemKey returns the key under which a session built from this
+// configuration caches the factor for spec's kernel at locs, or an error for
+// an invalid spec. The configuration is defaulted first, so pass the same
+// raw Config later given to NewSession; keys computed here and keys the
+// session uses then agree. This lets a serving layer pick a shard (Hash)
+// before any session exists.
+func (c Config) ProblemKey(locs []Point, spec KernelSpec) (ProblemKey, error) {
+	if err := spec.validate(); err != nil {
+		return ProblemKey{}, err
+	}
+	return ProblemKey{c.withDefaults().key('k', hashPoints(locs), len(locs), spec.normalized())}, nil
+}
+
+// ProblemKey returns the factor-cache key for spec's kernel at locs under
+// the session's effective configuration.
+func (s *Session) ProblemKey(locs []Point, spec KernelSpec) (ProblemKey, error) {
+	if err := spec.validate(); err != nil {
+		return ProblemKey{}, err
+	}
+	return ProblemKey{s.cfg.key('k', hashPoints(locs), len(locs), spec.normalized())}, nil
+}
+
+// FactorStatus is the cache state of one problem's factorization.
+type FactorStatus int
+
+// Factor cache states, in build order.
+const (
+	// FactorAbsent: nothing cached — the next query factorizes (and a
+	// serving layer should charge it against its factorization budget).
+	FactorAbsent FactorStatus = iota
+	// FactorBuilding: a factorization is in flight; queries issued now
+	// block on its completion rather than duplicating it.
+	FactorBuilding
+	// FactorReady: the factor (or its deterministic failure) is cached and
+	// queries against it run warm.
+	FactorReady
+)
+
+// FactorState reports whether k's factor is absent, being built or ready.
+// While a build is in flight the returned channel is closed when it
+// completes (successfully or not), letting a serving layer coalesce onto an
+// existing factorization — wait for the channel, then query warm — instead
+// of spending another factorization slot. The state is a snapshot: an
+// Absent answer can be Building by the time the caller acts on it, but the
+// session cache still builds each cached key at most once.
+func (s *Session) FactorState(k ProblemKey) (FactorStatus, <-chan struct{}) {
+	return s.cache.state(k.k)
+}
+
+// Prefactorize assembles, factorizes and caches the Cholesky factor for
+// spec's kernel at locs without running a query — the cold-path hook for
+// serving layers, which admission-control factorizations separately from the
+// cheap warm queries. Concurrent calls for one key share a single build. A
+// factorization failure (e.g. a non-SPD kernel matrix) is returned and also
+// cached, deterministically, for subsequent queries.
+func (s *Session) Prefactorize(locs []Point, spec KernelSpec) error {
+	if len(locs) == 0 {
+		return fmt.Errorf("parmvn: empty problem (dimension 0)")
+	}
+	if err := s.validateTileSize(len(locs)); err != nil {
+		return err
+	}
+	_, err := s.factorForKernel(locs, spec)
+	return err
 }
 
 // factorForKernel returns the (possibly cached) factor of the covariance of
@@ -224,7 +345,7 @@ func (s *Session) factorForKernel(locs []Point, spec KernelSpec) (mvn.Factor, er
 	if s.cfg.NoFactorCache {
 		return s.buildKernelFactor(locs, spec)
 	}
-	key := s.key('k', hashPoints(locs), len(locs), spec.normalized())
+	key := s.cfg.key('k', hashPoints(locs), len(locs), spec.normalized())
 	if e := s.cache.lookupDone(key); e != nil {
 		return e.f, e.err
 	}
@@ -251,7 +372,7 @@ func (s *Session) factorForSigma(sigma *linalg.Matrix) (mvn.Factor, error) {
 	if s.cfg.NoFactorCache {
 		return s.factorize(sigma)
 	}
-	key := s.key('c', hashMatrix(sigma), sigma.Rows, KernelSpec{})
+	key := s.cfg.key('c', hashMatrix(sigma), sigma.Rows, KernelSpec{})
 	if e := s.cache.lookupDone(key); e != nil {
 		return e.f, e.err
 	}

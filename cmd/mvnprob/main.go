@@ -10,17 +10,23 @@
 // With -cpuprofile/-memprofile it writes pprof profiles of the run, so
 // query-path performance work starts from data (`go tool pprof <file>`).
 //
+// With -serve ADDR it becomes a query server instead: the same engine
+// configuration behind the mvnserve HTTP/JSON endpoints (see cmd/mvnserve
+// for the full set of serving knobs).
+//
 // Example:
 //
 //	mvnprob -grid 40 -kernel exponential -range 0.1 -lower -0.5 -method tlr -qmc 5000
 //	mvnprob -grid 32 -batch 10 -batch-span 1.5
 //	mvnprob -grid 32 -batch 20 -cpuprofile cpu.prof -memprofile mem.prof
+//	mvnprob -method tlr -qmc 5000 -serve :8080
 package main
 
 import (
 	"flag"
 	"fmt"
 	"math"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -28,6 +34,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/serve"
 )
 
 // printStats reports the scheduler behavior of the run when the session
@@ -68,7 +75,35 @@ func main() {
 	stats := flag.Bool("stats", false, "report runtime scheduler statistics (tasks executed, peak ready-queue depth)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile (taken after the run) to this file")
+	serveAddr := flag.String("serve", "", "serve HTTP/JSON queries on this address (same engine configuration) instead of computing one query")
 	flag.Parse()
+
+	if *serveAddr != "" {
+		m := parmvn.Dense
+		switch *method {
+		case "dense":
+		case "tlr":
+			m = parmvn.TLR
+		case "adaptive":
+			m = parmvn.MethodAdaptive
+		default:
+			// A server started with a typoed method would silently serve
+			// dense; fail loudly instead (single-query mode keeps its
+			// historical lenient default).
+			fmt.Fprintf(os.Stderr, "mvnprob: unknown method %q\n", *method)
+			os.Exit(2)
+		}
+		srv := serve.New(serve.Config{Session: parmvn.Config{
+			Method: m, Workers: *workers, TileSize: *tile,
+			TLRTol: *tol, QMCSize: *qmc, Replicates: *reps,
+		}})
+		fmt.Printf("mvnprob: serving on %s (method %s, qmc %d, %d replicates)\n", *serveAddr, *method, *qmc, *reps)
+		if err := http.ListenAndServe(*serveAddr, srv.Handler()); err != nil {
+			fmt.Fprintln(os.Stderr, "mvnprob:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)

@@ -1,0 +1,102 @@
+// Command mvnserve serves MVN/MVT probability queries over HTTP/JSON — the
+// production front door of the engine. It owns a sharded pool of sessions,
+// coalesces concurrent requests for one uncached factorization into a single
+// build, micro-batches same-factor queries into one batch call, and
+// admission-controls factorizations so overload fails fast (503) instead of
+// queueing without bound.
+//
+// Endpoints:
+//
+//	POST /v1/mvnprob   one MVN probability query
+//	POST /v1/mvtprob   one MVT probability query (requires "nu")
+//	GET  /healthz      liveness
+//	GET  /stats        counters: cache hits/misses, coalesces, rejections,
+//	                   queue depth, latency
+//
+// Example:
+//
+//	mvnserve -addr :8080 -method tlr -qmc 5000 &
+//	curl -s localhost:8080/v1/mvnprob -d '{
+//	  "grid": {"nx": 20, "ny": 20},
+//	  "kernel": {"family": "exponential", "range": 0.1},
+//	  "lower": -1
+//	}'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	method := flag.String("method", "dense", "default factorization method: dense, tlr or adaptive (requests may override)")
+	tile := flag.Int("tile", 0, "tile size for large problems (0 = 64; small problems are bucketed automatically)")
+	tol := flag.Float64("tlr-tol", 1e-4, "TLR compression accuracy")
+	qmc := flag.Int("qmc", 2000, "QMC sample size")
+	reps := flag.Int("reps", 1, "randomized QMC replicates per query")
+	workers := flag.Int("workers", 0, "worker goroutines per session (0 = GOMAXPROCS)")
+	cacheCap := flag.Int("cache-cap", 0, "cached factors per session, LRU (0 = default 8, negative = unbounded)")
+	shards := flag.Int("shards", 0, "session shards (0 = default 4)")
+	batchWindow := flag.Duration("batch-window", 0, "micro-batch gathering window for warm queries (0 = default 1ms, negative = off)")
+	maxBatch := flag.Int("max-batch", 0, "queries per batch before an early flush (0 = default 64)")
+	maxFactor := flag.Int("max-factor", 0, "concurrent factorizations (0 = default 2)")
+	factorQueue := flag.Int("factor-queue", 0, "cold keys that may wait for a factorization slot (0 = default 8, negative = none)")
+	maxInflight := flag.Int("max-inflight", 0, "admitted requests before fast-fail (0 = default 1024)")
+	maxDim := flag.Int("max-dim", 0, "maximum problem dimension (0 = default 16384)")
+	flag.Parse()
+
+	m := parmvn.Dense
+	switch *method {
+	case "dense":
+	case "tlr":
+		m = parmvn.TLR
+	case "adaptive":
+		m = parmvn.MethodAdaptive
+	default:
+		fmt.Fprintf(os.Stderr, "mvnserve: unknown method %q\n", *method)
+		os.Exit(2)
+	}
+	srv := serve.New(serve.Config{
+		Session: parmvn.Config{
+			Method: m, TileSize: *tile, TLRTol: *tol,
+			QMCSize: *qmc, Replicates: *reps, Workers: *workers,
+			FactorCacheCap: *cacheCap,
+		},
+		Shards:            *shards,
+		BatchWindow:       *batchWindow,
+		MaxBatch:          *maxBatch,
+		MaxInflightFactor: *maxFactor,
+		FactorQueueDepth:  *factorQueue,
+		MaxInFlight:       *maxInflight,
+		MaxDim:            *maxDim,
+	})
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.ListenAndServe() }()
+	fmt.Printf("mvnserve: listening on %s (method %s, qmc %d)\n", *addr, *method, *qmc)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		fmt.Fprintln(os.Stderr, "mvnserve:", err)
+		os.Exit(1)
+	case s := <-sig:
+		fmt.Printf("mvnserve: %v, draining\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		httpSrv.Shutdown(ctx)
+		cancel()
+		srv.Close()
+	}
+}

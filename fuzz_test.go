@@ -1,0 +1,84 @@
+package parmvn
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// fuzzSession is one shared small session for FuzzLimits: the fuzzed
+// queries all target the same locations and kernel, so after the first
+// factorization every iteration runs warm and the fuzzer spends its budget
+// on the limit-handling paths, not on Cholesky.
+var fuzzLocs = Grid(3, 3)
+
+// decodeLimit turns one fuzzed (selector, value) pair into a limit entry,
+// covering the degenerate patterns the query path must survive: finite
+// values, ±Inf, NaN, and huge magnitudes.
+func decodeLimit(sel uint8, v float64) float64 {
+	switch sel % 5 {
+	case 0:
+		return v
+	case 1:
+		return math.Inf(-1)
+	case 2:
+		return math.Inf(1)
+	case 3:
+		return math.NaN()
+	default:
+		return v * 1e12
+	}
+}
+
+// FuzzLimits drives Session.MVNProb (and, on a fuzzed bit, MVTProb) with
+// adversarial integration limits — a > b, ±Inf in every pattern, NaN,
+// mismatched and zero lengths — and pins the entry-point contract: the call
+// never panics, and it returns either a typed "parmvn:" error or a finite
+// probability in [0,1]. Empty boxes (some a[i] ≥ b[i]) must come back as
+// exactly 0.
+func FuzzLimits(f *testing.F) {
+	f.Add(uint8(9), uint8(9), uint8(0), uint8(0), -1.0, 1.0, 0.0, false)
+	f.Add(uint8(9), uint8(9), uint8(1), uint8(2), 0.0, 0.0, 5.0, true)
+	f.Add(uint8(0), uint8(0), uint8(0), uint8(0), 0.0, 0.0, 0.0, false)
+	f.Add(uint8(9), uint8(3), uint8(0), uint8(0), -1.0, 1.0, 0.0, false)
+	f.Add(uint8(9), uint8(9), uint8(3), uint8(3), 2.0, -2.0, -1.0, true)
+	f.Add(uint8(12), uint8(9), uint8(4), uint8(4), 1e308, -1e308, 0.5, false)
+
+	s := NewSession(Config{TileSize: 3, QMCSize: 200})
+	f.Cleanup(s.Close)
+	kernel := KernelSpec{Family: "exponential", Range: 0.3}
+
+	f.Fuzz(func(t *testing.T, lenA, lenB, selA, selB uint8, va, vb, nu float64, mvt bool) {
+		n := len(fuzzLocs)
+		a := make([]float64, int(lenA)%(n+4))
+		b := make([]float64, int(lenB)%(n+4))
+		for i := range a {
+			a[i] = decodeLimit(selA+uint8(i), va)
+		}
+		for i := range b {
+			b[i] = decodeLimit(selB+uint8(i), vb)
+		}
+
+		var res Result
+		var err error
+		if mvt {
+			res, err = s.MVTProb(fuzzLocs, kernel, nu, a, b)
+		} else {
+			res, err = s.MVNProb(fuzzLocs, kernel, a, b)
+		}
+		if err != nil {
+			if !strings.HasPrefix(err.Error(), "parmvn:") {
+				t.Fatalf("untyped error: %v", err)
+			}
+			return
+		}
+		if math.IsNaN(res.Prob) || res.Prob < 0 || res.Prob > 1 {
+			t.Fatalf("prob %g outside [0,1] for a=%v b=%v", res.Prob, a, b)
+		}
+		for i := range a {
+			if a[i] >= b[i] && res.Prob != 0 {
+				t.Fatalf("empty box (a[%d]=%g ≥ b[%d]=%g) returned prob %g, want 0", i, a[i], i, b[i], res.Prob)
+			}
+		}
+	})
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package serve
+
+// raceEnabled reports that the race detector instruments this build; the
+// concurrency stress tests are gated on it — they exist to be run under
+// -race (as CI does), where the detector checks every interleaving they
+// provoke.
+const raceEnabled = true

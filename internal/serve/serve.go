@@ -1,0 +1,532 @@
+// Package serve is the query-serving layer over the parmvn engine: an
+// in-process Server that owns a sharded pool of Sessions, coalesces
+// concurrent requests for one uncached factorization into a single build,
+// micro-batches same-factor queries into one batch call, and admission-
+// controls factorizations so overload degrades into fast-fail backpressure
+// instead of unbounded queues.
+//
+// The layering mirrors the session factor cache one level up: a request's
+// parmvn.ProblemKey routes it to a shard (so all traffic for one covariance
+// lands on one Session and its LRU factor cache), and the per-key flight —
+// created on first arrival, joined by everyone else — is the single-flight
+// unit that factorizes at most once and flushes all gathered queries as one
+// MVNProbBatch/MVTProbBatch call.
+package serve
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"time"
+
+	"repro"
+)
+
+// ErrOverloaded is returned (and mapped to HTTP 503) when admission control
+// rejects a request: the in-flight request cap is reached, or every
+// factorization slot is busy and the factorization queue is full. Clients
+// should back off and retry; the server sheds the load instead of growing
+// its queues.
+var ErrOverloaded = errors.New("serve: overloaded, retry later")
+
+// errClosed is returned for requests arriving after Close.
+var errClosed = errors.New("serve: server closed")
+
+// Config tunes a Server. The zero value serves with sane defaults.
+type Config struct {
+	// Session is the engine configuration every pooled Session is built
+	// from. Session.Method is the default factorization method; requests
+	// may override it per query. Session.TileSize (default 64) is the tile
+	// size for large problems — small problems get a power-of-two tile
+	// bucket ≤ n so any dimension is servable. Session.FactorCacheCap
+	// bounds the factors each shard session retains (LRU).
+	Session parmvn.Config
+	// Shards is the number of session shards; requests route by
+	// ProblemKey hash, so one covariance always hits one shard's factor
+	// cache. Default 4.
+	Shards int
+	// BatchWindow is how long a warm-factor flight waits for same-key
+	// queries to gather before flushing them as one batch call. Cold
+	// flights gather for free during factorization. Default 1ms; negative
+	// disables the wait (batching then only happens behind factorizations
+	// and in-flight flushes).
+	BatchWindow time.Duration
+	// MaxBatch flushes a flight early once it has gathered this many
+	// queries. Default 64.
+	MaxBatch int
+	// MaxInflightFactor bounds concurrent factorizations across the whole
+	// server — the expensive, memory-hungry operation overload must not
+	// multiply. Default 2.
+	MaxInflightFactor int
+	// FactorQueueDepth is how many cold-key flights may wait for a
+	// factorization slot; beyond it, cold requests fail fast with
+	// ErrOverloaded. Default 8.
+	FactorQueueDepth int
+	// MaxInFlight caps admitted requests server-wide (warm and cold);
+	// beyond it requests fail fast with ErrOverloaded. Default 1024.
+	MaxInFlight int
+	// MaxDim rejects requests whose dimension exceeds it. Default 16384.
+	MaxDim int
+	// MaxBodyBytes caps an HTTP request body. Default 8 MiB.
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.BatchWindow == 0 {
+		c.BatchWindow = time.Millisecond
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.MaxInflightFactor <= 0 {
+		c.MaxInflightFactor = 2
+	}
+	if c.FactorQueueDepth < 0 {
+		c.FactorQueueDepth = 0
+	} else if c.FactorQueueDepth == 0 {
+		c.FactorQueueDepth = 8
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 1024
+	}
+	if c.MaxDim <= 0 {
+		c.MaxDim = 16384
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	return c
+}
+
+// Server serves MVN/MVT probability queries from a sharded pool of engine
+// sessions. Safe for concurrent use; create with New, stop with Close.
+type Server struct {
+	cfg       Config
+	shards    []*shard
+	factorSem chan struct{}
+	ctr       counters
+	start     time.Time
+}
+
+// shard owns the Sessions (one per method × tile bucket, created lazily)
+// and the open flights for the problem keys that hash to it.
+type shard struct {
+	srv      *Server
+	mu       sync.Mutex
+	sessions map[sessionKey]*parmvn.Session
+	flights  map[flightKey]*flight
+}
+
+// sessionKey picks the pooled Session a request runs on: everything else in
+// the session configuration is fixed server-wide.
+type sessionKey struct {
+	method parmvn.Method
+	tile   int
+}
+
+// flightKey identifies one coalescible stream of queries: one factorization
+// problem and, for Student-t, one ν (MVN and MVT flights for the same
+// problem share the cached factor, but their queries cannot share one batch
+// call).
+type flightKey struct {
+	pk parmvn.ProblemKey
+	nu float64
+}
+
+// New starts a server. It owns the Sessions it creates; Close releases them.
+func New(cfg Config) *Server {
+	c := cfg.withDefaults()
+	// The serving layer is built on the session factor cache: problem keys,
+	// FactorState coalescing and exactly-once builds all live there.
+	// Serving without it would factorize on every flush, so the flag is
+	// force-cleared rather than honored.
+	c.Session.NoFactorCache = false
+	s := &Server{
+		cfg:       c,
+		factorSem: make(chan struct{}, c.MaxInflightFactor),
+		start:     time.Now(),
+	}
+	s.shards = make([]*shard, c.Shards)
+	for i := range s.shards {
+		s.shards[i] = &shard{
+			srv:      s,
+			sessions: map[sessionKey]*parmvn.Session{},
+			flights:  map[flightKey]*flight{},
+		}
+	}
+	return s
+}
+
+// Close rejects new requests, waits for admitted requests and open flights
+// to drain, and shuts down every pooled session.
+func (s *Server) Close() {
+	if !s.ctr.closed.CompareAndSwap(false, true) {
+		return
+	}
+	for s.ctr.inFlight.Load() > 0 || s.ctr.openFlights.Load() > 0 {
+		time.Sleep(time.Millisecond)
+	}
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for _, sess := range sh.sessions {
+			sess.Close()
+		}
+		sh.sessions = map[sessionKey]*parmvn.Session{}
+		sh.mu.Unlock()
+	}
+}
+
+// baseTile is the configured large-problem tile size.
+func (s *Server) baseTile() int {
+	if t := s.cfg.Session.TileSize; t > 0 {
+		return t
+	}
+	return 64
+}
+
+// tileFor buckets the session tile size by problem dimension: the
+// configured tile for problems at least that large, otherwise the largest
+// power of two ≤ n. Bucketing (rather than min(tile, n)) bounds the session
+// pool at a handful of sizes per method while keeping every n servable.
+func tileFor(n, base int) int {
+	if n >= base {
+		return base
+	}
+	t := 1
+	for t*2 <= n {
+		t *= 2
+	}
+	return t
+}
+
+// sessionConfig is the exact parmvn.Config the pooled session for (method,
+// n) is built from — and therefore also the config whose ProblemKey routes
+// the request, keeping routing and caching definitionally consistent.
+func (s *Server) sessionConfig(method parmvn.Method, n int) parmvn.Config {
+	cfg := s.cfg.Session
+	cfg.Method = method
+	cfg.TileSize = tileFor(n, s.baseTile())
+	return cfg
+}
+
+// session returns the shard's session for cfg, creating it on first use.
+func (sh *shard) session(cfg parmvn.Config) *parmvn.Session {
+	k := sessionKey{method: cfg.Method, tile: cfg.TileSize}
+	sh.mu.Lock()
+	sess, ok := sh.sessions[k]
+	if !ok {
+		sess = parmvn.NewSession(cfg)
+		sh.sessions[k] = sess
+	}
+	sh.mu.Unlock()
+	return sess
+}
+
+// Do serves one decoded request in-process (the HTTP handlers call it; Go
+// callers may too). It validates, routes by problem key, joins or starts the
+// key's flight, and waits for the flight to deliver this request's result.
+func (s *Server) Do(ctx context.Context, req *Request) (*Response, error) {
+	start := time.Now()
+	s.ctr.requests.Add(1)
+	if s.ctr.inFlight.Add(1) > int64(s.cfg.MaxInFlight) {
+		s.ctr.inFlight.Add(-1)
+		s.ctr.rejected.Add(1)
+		return nil, ErrOverloaded
+	}
+	defer s.ctr.inFlight.Add(-1)
+	// Checked after the in-flight increment: Close flips the flag first and
+	// then drains the gauge, so a request past this check is guaranteed to
+	// finish before Close tears the sessions down.
+	if s.ctr.closed.Load() {
+		return nil, errClosed
+	}
+
+	resp, err := s.do(ctx, req)
+	switch {
+	case err == nil:
+		resp.ElapsedMs = float64(time.Since(start).Microseconds()) / 1000
+		s.ctr.observeLatency(time.Since(start))
+	case errors.As(err, new(*RequestError)):
+		s.ctr.badRequests.Add(1)
+	case errors.Is(err, ErrOverloaded):
+		// counted where it was rejected
+	default:
+		s.ctr.computeErrors.Add(1)
+	}
+	return resp, err
+}
+
+func (s *Server) do(ctx context.Context, req *Request) (*Response, error) {
+	method, err := parseMethod(req.Method, s.cfg.Session.Method)
+	if err != nil {
+		return nil, err
+	}
+	n := len(req.Locs)
+	if n <= 0 {
+		return nil, badReq("locs", "empty problem (no locations)")
+	}
+	if n > s.cfg.MaxDim {
+		return nil, badReq("locs", "dimension %d exceeds the server limit %d", n, s.cfg.MaxDim)
+	}
+	if req.Nu != 0 {
+		if err := validNu(req.Nu); err != nil {
+			return nil, err
+		}
+		s.ctr.mvt.Add(1)
+	} else {
+		s.ctr.mvn.Add(1)
+	}
+	if err := req.Kernel.Validate(); err != nil {
+		return nil, badReq("kernel", "%v", err)
+	}
+	if err := parmvn.ValidateQuery(n, req.A, req.B); err != nil {
+		return nil, badReq("limits", "%v", err)
+	}
+	if parmvn.EmptyQuery(req.A, req.B) {
+		// The box is empty: the probability is exactly 0 and the engine
+		// would never touch the factor, so don't spend a flight — or, on a
+		// cold key, a factorization slot — on it either.
+		return &Response{Prob: 0, N: n, Method: method.String()}, nil
+	}
+
+	cfg := s.sessionConfig(method, n)
+	pk, err := cfg.ProblemKey(req.Locs, req.Kernel)
+	if err != nil {
+		return nil, badReq("kernel", "%v", err)
+	}
+	sh := s.shards[pk.Hash()%uint64(len(s.shards))]
+	ch, coalesced := sh.enqueue(flightKey{pk: pk, nu: req.Nu}, pk, cfg, req)
+	if coalesced {
+		s.ctr.coalesced.Add(1)
+	}
+	select {
+	case r := <-ch:
+		if r.err != nil {
+			return nil, r.err
+		}
+		return &Response{
+			Prob: r.res.Prob, StdErr: r.res.StdErr,
+			N: n, Method: method.String(), Coalesced: coalesced,
+		}, nil
+	case <-ctx.Done():
+		// The flight still computes and delivers into the buffered channel;
+		// only this caller stops waiting.
+		return nil, ctx.Err()
+	}
+}
+
+// result is what a flight delivers to each of its waiters, exactly once.
+type result struct {
+	res parmvn.Result
+	err error
+}
+
+// flight is the single-flight/micro-batch unit for one flightKey: the first
+// request creates it (and its goroutine), concurrent requests for the same
+// key join it, and it flushes everything it gathered as one batch call.
+// queries, waiters and closed are guarded by the owning shard's mutex; full
+// is closed (under the same mutex, at most once) when MaxBatch is reached,
+// waking a flight sleeping out its batch window so a full batch flushes
+// early.
+type flight struct {
+	sh      *shard
+	key     flightKey
+	pk      parmvn.ProblemKey
+	sess    *parmvn.Session
+	locs    []parmvn.Point
+	kernel  parmvn.KernelSpec
+	full    chan struct{}
+	closed  bool
+	queries []parmvn.Bounds
+	waiters []chan result
+}
+
+// enqueue joins the open flight for fk, or creates one. The returned channel
+// receives this request's result exactly once; coalesced reports whether an
+// existing flight was joined.
+func (sh *shard) enqueue(fk flightKey, pk parmvn.ProblemKey, cfg parmvn.Config, req *Request) (<-chan result, bool) {
+	ch := make(chan result, 1)
+	q := parmvn.Bounds{A: req.A, B: req.B}
+	sh.mu.Lock()
+	if f, ok := sh.flights[fk]; ok && !f.closed {
+		f.join(q, ch)
+		sh.mu.Unlock()
+		return ch, true
+	}
+	sh.mu.Unlock()
+	sess := sh.session(cfg)
+	f := &flight{
+		sh: sh, key: fk, pk: pk, sess: sess,
+		locs: req.Locs, kernel: req.Kernel,
+		full:    make(chan struct{}),
+		queries: []parmvn.Bounds{q}, waiters: []chan result{ch},
+	}
+	sh.mu.Lock()
+	if cur, ok := sh.flights[fk]; ok && !cur.closed {
+		// Lost a race with another creator while the session was resolved:
+		// join theirs instead.
+		cur.join(q, ch)
+		sh.mu.Unlock()
+		return ch, true
+	}
+	sh.flights[fk] = f
+	sh.srv.ctr.openFlights.Add(1)
+	sh.mu.Unlock()
+	go f.run()
+	return ch, false
+}
+
+// join adds one query to an open flight; at MaxBatch the flight stops
+// accepting (the next arrival starts a fresh one) and is woken for an early
+// flush. Called with the shard mutex held on an open (not closed) flight.
+func (f *flight) join(q parmvn.Bounds, ch chan result) {
+	f.queries = append(f.queries, q)
+	f.waiters = append(f.waiters, ch)
+	if len(f.queries) >= f.sh.srv.cfg.MaxBatch {
+		f.closed = true
+		delete(f.sh.flights, f.key)
+		close(f.full) // sole closer: closed flights cannot be joined again
+	}
+}
+
+// run drives one flight: resolve the factor (warm → gather for the batch
+// window; building elsewhere → wait for that build; absent → acquire a
+// factorization slot under admission control and prefactorize, gathering
+// joiners for free meanwhile), then flush everything as one batch call and
+// deliver each waiter its result.
+func (f *flight) run() {
+	srv := f.sh.srv
+	defer srv.ctr.openFlights.Add(-1)
+	st, done := f.sess.FactorState(f.pk)
+	switch st {
+	case parmvn.FactorReady:
+		if w := srv.cfg.BatchWindow; w > 0 {
+			select {
+			case <-time.After(w):
+			case <-f.full: // MaxBatch reached: flush early
+			}
+		}
+	case parmvn.FactorBuilding:
+		// Another flight (same problem, different ν, or a direct API
+		// caller) is already factorizing: coalesce onto its build.
+		<-done
+	default: // FactorAbsent — this flight leads the factorization.
+		if err := srv.acquireFactorSlot(); err != nil {
+			f.deliverErr(err)
+			return
+		}
+		srv.ctr.factorizations.Add(1)
+		err := f.sess.Prefactorize(f.locs, f.kernel)
+		<-srv.factorSem
+		if err != nil {
+			f.deliverErr(err)
+			return
+		}
+	}
+	// Re-check before flushing: under hot-set LRU pressure the factor can
+	// be evicted between the state snapshot (or the prefactorization) and
+	// here, in which case the batch call below would rebuild it — an O(n³)
+	// build that must not dodge admission control. The residual window
+	// (eviction after this check) only risks an unadmitted build, never a
+	// wrong result.
+	if st, _ := f.sess.FactorState(f.pk); st != parmvn.FactorReady {
+		if err := srv.acquireFactorSlot(); err != nil {
+			f.deliverErr(err)
+			return
+		}
+		srv.ctr.factorizations.Add(1)
+		defer func() { <-srv.factorSem }()
+	}
+	qs, ws := f.take()
+	var out []parmvn.Result
+	var err error
+	if f.key.nu > 0 {
+		out, err = f.sess.MVTProbBatch(f.locs, f.kernel, f.key.nu, qs)
+	} else {
+		out, err = f.sess.MVNProbBatch(f.locs, f.kernel, qs)
+	}
+	srv.ctr.batches.Add(1)
+	srv.ctr.batchedQueries.Add(uint64(len(qs)))
+	for i, w := range ws {
+		if err != nil {
+			w <- result{err: err}
+		} else {
+			w <- result{res: out[i]}
+		}
+	}
+}
+
+// take closes the flight to joiners and claims its gathered queries.
+func (f *flight) take() ([]parmvn.Bounds, []chan result) {
+	sh := f.sh
+	sh.mu.Lock()
+	f.closed = true
+	if cur, ok := sh.flights[f.key]; ok && cur == f {
+		delete(sh.flights, f.key)
+	}
+	qs, ws := f.queries, f.waiters
+	sh.mu.Unlock()
+	return qs, ws
+}
+
+// deliverErr fails every waiter gathered so far with err. Backpressure
+// rejections are counted here, per shed request — a failed slot acquisition
+// rejects the whole flight, not just its leader.
+func (f *flight) deliverErr(err error) {
+	_, ws := f.take()
+	if errors.Is(err, ErrOverloaded) {
+		f.sh.srv.ctr.rejected.Add(uint64(len(ws)))
+	}
+	for _, w := range ws {
+		w <- result{err: err}
+	}
+}
+
+// acquireFactorSlot admission-controls factorizations: take a free slot if
+// one exists, otherwise wait in the bounded factorization queue — and when
+// that is full too, fail fast. This is what keeps an overloaded server at a
+// predictable memory/CPU ceiling (MaxInflightFactor builds plus
+// FactorQueueDepth waiters) instead of stacking up O(n²) factorizations.
+func (s *Server) acquireFactorSlot() error {
+	select {
+	case s.factorSem <- struct{}{}:
+		return nil
+	default:
+	}
+	if s.ctr.factorQueue.Add(1) > int64(s.cfg.FactorQueueDepth) {
+		s.ctr.factorQueue.Add(-1)
+		// Not counted here: deliverErr counts one rejection per request the
+		// failing flight sheds, not one per flight.
+		return ErrOverloaded
+	}
+	s.factorSem <- struct{}{}
+	s.ctr.factorQueue.Add(-1)
+	return nil
+}
+
+// validNu rejects a non-positive or non-finite ν with a typed request error.
+func validNu(nu float64) error {
+	if !(nu > 0) || math.IsInf(nu, 1) {
+		return badReq("nu", "degrees of freedom %g must be positive and finite", nu)
+	}
+	return nil
+}
+
+// parseMethod resolves a request's method string against the server default.
+func parseMethod(m string, def parmvn.Method) (parmvn.Method, error) {
+	switch m {
+	case "":
+		return def, nil
+	case "dense":
+		return parmvn.Dense, nil
+	case "tlr":
+		return parmvn.TLR, nil
+	case "adaptive":
+		return parmvn.MethodAdaptive, nil
+	}
+	return 0, badReq("method", "unknown method %q (want dense, tlr or adaptive)", m)
+}

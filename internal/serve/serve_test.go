@@ -1,0 +1,419 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// testConfig is a small, fast server configuration shared by the tests.
+func testConfig() Config {
+	return Config{
+		Session: parmvn.Config{QMCSize: 400, TileSize: 16},
+		Shards:  2,
+	}
+}
+
+func testRequest(grid int, rng float64) *Request {
+	locs := parmvn.Grid(grid, grid)
+	n := len(locs)
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i] = -1
+		b[i] = math.Inf(1)
+	}
+	return &Request{
+		Locs:   locs,
+		Kernel: parmvn.KernelSpec{Family: "exponential", Range: rng},
+		A:      a, B: b,
+	}
+}
+
+func TestServeBasic(t *testing.T) {
+	srv := New(testConfig())
+	defer srv.Close()
+	resp, err := srv.Do(context.Background(), testRequest(6, 0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Prob <= 0 || resp.Prob > 1 || math.IsNaN(resp.Prob) {
+		t.Fatalf("prob %g not in (0,1]", resp.Prob)
+	}
+	if resp.N != 36 || resp.Method != "dense" {
+		t.Fatalf("resp meta = %d/%s, want 36/dense", resp.N, resp.Method)
+	}
+	// Same problem again: warm, identical result (deterministic QMC).
+	resp2, err := srv.Do(context.Background(), testRequest(6, 0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp2.Prob != resp.Prob {
+		t.Fatalf("warm prob %g != cold prob %g", resp2.Prob, resp.Prob)
+	}
+	st := srv.Snapshot()
+	if st.Factorizations != 1 {
+		t.Fatalf("factorizations = %d, want 1", st.Factorizations)
+	}
+	if st.Requests != 2 || st.MVNRequests != 2 {
+		t.Fatalf("requests = %d/%d, want 2/2", st.Requests, st.MVNRequests)
+	}
+}
+
+// TestServeIgnoresNoFactorCache pins that serve.New force-clears
+// Session.NoFactorCache: serving is built on the factor cache, and honoring
+// the flag would factorize on every flush.
+func TestServeIgnoresNoFactorCache(t *testing.T) {
+	cfg := testConfig()
+	cfg.Session.NoFactorCache = true
+	srv := New(cfg)
+	defer srv.Close()
+	for i := 0; i < 2; i++ {
+		if _, err := srv.Do(context.Background(), testRequest(5, 0.2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := srv.Snapshot(); st.Factorizations != 1 || st.CacheMisses != 1 {
+		t.Fatalf("factorizations/misses = %d/%d with NoFactorCache set, want 1/1 (flag must be cleared)",
+			st.Factorizations, st.CacheMisses)
+	}
+}
+
+// TestServeMatchesSession pins that the serving layer is a pass-through: a
+// query served over a Server equals the same query on a directly-owned
+// Session with the same configuration, for each method and for MVN and MVT.
+func TestServeMatchesSession(t *testing.T) {
+	srv := New(testConfig())
+	defer srv.Close()
+	for _, method := range []string{"dense", "tlr", "adaptive"} {
+		req := testRequest(5, 0.3)
+		req.Method = method
+		got, err := srv.Do(context.Background(), req)
+		if err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+		cfg := srv.sessionConfig(mustMethod(t, method), len(req.Locs))
+		sess := parmvn.NewSession(cfg)
+		want, err := sess.MVNProb(req.Locs, req.Kernel, req.A, req.B)
+		sess.Close()
+		if err != nil {
+			t.Fatalf("%s session: %v", method, err)
+		}
+		if got.Prob != want.Prob {
+			t.Fatalf("%s: served %g != session %g", method, got.Prob, want.Prob)
+		}
+
+		reqT := testRequest(5, 0.3)
+		reqT.Method = method
+		reqT.Nu = 7
+		gotT, err := srv.Do(context.Background(), reqT)
+		if err != nil {
+			t.Fatalf("%s mvt: %v", method, err)
+		}
+		sess = parmvn.NewSession(cfg)
+		wantT, err := sess.MVTProb(reqT.Locs, reqT.Kernel, reqT.Nu, reqT.A, reqT.B)
+		sess.Close()
+		if err != nil {
+			t.Fatalf("%s mvt session: %v", method, err)
+		}
+		if gotT.Prob != wantT.Prob {
+			t.Fatalf("%s mvt: served %g != session %g", method, gotT.Prob, wantT.Prob)
+		}
+	}
+}
+
+func mustMethod(t *testing.T, s string) parmvn.Method {
+	t.Helper()
+	m, err := parseMethod(s, parmvn.Dense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestServeValidation(t *testing.T) {
+	srv := New(testConfig())
+	defer srv.Close()
+	ctx := context.Background()
+	cases := []struct {
+		name  string
+		mut   func(*Request)
+		field string
+	}{
+		{"no locs", func(r *Request) { r.Locs = nil }, "locs"},
+		{"bad kernel", func(r *Request) { r.Kernel.Range = -1 }, "kernel"},
+		{"bad family", func(r *Request) { r.Kernel.Family = "cubic" }, "kernel"},
+		{"short a", func(r *Request) { r.A = r.A[:3] }, "limits"},
+		{"nan limit", func(r *Request) { r.B[2] = math.NaN() }, "limits"},
+		{"bad method", func(r *Request) { r.Method = "sparse" }, "method"},
+		{"bad nu", func(r *Request) { r.Nu = -2 }, "nu"},
+		{"huge", func(r *Request) { r.Locs = parmvn.Grid(200, 200) }, "locs"},
+	}
+	for _, tc := range cases {
+		req := testRequest(4, 0.3)
+		tc.mut(req)
+		_, err := srv.Do(ctx, req)
+		var reqErr *RequestError
+		if !errors.As(err, &reqErr) {
+			t.Fatalf("%s: err = %v, want *RequestError", tc.name, err)
+		}
+		if reqErr.Field != tc.field {
+			t.Fatalf("%s: field = %q, want %q", tc.name, reqErr.Field, tc.field)
+		}
+	}
+	if st := srv.Snapshot(); st.BadRequests != uint64(len(cases)) {
+		t.Fatalf("bad_requests = %d, want %d", st.BadRequests, len(cases))
+	}
+}
+
+// TestServeEmptyBox pins the degenerate-box semantics through the serving
+// layer: a box with a[i] ≥ b[i] has probability exactly 0 and is answered
+// without a flight, a factorization slot, or a session — so statically-zero
+// requests cannot evict real factors or occupy admission capacity.
+func TestServeEmptyBox(t *testing.T) {
+	srv := New(testConfig())
+	defer srv.Close()
+	req := testRequest(4, 0.3)
+	req.A[0], req.B[0] = 2, 1
+	resp, err := srv.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Prob != 0 {
+		t.Fatalf("empty box prob = %g, want 0", resp.Prob)
+	}
+	st := srv.Snapshot()
+	if st.Batches != 0 || st.Factorizations != 0 || st.Sessions != 0 {
+		t.Fatalf("empty box spent work: batches=%d factorizations=%d sessions=%d, want all 0",
+			st.Batches, st.Factorizations, st.Sessions)
+	}
+}
+
+// TestServeMaxBatchFlushesEarly pins that a flight gathering MaxBatch
+// queries flushes immediately instead of sleeping out its batch window.
+func TestServeMaxBatchFlushesEarly(t *testing.T) {
+	cfg := testConfig()
+	cfg.BatchWindow = 10 * time.Second // far beyond the test timeout budget
+	cfg.MaxBatch = 2
+	srv := New(cfg)
+	defer srv.Close()
+	// Warm the factor first; a cold flight flushes right after its
+	// factorization, so the giant window does not apply to it.
+	if _, err := srv.Do(context.Background(), testRequest(4, 0.3)); err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			defer wg.Done()
+			if _, err := srv.Do(context.Background(), testRequest(4, 0.3)); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("two queries at MaxBatch=2 took %v; the full batch did not flush early", d)
+	}
+}
+
+// TestServeCoalesce pins the acceptance criterion: 32 concurrent clients
+// requesting the same cold problem key trigger exactly one factorization,
+// every client gets exactly one response, and all responses agree.
+func TestServeCoalesce(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxBatch = 64 // hold all 32 in one flight
+	srv := New(cfg)
+	defer srv.Close()
+
+	const clients = 32
+	var (
+		start sync.WaitGroup
+		done  sync.WaitGroup
+		gate  = make(chan struct{})
+		probs [clients]float64
+		errs  [clients]error
+	)
+	start.Add(clients)
+	done.Add(clients)
+	for i := 0; i < clients; i++ {
+		go func(i int) {
+			defer done.Done()
+			req := testRequest(8, 0.15)
+			start.Done()
+			<-gate
+			resp, err := srv.Do(context.Background(), req)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			probs[i] = resp.Prob
+		}(i)
+	}
+	start.Wait()
+	close(gate)
+	done.Wait()
+
+	for i := 0; i < clients; i++ {
+		if errs[i] != nil {
+			t.Fatalf("client %d: %v", i, errs[i])
+		}
+		if probs[i] != probs[0] {
+			t.Fatalf("client %d: prob %g != client 0's %g", i, probs[i], probs[0])
+		}
+		if probs[i] <= 0 || probs[i] > 1 {
+			t.Fatalf("client %d: prob %g not in (0,1]", i, probs[i])
+		}
+	}
+	st := srv.Snapshot()
+	if st.Factorizations != 1 {
+		t.Fatalf("factorizations = %d, want exactly 1 for one cold key", st.Factorizations)
+	}
+	if st.CacheMisses != 1 {
+		t.Fatalf("cache misses = %d, want exactly 1 (single build)", st.CacheMisses)
+	}
+	if st.Coalesced == 0 {
+		t.Fatalf("coalesced = 0, want most of the %d clients to join the flight", clients)
+	}
+	if st.Requests != clients {
+		t.Fatalf("requests = %d, want %d", st.Requests, clients)
+	}
+}
+
+// TestServeBackpressure pins the other acceptance criterion: a saturated
+// server fails fast with ErrOverloaded instead of queueing without bound.
+// One slow cold factorization occupies the single slot; with a zero-depth
+// factorization queue, every other cold key must be rejected immediately.
+func TestServeBackpressure(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxInflightFactor = 1
+	cfg.FactorQueueDepth = -1 // → 0 after defaulting: no waiting at all
+	srv := New(cfg)
+	defer srv.Close()
+
+	// Occupy the only factorization slot with a big cold problem.
+	blockerDone := make(chan error, 1)
+	go func() {
+		_, err := srv.Do(context.Background(), testRequest(28, 0.1)) // n=784
+		blockerDone <- err
+	}()
+	// Wait until the blocker holds the slot (its factorization lead is
+	// counted before the build starts).
+	for srv.Snapshot().Factorizations == 0 {
+		time.Sleep(200 * time.Microsecond)
+	}
+
+	// Every distinct cold key now fails fast.
+	var rejected int
+	for i := 0; i < 8; i++ {
+		_, err := srv.Do(context.Background(), testRequest(6, 0.05+0.01*float64(i)))
+		if errors.Is(err, ErrOverloaded) {
+			rejected++
+		} else if err != nil {
+			t.Fatalf("cold key %d: unexpected error %v", i, err)
+		}
+	}
+	if err := <-blockerDone; err != nil {
+		t.Fatalf("blocker: %v", err)
+	}
+	if rejected == 0 {
+		t.Fatal("no request was rejected while the factorization slot was held")
+	}
+	st := srv.Snapshot()
+	if st.Rejected != uint64(rejected) {
+		t.Fatalf("rejected counter = %d, want %d", st.Rejected, rejected)
+	}
+	if st.FactorQueueDepth != 0 {
+		t.Fatalf("factor queue depth = %d after drain, want 0", st.FactorQueueDepth)
+	}
+
+	// After the blocker finishes, the same keys are admitted again.
+	if _, err := srv.Do(context.Background(), testRequest(6, 0.05)); err != nil {
+		t.Fatalf("post-drain query: %v", err)
+	}
+}
+
+// TestServeMaxInFlight exercises the total-request cap path.
+func TestServeMaxInFlight(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxInFlight = 1
+	cfg.BatchWindow = 20 * time.Millisecond // keep the first request in flight
+	srv := New(cfg)
+	defer srv.Close()
+
+	// Warm the factor so the in-flight request sits in the batch window.
+	if _, err := srv.Do(context.Background(), testRequest(4, 0.3)); err != nil {
+		t.Fatal(err)
+	}
+	held := make(chan struct{})
+	go func() {
+		srv.Do(context.Background(), testRequest(4, 0.3))
+		close(held)
+	}()
+	// Wait for the in-flight gauge, then collide with the cap.
+	for srv.Snapshot().InFlight == 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	if _, err := srv.Do(context.Background(), testRequest(4, 0.3)); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded at the in-flight cap", err)
+	}
+	<-held
+}
+
+// TestServeMVTSharesFactor pins that MVN and MVT flights for one problem
+// share a single cached factor (the key ignores ν).
+func TestServeMVTSharesFactor(t *testing.T) {
+	srv := New(testConfig())
+	defer srv.Close()
+	if _, err := srv.Do(context.Background(), testRequest(5, 0.25)); err != nil {
+		t.Fatal(err)
+	}
+	reqT := testRequest(5, 0.25)
+	reqT.Nu = 9
+	if _, err := srv.Do(context.Background(), reqT); err != nil {
+		t.Fatal(err)
+	}
+	st := srv.Snapshot()
+	if st.Factorizations != 1 || st.CacheMisses != 1 {
+		t.Fatalf("factorizations/misses = %d/%d, want 1/1 across MVN+MVT", st.Factorizations, st.CacheMisses)
+	}
+	if st.MVTRequests != 1 {
+		t.Fatalf("mvt_requests = %d, want 1", st.MVTRequests)
+	}
+}
+
+// TestServeClosed pins that a closed server rejects instead of hanging.
+func TestServeClosed(t *testing.T) {
+	srv := New(testConfig())
+	srv.Close()
+	if _, err := srv.Do(context.Background(), testRequest(4, 0.3)); err == nil {
+		t.Fatal("Do on a closed server succeeded")
+	}
+	srv.Close() // idempotent
+}
+
+// TestServeContextCancel pins that a canceled waiter returns promptly while
+// the flight still completes for everyone else.
+func TestServeContextCancel(t *testing.T) {
+	cfg := testConfig()
+	cfg.BatchWindow = 50 * time.Millisecond
+	srv := New(cfg)
+	defer srv.Close()
+	// Warm the factor so the next request sits in the batch window.
+	if _, err := srv.Do(context.Background(), testRequest(4, 0.3)); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := srv.Do(ctx, testRequest(4, 0.3)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// counters is the server's live instrumentation — lock-free atomics on the
+// request path, aggregated into a Stats snapshot on demand.
+type counters struct {
+	closed atomic.Bool
+
+	requests       atomic.Uint64
+	mvn, mvt       atomic.Uint64
+	badRequests    atomic.Uint64
+	computeErrors  atomic.Uint64
+	rejected       atomic.Uint64
+	coalesced      atomic.Uint64
+	batches        atomic.Uint64
+	batchedQueries atomic.Uint64
+	factorizations atomic.Uint64
+
+	inFlight    atomic.Int64
+	openFlights atomic.Int64
+	factorQueue atomic.Int64
+
+	latCount atomic.Uint64
+	latTotal atomic.Int64 // microseconds
+	latMax   atomic.Int64 // microseconds
+}
+
+func (c *counters) observeLatency(d time.Duration) {
+	us := d.Microseconds()
+	c.latCount.Add(1)
+	c.latTotal.Add(us)
+	for {
+		cur := c.latMax.Load()
+		if us <= cur || c.latMax.CompareAndSwap(cur, us) {
+			return
+		}
+	}
+}
+
+// Stats is the /stats snapshot: cumulative counters since start plus the
+// current gauges. All counters are monotone except the three gauges
+// (in_flight, open_flights, factor_queue_depth).
+type Stats struct {
+	UptimeSec float64 `json:"uptime_sec"`
+
+	Requests      uint64 `json:"requests"`
+	MVNRequests   uint64 `json:"mvn_requests"`
+	MVTRequests   uint64 `json:"mvt_requests"`
+	BadRequests   uint64 `json:"bad_requests"`
+	ComputeErrors uint64 `json:"compute_errors"`
+	// Rejected counts fast-fail backpressure rejections (ErrOverloaded),
+	// from the request cap and from the full factorization queue alike.
+	Rejected uint64 `json:"rejected"`
+
+	// Coalesced counts requests that joined an existing flight instead of
+	// starting their own. Factorizations counts factorization leads: every
+	// admission slot acquired for a cold (or evicted-and-rebuilt) key. A
+	// lead can coalesce inside the session cache onto a concurrent build of
+	// the same problem, so this can exceed CacheMisses — the count of
+	// factorizations actually executed — but never by more than the flights
+	// racing per key.
+	Coalesced      uint64 `json:"coalesced"`
+	Batches        uint64 `json:"batches"`
+	BatchedQueries uint64 `json:"batched_queries"`
+	Factorizations uint64 `json:"factorizations"`
+
+	// CacheHits/Misses/CachedFactors aggregate the factor caches of every
+	// pooled session; Sessions is the pool size.
+	CacheHits     int `json:"cache_hits"`
+	CacheMisses   int `json:"cache_misses"`
+	CachedFactors int `json:"cached_factors"`
+	Sessions      int `json:"sessions"`
+
+	InFlight         int64 `json:"in_flight"`
+	OpenFlights      int64 `json:"open_flights"`
+	FactorQueueDepth int64 `json:"factor_queue_depth"`
+
+	LatencyCount  uint64  `json:"latency_count"`
+	LatencyMeanMs float64 `json:"latency_mean_ms"`
+	LatencyMaxMs  float64 `json:"latency_max_ms"`
+}
+
+// Snapshot assembles the current statistics.
+func (s *Server) Snapshot() Stats {
+	st := Stats{
+		UptimeSec:        time.Since(s.start).Seconds(),
+		Requests:         s.ctr.requests.Load(),
+		MVNRequests:      s.ctr.mvn.Load(),
+		MVTRequests:      s.ctr.mvt.Load(),
+		BadRequests:      s.ctr.badRequests.Load(),
+		ComputeErrors:    s.ctr.computeErrors.Load(),
+		Rejected:         s.ctr.rejected.Load(),
+		Coalesced:        s.ctr.coalesced.Load(),
+		Batches:          s.ctr.batches.Load(),
+		BatchedQueries:   s.ctr.batchedQueries.Load(),
+		Factorizations:   s.ctr.factorizations.Load(),
+		InFlight:         s.ctr.inFlight.Load(),
+		OpenFlights:      s.ctr.openFlights.Load(),
+		FactorQueueDepth: s.ctr.factorQueue.Load(),
+		LatencyCount:     s.ctr.latCount.Load(),
+	}
+	if st.LatencyCount > 0 {
+		st.LatencyMeanMs = float64(s.ctr.latTotal.Load()) / float64(st.LatencyCount) / 1000
+	}
+	st.LatencyMaxMs = float64(s.ctr.latMax.Load()) / 1000
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for _, sess := range sh.sessions {
+			h, m := sess.Cache().Stats()
+			st.CacheHits += h
+			st.CacheMisses += m
+			st.CachedFactors += sess.Cache().Len()
+			st.Sessions++
+		}
+		sh.mu.Unlock()
+	}
+	return st
+}

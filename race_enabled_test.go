@@ -2,7 +2,89 @@
 
 package parmvn
 
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
 // raceEnabled reports that the race detector instruments this build;
 // sync.Pool intentionally drops puts under -race, so allocation-count
 // assertions are meaningless there.
 const raceEnabled = true
+
+// TestFactorCacheConcurrentEviction hammers a capacity-2 factor cache from
+// many goroutines cycling through more covariances than fit — so entries
+// are constantly evicted while other goroutines hold and query their
+// factors — with concurrent Purge calls thrown in. The race detector checks
+// the interleavings; the test itself pins that eviction never corrupts
+// results: every query returns its problem's deterministic probability no
+// matter which cache generation served it.
+//
+// (Race-gated: the point is the detector's coverage of the eviction paths,
+// which only this build runs.)
+func TestFactorCacheConcurrentEviction(t *testing.T) {
+	s := NewSession(Config{TileSize: 8, QMCSize: 200, FactorCacheCap: 2})
+	defer s.Close()
+	locs := Grid(4, 4)
+	n := len(locs)
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i], b[i] = -1, math.Inf(1)
+	}
+	// Six problems through a two-slot cache: every round evicts.
+	specs := make([]KernelSpec, 6)
+	for i := range specs {
+		specs[i] = KernelSpec{Family: "exponential", Range: 0.1 + 0.05*float64(i)}
+	}
+
+	// Reference results, computed sequentially up front.
+	want := make([]float64, len(specs))
+	for i, spec := range specs {
+		r, err := s.MVNProb(locs, spec, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = r.Prob
+	}
+
+	const (
+		goroutines = 8
+		iters      = 10
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*iters)
+	wg.Add(goroutines + 1)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				i := (g + it) % len(specs)
+				r, err := s.MVNProb(locs, specs[i], a, b)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if r.Prob != want[i] {
+					t.Errorf("goroutine %d: spec %d returned %g, want %g (stale or cross-wired factor)",
+						g, i, r.Prob, want[i])
+					return
+				}
+			}
+		}(g)
+	}
+	// One goroutine purging the cache under the queries' feet.
+	go func() {
+		defer wg.Done()
+		for it := 0; it < 2*iters; it++ {
+			s.Cache().Purge()
+			s.Cache().Len()
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,86 @@
+package parmvn
+
+import (
+	"fmt"
+	"math"
+)
+
+// validateQuery is the one validator every query entry point — MVNProb,
+// MVTProb, the batch variants and (via ValidateQuery) the serving layer —
+// runs over an (a,b) integration box, so the direct and batch paths accept
+// exactly the same inputs and reject the rest with identical errors.
+//
+// It rejects a zero-dimensional problem, mis-sized limit vectors and NaN
+// limits (±Inf is the ordinary way to express half-open boxes and is fine).
+// A box with a[i] ≥ b[i] somewhere is not an error: it has measure zero or
+// is empty, so the query's probability is exactly 0 and the caller returns
+// that without factorizing anything — empty is the report.
+func validateQuery(n int, a, b []float64) (empty bool, err error) {
+	if n <= 0 {
+		return false, fmt.Errorf("parmvn: empty problem (dimension %d)", n)
+	}
+	if len(a) != n || len(b) != n {
+		return false, fmt.Errorf("parmvn: limits length (%d,%d) != dimension %d", len(a), len(b), n)
+	}
+	for i := range a {
+		if math.IsNaN(a[i]) || math.IsNaN(b[i]) {
+			return false, fmt.Errorf("parmvn: limit %d is NaN", i)
+		}
+		if a[i] >= b[i] {
+			empty = true
+		}
+	}
+	return empty, nil
+}
+
+// ValidateQuery reports whether (a,b) is a usable integration box for an
+// n-dimensional query, with exactly the acceptance rules of MVNProb and the
+// batch entry points. Serving layers that aggregate queries from independent
+// requests into shared batch calls validate each request with it up front, so
+// one malformed request is rejected alone instead of failing the whole batch.
+// An empty box (some a[i] ≥ b[i]) is valid — its probability is 0.
+func ValidateQuery(n int, a, b []float64) error {
+	_, err := validateQuery(n, a, b)
+	return err
+}
+
+// EmptyQuery reports whether a (pre-validated) box is empty — some
+// a[i] ≥ b[i] — in which case its probability is exactly 0 and a serving
+// layer can answer without touching (or building) the factor, just as the
+// query entry points do.
+func EmptyQuery(a, b []float64) bool {
+	for i := range a {
+		if a[i] >= b[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// validateNu is the shared degrees-of-freedom check of the MVT entry points
+// (NaN fails the positivity test like any non-positive value).
+func validateNu(nu float64) error {
+	if !(nu > 0) || math.IsInf(nu, 1) {
+		return fmt.Errorf("parmvn: degrees of freedom %g must be positive and finite", nu)
+	}
+	return nil
+}
+
+// validateQueries is validateQuery over a batch: it rejects the batch on the
+// first malformed query (wrapping the same error the direct path returns for
+// that query) and otherwise reports which queries are empty boxes, plus
+// whether any query actually needs the factor.
+func validateQueries(n int, queries []Bounds) (empty []bool, anyLive bool, err error) {
+	empty = make([]bool, len(queries))
+	for i, q := range queries {
+		e, err := validateQuery(n, q.A, q.B)
+		if err != nil {
+			return nil, false, fmt.Errorf("parmvn: query %d: %w", i, err)
+		}
+		empty[i] = e
+		if !e {
+			anyLive = true
+		}
+	}
+	return empty, anyLive, nil
+}
