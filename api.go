@@ -101,6 +101,7 @@ type KernelSpec struct {
 // fields zeroed, so that specs building identical kernels compare equal.
 // build derives the kernel from this form and the factor-cache key uses it,
 // which keeps the two definitionally consistent.
+//repro:noalloc
 func (k KernelSpec) normalized() KernelSpec {
 	if k.Family == "" {
 		k.Family = "exponential"
@@ -125,22 +126,27 @@ func (k KernelSpec) Validate() error { return k.validate() }
 // validate rejects malformed specs without constructing anything — the
 // warm-query path calls it before touching the factor cache, so invalid
 // specs neither allocate nor occupy (and evict from) the bounded cache.
+//repro:noalloc
 func (k KernelSpec) validate() error {
 	k = k.normalized()
 	if k.Range <= 0 {
+		//repro:alloc-ok rejection path
 		return fmt.Errorf("parmvn: kernel range must be positive, got %g", k.Range)
 	}
 	switch k.Family {
 	case "exponential":
 	case "matern":
 		if k.Nu <= 0 {
+			//repro:alloc-ok rejection path
 			return fmt.Errorf("parmvn: matern needs Nu > 0")
 		}
 	case "powexp":
 		if k.Nu <= 0 || k.Nu > 2 {
+			//repro:alloc-ok rejection path
 			return fmt.Errorf("parmvn: powexp needs 0 < Nu ≤ 2")
 		}
 	default:
+		//repro:alloc-ok rejection path
 		return fmt.Errorf("parmvn: unknown kernel family %q", k.Family)
 	}
 	return nil
@@ -417,17 +423,21 @@ func (s *Session) factorizeKernel(g *geo.Geom, k cov.Kernel) (mvn.Factor, error)
 // validateTileSize checks the configured tile size against the problem
 // dimension, uniformly at every Session entry point, so a bad configuration
 // fails with a clear error instead of deep inside tiling.
+//repro:noalloc
 func (s *Session) validateTileSize(n int) error {
 	ts := s.cfg.TileSize
 	if ts <= 0 {
+		//repro:alloc-ok rejection path
 		return fmt.Errorf("parmvn: TileSize must be positive, got %d", ts)
 	}
 	if n > 0 && ts > n {
+		//repro:alloc-ok rejection path
 		return fmt.Errorf("parmvn: TileSize %d exceeds problem dimension %d", ts, n)
 	}
 	return nil
 }
 
+//repro:noalloc
 func (s *Session) mvnOpts() mvn.Options {
 	return mvn.Options{N: s.cfg.QMCSize, Replicates: s.cfg.Replicates}
 }
@@ -438,6 +448,7 @@ func (s *Session) mvnOpts() mvn.Options {
 // allocation-free end to end (content hash, cache hit, pooled chain-blocked
 // integration); for many queries at once prefer MVNProbBatch, which also
 // parallelizes across queries. Results are identical either way.
+//repro:noalloc
 func (s *Session) MVNProb(locs []Point, kernel KernelSpec, a, b []float64) (Result, error) {
 	return s.prob(locs, kernel, 0, a, b)
 }
@@ -446,6 +457,7 @@ func (s *Session) MVNProb(locs []Point, kernel KernelSpec, a, b []float64) (Resu
 // (nu > 0). Validation — limits, tile size, kernel spec — is identical to
 // the batch entry points, and an empty box (some a[i] ≥ b[i]) returns
 // probability 0 without assembling or factorizing anything.
+//repro:noalloc
 func (s *Session) prob(locs []Point, kernel KernelSpec, nu float64, a, b []float64) (Result, error) {
 	empty, err := validateQuery(len(locs), a, b)
 	if err != nil {
@@ -485,6 +497,7 @@ func (s *Session) MVNProbCov(sigma [][]float64, a, b []float64) (Result, error) 
 // with ν degrees of freedom, where Σ is assembled from the kernel at the
 // given locations — the companion capability of the tlrmvnmvt package the
 // paper builds on, on the same dense/TLR backends.
+//repro:noalloc
 func (s *Session) MVTProb(locs []Point, kernel KernelSpec, nu float64, a, b []float64) (Result, error) {
 	if err := validateNu(nu); err != nil {
 		return Result{}, err
@@ -494,8 +507,10 @@ func (s *Session) MVTProb(locs []Point, kernel KernelSpec, nu float64, a, b []fl
 
 // attachStats snapshots the runtime scheduler statistics onto a result when
 // the session is configured to collect them.
+//repro:noalloc
 func (s *Session) attachStats(r *Result) {
 	if s.cfg.CollectStats {
+		//repro:alloc-ok stats snapshot is an opt-in diagnostic path
 		snap := s.rt.Snapshot()
 		r.Stats = &snap
 	}

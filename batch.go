@@ -82,6 +82,7 @@ func (s *Session) MVNProbCovBatch(sigma [][]float64, queries []Bounds) ([]Result
 }
 
 // query evaluates one pre-validated box against the factor (nu = 0 → MVN).
+//repro:noalloc
 func (s *Session) query(f mvn.Factor, a, b []float64, nu float64, opts mvn.Options) Result {
 	var r mvn.Result
 	if nu > 0 {

@@ -1,0 +1,474 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"strings"
+)
+
+// Locksafe enforces the serving-path lock discipline in the query-serving
+// subsystem (internal/serve) and the factor cache (cache.go): every
+// mutex Lock is matched by an Unlock on all paths, locks are not re-acquired
+// while held, and nothing slow or blocking — channel operations, select,
+// time.Sleep, network calls, factorization — runs inside a critical section.
+// The shard and cache mutexes guard index lookups that sit on every query;
+// a factorization or channel wait under one stalls the whole shard.
+var Locksafe = &Analyzer{
+	Name: "locksafe",
+	Doc:  "check lock pairing and critical-section hygiene in serve and the factor cache",
+	Run:  runLocksafe,
+}
+
+// heavyCallPrefixes are funcID prefixes that must never run under a shard or
+// cache mutex: factorization and compression are seconds-scale work.
+var heavyCallPrefixes = []string{
+	"repro/internal/engine.",
+	"repro/internal/tile.",
+}
+
+// blockedCallPkgs are packages whose calls block on external events.
+var blockedCallPkgs = map[string]bool{
+	"net":      true,
+	"net/http": true,
+}
+
+// lockScoped reports whether a file is under the lock-discipline contract.
+func lockScoped(pass *Pass, file *ast.File) bool {
+	switch {
+	case pass.Pkg.Path() == "repro/internal/serve":
+		return true
+	case strings.HasPrefix(pass.Pkg.Path(), "fixture/"):
+		return true
+	case pass.Pkg.Path() == "repro":
+		return filepath.Base(pass.Fset.Position(file.Package).Filename) == "cache.go"
+	}
+	return false
+}
+
+func runLocksafe(pass *Pass) error {
+	for _, file := range pass.Files {
+		if !lockScoped(pass, file) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if containsGoto(fd.Body) {
+				continue
+			}
+			c := &lsChecker{pass: pass}
+			st := &lockState{held: map[string]int{}, deferred: map[string]int{}}
+			end, term := c.walkStmts(fd.Body.List, st)
+			if !term {
+				c.checkExit(end, fd.Body.Rbrace)
+			}
+		}
+	}
+	return nil
+}
+
+// lockState tracks, per canonical mutex key ("sh.mu", "c.mu/R"), how many
+// times it is held on the current path and how many deferred unlocks cover
+// function exit.
+type lockState struct {
+	held     map[string]int
+	deferred map[string]int
+}
+
+func (s *lockState) clone() *lockState {
+	c := &lockState{held: make(map[string]int, len(s.held)), deferred: make(map[string]int, len(s.deferred))}
+	for k, v := range s.held {
+		c.held[k] = v
+	}
+	for k, v := range s.deferred {
+		c.deferred[k] = v
+	}
+	return c
+}
+
+type lsChecker struct {
+	pass *Pass
+}
+
+func (c *lsChecker) reportf(pos token.Pos, format string, args ...any) {
+	c.pass.Reportf(pos, format, args...)
+}
+
+// checkExit reports locks still held at a path exit not covered by defers.
+func (c *lsChecker) checkExit(st *lockState, at token.Pos) {
+	for k, v := range st.held {
+		if v > st.deferred[k] {
+			c.reportf(at, "%s is still locked at this exit (missing %s or defer)", lockName(k), unlockName(k))
+		}
+	}
+}
+
+// lockName / unlockName render a state key for messages.
+func lockName(k string) string { return strings.TrimSuffix(k, "/R") }
+func unlockName(k string) string {
+	if strings.HasSuffix(k, "/R") {
+		return "RUnlock"
+	}
+	return "Unlock"
+}
+
+// mutexOp classifies a call as a mutex operation on a canonical key.
+// rlock=true for the read side of an RWMutex.
+func (c *lsChecker) mutexOp(call *ast.CallExpr) (key string, lock, unlock bool) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false, false
+	}
+	fo := calleeFunc(c.pass.TypesInfo, call)
+	if fo == nil || fo.Pkg() == nil || fo.Pkg().Path() != "sync" {
+		return "", false, false
+	}
+	base := exprKey(sel.X)
+	if base == "" {
+		return "", false, false
+	}
+	switch fo.Name() {
+	case "Lock":
+		return base, true, false
+	case "Unlock":
+		return base, false, true
+	case "RLock":
+		return base + "/R", true, false
+	case "RUnlock":
+		return base + "/R", false, true
+	}
+	return "", false, false
+}
+
+// exprKey canonicalizes an ident/selector chain ("sh.mu"); other receiver
+// shapes are not tracked.
+func exprKey(e ast.Expr) string {
+	switch x := unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		base := exprKey(x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + x.Sel.Name
+	}
+	return ""
+}
+
+func (c *lsChecker) walkStmts(list []ast.Stmt, st *lockState) (*lockState, bool) {
+	for _, stmt := range list {
+		var term bool
+		st, term = c.walkStmt(stmt, st)
+		if term {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+func (c *lsChecker) walkStmt(stmt ast.Stmt, st *lockState) (*lockState, bool) {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if key, lk, ulk := c.mutexOp(call); key != "" {
+				if lk {
+					if st.held[key] > 0 && !strings.HasSuffix(key, "/R") {
+						c.reportf(call.Pos(), "%s.Lock called while %s is already held (self-deadlock)", lockName(key), lockName(key))
+					}
+					st.held[key]++
+				} else if ulk {
+					if st.held[key] == 0 {
+						c.reportf(call.Pos(), "%s.%s without a matching lock on this path", lockName(key), unlockName(key))
+					} else {
+						st.held[key]--
+					}
+				}
+				return st, false
+			}
+			if name, ok := isTerminatorCall(c.pass.TypesInfo, call); ok {
+				_ = name // crash paths are exempt from the pairing rule
+				return st, true
+			}
+		}
+		c.scanForbidden(s.X, st)
+	case *ast.DeferStmt:
+		c.walkLockDefer(s, st)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			c.scanForbidden(r, st)
+		}
+		c.checkExit(st, s.Pos())
+		return st, true
+	case *ast.SendStmt:
+		if c.heldNow(st) {
+			c.reportf(s.Pos(), "channel send while %s is held", c.heldNames(st))
+		}
+	case *ast.GoStmt:
+		// The goroutine body runs unlocked; its argument expressions run now.
+		for _, a := range s.Call.Args {
+			c.scanForbidden(a, st)
+		}
+	case *ast.BlockStmt:
+		return c.walkStmts(s.List, st)
+	case *ast.IfStmt:
+		return c.walkLockIf(s, st)
+	case *ast.ForStmt:
+		return c.walkLockLoop(s.Init, s.Cond, s.Post, s.Body, st)
+	case *ast.RangeStmt:
+		c.scanForbidden(s.X, st)
+		return c.walkLockLoop(nil, nil, nil, s.Body, st)
+	case *ast.SwitchStmt:
+		return c.walkLockSwitch(s.Init, s.Tag, s.Body, st)
+	case *ast.TypeSwitchStmt:
+		return c.walkLockSwitch(s.Init, nil, s.Body, st)
+	case *ast.SelectStmt:
+		if c.heldNow(st) {
+			c.reportf(s.Pos(), "select while %s is held", c.heldNames(st))
+		}
+		return c.walkLockSelect(s, st)
+	case *ast.LabeledStmt:
+		return c.walkStmt(s.Stmt, st)
+	case *ast.BranchStmt:
+		// break/continue leave the construct; the loop walker re-joins on the
+		// conservative side. goto was excluded up front.
+		return st, true
+	default:
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				c.scanForbidden(e, st)
+				return false
+			}
+			return true
+		})
+	}
+	return st, false
+}
+
+func (c *lsChecker) walkLockDefer(s *ast.DeferStmt, st *lockState) {
+	record := func(call *ast.CallExpr) {
+		if key, _, ulk := c.mutexOp(call); key != "" && ulk {
+			st.deferred[key]++
+		}
+	}
+	record(s.Call)
+	if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				record(call)
+			}
+			return true
+		})
+	}
+}
+
+func (c *lsChecker) walkLockIf(s *ast.IfStmt, st *lockState) (*lockState, bool) {
+	if s.Init != nil {
+		st, _ = c.walkStmt(s.Init, st)
+	}
+	c.scanForbidden(s.Cond, st)
+	thenSt, thenTerm := c.walkStmts(s.Body.List, st.clone())
+	elseSt, elseTerm := st, false
+	if s.Else != nil {
+		elseSt, elseTerm = c.walkStmt(s.Else, st.clone())
+	}
+	switch {
+	case thenTerm && elseTerm:
+		return st, true
+	case thenTerm:
+		return elseSt, false
+	case elseTerm:
+		return thenSt, false
+	default:
+		return c.joinStates(s.Body.Rbrace, thenSt, elseSt), false
+	}
+}
+
+// joinStates merges two branch states; a lock held on one side only is a
+// pairing bug and is reported once at the join point.
+func (c *lsChecker) joinStates(at token.Pos, a, b *lockState) *lockState {
+	out := a.clone()
+	keys := map[string]bool{}
+	for k := range a.held {
+		keys[k] = true
+	}
+	for k := range b.held {
+		keys[k] = true
+	}
+	for k := range keys {
+		if a.held[k] != b.held[k] {
+			c.reportf(at, "%s is released on one branch but still held on the other", lockName(k))
+			if b.held[k] < a.held[k] {
+				out.held[k] = b.held[k] // keep the smaller count to avoid cascades
+			}
+		}
+	}
+	for k, v := range b.deferred {
+		if v > out.deferred[k] {
+			out.deferred[k] = v
+		}
+	}
+	return out
+}
+
+func (c *lsChecker) walkLockLoop(init ast.Stmt, cond ast.Expr, post ast.Stmt, body *ast.BlockStmt, st *lockState) (*lockState, bool) {
+	if init != nil {
+		st, _ = c.walkStmt(init, st)
+	}
+	if cond != nil {
+		c.scanForbidden(cond, st)
+	}
+	entry := st.clone()
+	end, term := c.walkStmts(body.List, st)
+	if post != nil && !term {
+		end, _ = c.walkStmt(post, end)
+	}
+	if !term {
+		for k := range union(entry.held, end.held) {
+			if entry.held[k] != end.held[k] {
+				c.reportf(body.Rbrace, "%s lock/unlock imbalance across a loop iteration", lockName(k))
+			}
+		}
+	}
+	return entry, false
+}
+
+func union(a, b map[string]int) map[string]bool {
+	out := map[string]bool{}
+	for k := range a {
+		out[k] = true
+	}
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+func (c *lsChecker) walkLockSwitch(init ast.Stmt, tag ast.Expr, body *ast.BlockStmt, st *lockState) (*lockState, bool) {
+	if init != nil {
+		st, _ = c.walkStmt(init, st)
+	}
+	if tag != nil {
+		c.scanForbidden(tag, st)
+	}
+	out := st
+	allTerm := true
+	sawCase := false
+	for _, cl := range body.List {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		sawCase = true
+		end, term := c.walkStmts(cc.Body, st.clone())
+		if !term {
+			out = c.joinStates(cc.End(), out, end)
+			allTerm = false
+		}
+	}
+	if sawCase && allTerm {
+		// Every case terminated; fall-through only on the no-match path.
+		return st, false
+	}
+	return out, false
+}
+
+func (c *lsChecker) walkLockSelect(s *ast.SelectStmt, st *lockState) (*lockState, bool) {
+	out := st
+	// When a lock is held the select statement itself was already reported;
+	// re-flagging each comm clause's channel op would be noise.
+	held := c.heldNow(st)
+	for _, cl := range s.Body.List {
+		cc, ok := cl.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		entry := st.clone()
+		if cc.Comm != nil && !held {
+			entry, _ = c.walkStmt(cc.Comm, entry)
+		}
+		end, term := c.walkStmts(cc.Body, entry)
+		if !term {
+			out = c.joinStates(cc.End(), out, end)
+		}
+	}
+	return out, false
+}
+
+func (c *lsChecker) heldNow(st *lockState) bool {
+	for _, v := range st.held {
+		if v > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *lsChecker) heldNames(st *lockState) string {
+	var names []string
+	for k, v := range st.held {
+		if v > 0 {
+			names = append(names, lockName(k))
+		}
+	}
+	if len(names) == 0 {
+		return "a lock"
+	}
+	sortStrings(names)
+	return strings.Join(names, ", ")
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// scanForbidden reports blocking or heavy operations inside an expression
+// evaluated while a lock is held.
+func (c *lsChecker) scanForbidden(e ast.Expr, st *lockState) {
+	if e == nil || !c.heldNow(st) {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				c.reportf(x.Pos(), "channel receive while %s is held", c.heldNames(st))
+			}
+		case *ast.FuncLit:
+			return false // runs later, not under this lock necessarily
+		case *ast.CallExpr:
+			c.checkForbiddenCall(x, st)
+		}
+		return true
+	})
+}
+
+func (c *lsChecker) checkForbiddenCall(call *ast.CallExpr, st *lockState) {
+	fo := calleeFunc(c.pass.TypesInfo, call)
+	if fo == nil || fo.Pkg() == nil {
+		return
+	}
+	id := funcID(fo)
+	if id == "time.Sleep" {
+		c.reportf(call.Pos(), "time.Sleep while %s is held", c.heldNames(st))
+		return
+	}
+	if blockedCallPkgs[fo.Pkg().Path()] {
+		c.reportf(call.Pos(), "network call %s while %s is held", displayName(id), c.heldNames(st))
+		return
+	}
+	for _, p := range heavyCallPrefixes {
+		if strings.HasPrefix(id, p) {
+			c.reportf(call.Pos(), "factorization-path call %s while %s is held (move it outside the critical section)",
+				displayName(id), c.heldNames(st))
+			return
+		}
+	}
+}

@@ -1,0 +1,11 @@
+package analysis
+
+import "testing"
+
+func TestLocksafe(t *testing.T) {
+	RunFixture(t, Locksafe, "locksafe")
+}
+
+func TestTaskdiscipline(t *testing.T) {
+	RunFixture(t, Taskdiscipline, "taskdiscipline")
+}

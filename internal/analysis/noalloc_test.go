@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestNoalloc(t *testing.T) {
+	RunFixture(t, Noalloc, "noalloc")
+}

@@ -1,0 +1,1131 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Poolcheck proves that every workspace-pool acquisition is released by the
+// matching Put on all paths through the acquiring function — including error
+// returns and explicit panics — and flags double-puts, use-after-put,
+// mismatched Get/Put kinds (a GetMatView released with PutMat would recycle
+// a view's shared backing array) and defers that postpone a loop-body
+// release to function exit.
+//
+// The analysis is intraprocedural and deliberately conservative about
+// ownership transfer: a resource that escapes — returned, stored into a
+// struct/slice/map, captured by a goroutine, or aliased — stops being
+// tracked rather than reported. Passing a resource as a plain call argument
+// is treated as borrowing (the repo convention: callees never retain pooled
+// arguments). Constructor-style wrappers that hand a pooled object to their
+// caller are annotated //repro:returns-pooled <kind>, which makes their
+// call sites acquisitions too.
+var Poolcheck = &Analyzer{
+	Name: "poolcheck",
+	Doc:  "check that pooled workspace buffers are released on all paths",
+	Run:  runPoolcheck,
+}
+
+type poolKind uint8
+
+const (
+	kMat poolKind = iota
+	kVec
+	kInts
+	kView
+	kGen
+)
+
+func (k poolKind) String() string {
+	return [...]string{"mat", "vec", "ints", "view", "gen"}[k]
+}
+
+// putName names the releasing function for a kind, for messages.
+func (k poolKind) putName() string {
+	return [...]string{"PutMat", "PutVec", "PutInts", "PutMatView", "PutRichtmyer"}[k]
+}
+
+// acquireFuncs and releaseFuncs map funcIDs to the pool kind they acquire or
+// release. The linalg pool is the project allocator; the qmc generator pool
+// follows the same protocol.
+var acquireFuncs = map[string]poolKind{
+	"repro/internal/linalg.GetMat":     kMat,
+	"repro/internal/linalg.GetMatZero": kMat,
+	"repro/internal/linalg.GetVec":     kVec,
+	"repro/internal/linalg.GetVecZero": kVec,
+	"repro/internal/linalg.GetInts":    kInts,
+	"repro/internal/linalg.GetMatView": kView,
+	"repro/internal/engine.getMat":     kMat,
+	"repro/internal/qmc.GetRichtmyer":  kGen,
+}
+
+var releaseFuncs = map[string]poolKind{
+	"repro/internal/linalg.PutMat":     kMat,
+	"repro/internal/linalg.PutVec":     kVec,
+	"repro/internal/linalg.PutInts":    kInts,
+	"repro/internal/linalg.PutMatView": kView,
+	"repro/internal/engine.putMat":     kMat,
+	"repro/internal/qmc.PutRichtmyer":  kGen,
+}
+
+// presource is one tracked acquisition site.
+type presource struct {
+	pos      token.Pos
+	getName  string
+	kind     poolKind
+	obj      types.Object
+	reported bool
+}
+
+// pstatus is the per-path lifecycle state of a resource. Missing from the
+// state map means "not acquired on this path".
+type pstatus uint8
+
+const (
+	psLive     pstatus = iota // acquired, not yet released
+	psDeferred                // a defer will release it at function exit
+	psReleased                // released on this path
+	psMaybe                   // released/deferred on some paths, live on others
+	psEscaped                 // ownership left the function; no longer tracked
+)
+
+// pstate is the abstract state at one program point: each known resource's
+// status plus the variable bindings used to credit Put calls.
+type pstate struct {
+	res  map[*presource]pstatus
+	bind map[types.Object][]*presource
+}
+
+func newPState() *pstate {
+	return &pstate{res: map[*presource]pstatus{}, bind: map[types.Object][]*presource{}}
+}
+
+func (s *pstate) clone() *pstate {
+	c := &pstate{
+		res:  make(map[*presource]pstatus, len(s.res)),
+		bind: make(map[types.Object][]*presource, len(s.bind)),
+	}
+	for r, st := range s.res {
+		c.res[r] = st
+	}
+	for o, rs := range s.bind {
+		c.bind[o] = append([]*presource(nil), rs...)
+	}
+	return c
+}
+
+func (s *pstate) equal(o *pstate) bool {
+	if len(s.res) != len(o.res) || len(s.bind) != len(o.bind) {
+		return false
+	}
+	for r, st := range s.res {
+		if ost, ok := o.res[r]; !ok || ost != st {
+			return false
+		}
+	}
+	for obj, rs := range s.bind {
+		ors, ok := o.bind[obj]
+		if !ok || len(ors) != len(rs) {
+			return false
+		}
+		for i := range rs {
+			if rs[i] != ors[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// joinStatus merges the status of one resource across two joining paths.
+// ok=false marks "missing on that path" (not acquired there).
+func joinStatus(a pstatus, aok bool, b pstatus, bok bool) pstatus {
+	switch {
+	case !aok:
+		a, aok = b, bok
+		b, bok = 0, false
+		return joinStatus(a, aok, b, bok)
+	case !bok:
+		// Acquired on one path only: live there means a possible leak;
+		// released/deferred there means fully handled where it exists.
+		if a == psLive || a == psMaybe {
+			return psMaybe
+		}
+		return a
+	case a == psEscaped || b == psEscaped:
+		return psEscaped
+	case a == b:
+		return a
+	case a == psMaybe || b == psMaybe:
+		return psMaybe
+	case (a == psDeferred && b == psReleased) || (a == psReleased && b == psDeferred):
+		return psDeferred
+	default: // live vs released/deferred
+		return psMaybe
+	}
+}
+
+// join merges two path states (either may be nil = unreachable path).
+func join(a, b *pstate) *pstate {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := newPState()
+	seen := map[*presource]bool{}
+	for r, st := range a.res {
+		seen[r] = true
+		ost, ok := b.res[r]
+		out.res[r] = joinStatus(st, true, ost, ok)
+	}
+	for r, st := range b.res {
+		if !seen[r] {
+			out.res[r] = joinStatus(st, true, 0, false)
+		}
+	}
+	for obj, rs := range a.bind {
+		out.bind[obj] = append([]*presource(nil), rs...)
+	}
+	for obj, rs := range b.bind {
+		have := out.bind[obj]
+	next:
+		for _, r := range rs {
+			for _, h := range have {
+				if h == r {
+					continue next
+				}
+			}
+			have = append(have, r)
+		}
+		out.bind[obj] = have
+	}
+	return out
+}
+
+func joinAll(states []*pstate) *pstate {
+	var out *pstate
+	for _, s := range states {
+		out = join(out, s)
+	}
+	return out
+}
+
+// frame is one enclosing breakable construct during the walk.
+type frame struct {
+	isLoop      bool
+	label       string
+	body        *ast.BlockStmt // loop body, for the iteration-scope check
+	breakStates []*pstate
+	contStates  []*pstate
+}
+
+type pcChecker struct {
+	pass *Pass
+	fn   *ast.FuncDecl
+	mute int
+	// sites memoizes resources by acquisition position so the loop fixpoint
+	// re-analyzes the same Get call as the same resource instead of minting a
+	// fresh one per simulated iteration (which would leave ghost released
+	// copies in the bindings and break convergence).
+	sites  map[token.Pos]*presource
+	frames []*frame
+}
+
+func runPoolcheck(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if containsGoto(fd.Body) {
+				continue // gotos make the structured walk unsound; skip
+			}
+			c := &pcChecker{pass: pass, fn: fd, sites: map[token.Pos]*presource{}}
+			st, term := c.walkStmts(fd.Body.List, newPState())
+			if !term {
+				c.checkExit(st, fd.Body.Rbrace, "function exit")
+			}
+		}
+	}
+	return nil
+}
+
+func containsGoto(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if b, ok := n.(*ast.BranchStmt); ok && b.Tok == token.GOTO {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func (c *pcChecker) reportf(pos token.Pos, format string, args ...any) {
+	if c.mute == 0 {
+		c.pass.Reportf(pos, format, args...)
+	}
+}
+
+// reportResource emits one diagnostic per acquisition site.
+func (c *pcChecker) reportResource(r *presource, format string, args ...any) {
+	if c.mute > 0 || r.reported {
+		return
+	}
+	r.reported = true
+	c.pass.Reportf(r.pos, format, args...)
+}
+
+// checkExit flags resources not released at a function exit point.
+func (c *pcChecker) checkExit(st *pstate, at token.Pos, what string) {
+	line := c.pass.Fset.Position(at).Line
+	for r, status := range st.res {
+		switch status {
+		case psLive:
+			c.reportResource(r, "%s result is not released on the %s at line %d (missing %s or defer)",
+				r.getName, what, line, r.kind.putName())
+		case psMaybe:
+			c.reportResource(r, "%s result is released on some paths but not on the %s at line %d (missing %s on an early-return or error path)",
+				r.getName, what, line, r.kind.putName())
+		}
+	}
+}
+
+// funcObjOf resolves the *types.Func a call expression invokes, or nil for
+// indirect calls, builtins and conversions.
+func (c *pcChecker) funcObjOf(call *ast.CallExpr) *types.Func {
+	return calleeFunc(c.pass.TypesInfo, call)
+}
+
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fn := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fn].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fn]; ok {
+			f, _ := sel.Obj().(*types.Func)
+			return f
+		}
+		f, _ := info.Uses[fn.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// acquireKind classifies a call as a pool acquisition: built-in table first,
+// then the //repro:returns-pooled annotation.
+func (c *pcChecker) acquireKind(call *ast.CallExpr) (poolKind, string, bool) {
+	fo := c.funcObjOf(call)
+	if fo == nil {
+		return 0, "", false
+	}
+	id := funcID(fo)
+	if k, ok := acquireFuncs[id]; ok {
+		return k, fo.Name(), true
+	}
+	if k, ok := c.pass.Index.ReturnsPooled(id); ok {
+		return k, fo.Name(), true
+	}
+	return 0, "", false
+}
+
+func (c *pcChecker) releaseKind(call *ast.CallExpr) (poolKind, bool) {
+	fo := c.funcObjOf(call)
+	if fo == nil {
+		return 0, false
+	}
+	k, ok := releaseFuncs[funcID(fo)]
+	return k, ok
+}
+
+// resultIndexForKind picks which result of an annotated constructor carries
+// the pooled object: the unique result whose type matches the kind.
+func resultIndexForKind(sig *types.Signature, k poolKind) int {
+	match := func(t types.Type) bool {
+		switch k {
+		case kMat, kView:
+			p, ok := t.(*types.Pointer)
+			if !ok {
+				return false
+			}
+			n, ok := p.Elem().(*types.Named)
+			return ok && n.Obj().Name() == "Matrix"
+		case kVec:
+			s, ok := t.Underlying().(*types.Slice)
+			return ok && types.Identical(s.Elem(), types.Typ[types.Float64])
+		case kInts:
+			s, ok := t.Underlying().(*types.Slice)
+			return ok && types.Identical(s.Elem(), types.Typ[types.Int])
+		case kGen:
+			return true // single-result constructors only
+		}
+		return false
+	}
+	idx, n := -1, 0
+	for i := 0; i < sig.Results().Len(); i++ {
+		if match(sig.Results().At(i).Type()) {
+			idx, n = i, n+1
+		}
+	}
+	if n != 1 {
+		if sig.Results().Len() == 1 {
+			return 0
+		}
+		return -1
+	}
+	return idx
+}
+
+// walkStmts interprets a statement list. It returns the state at the fall-off
+// end and whether every path through the list terminated (returned, panicked
+// or branched away).
+func (c *pcChecker) walkStmts(list []ast.Stmt, st *pstate) (*pstate, bool) {
+	for _, stmt := range list {
+		var term bool
+		st, term = c.walkStmt(stmt, st)
+		if term {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+func (c *pcChecker) walkStmt(stmt ast.Stmt, st *pstate) (*pstate, bool) {
+	switch s := stmt.(type) {
+	case *ast.AssignStmt:
+		c.walkAssign(s, st)
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if name, ok2 := isTerminatorCall(c.pass.TypesInfo, call); ok2 {
+				c.scanExpr(call, st)
+				c.checkExit(st, s.Pos(), name+" path")
+				return st, true
+			}
+			if k, name, ok2 := c.acquireKind(call); ok2 {
+				c.scanExpr(call, st) // arguments are still uses
+				c.reportf(call.Pos(), "result of %s is discarded; the pooled %s can never be released", name, k)
+				return st, false
+			}
+		}
+		c.scanExpr(s.X, st)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				c.walkBindings(vs.Pos(), identsOf(vs.Names), vs.Values, st)
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, res := range s.Results {
+			c.escapeIdentResources(res, st, true)
+			c.scanExpr(res, st)
+		}
+		c.checkExit(st, s.Pos(), "return path")
+		return st, true
+	case *ast.DeferStmt:
+		c.walkDefer(s, st)
+	case *ast.GoStmt:
+		// A goroutine may outlive the function: everything it captures
+		// escapes.
+		c.escapeAllIn(s.Call, st)
+	case *ast.SendStmt:
+		c.escapeIdentResources(s.Value, st, false)
+		c.scanExpr(s.Chan, st)
+		c.scanExpr(s.Value, st)
+	case *ast.IncDecStmt:
+		c.scanExpr(s.X, st)
+	case *ast.BlockStmt:
+		return c.walkStmts(s.List, st)
+	case *ast.IfStmt:
+		return c.walkIf(s, st)
+	case *ast.ForStmt:
+		return c.walkFor(s, "", st)
+	case *ast.RangeStmt:
+		return c.walkRange(s, "", st)
+	case *ast.SwitchStmt:
+		return c.walkSwitch(s.Init, s.Tag, nil, s.Body, st)
+	case *ast.TypeSwitchStmt:
+		return c.walkSwitch(s.Init, nil, s.Assign, s.Body, st)
+	case *ast.SelectStmt:
+		return c.walkSelect(s, st)
+	case *ast.LabeledStmt:
+		switch inner := s.Stmt.(type) {
+		case *ast.ForStmt:
+			return c.walkFor(inner, s.Label.Name, st)
+		case *ast.RangeStmt:
+			return c.walkRange(inner, s.Label.Name, st)
+		default:
+			return c.walkStmt(s.Stmt, st)
+		}
+	case *ast.BranchStmt:
+		return c.walkBranch(s, st)
+	case *ast.EmptyStmt:
+	default:
+		// Remaining statement kinds have no control-flow effect on tracking.
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				c.scanExpr(e, st)
+				return false
+			}
+			return true
+		})
+	}
+	return st, false
+}
+
+// walkBranch routes break/continue to the matching enclosing frame.
+func (c *pcChecker) walkBranch(s *ast.BranchStmt, st *pstate) (*pstate, bool) {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	for i := len(c.frames) - 1; i >= 0; i-- {
+		f := c.frames[i]
+		switch s.Tok {
+		case token.BREAK:
+			if label == "" || f.label == label {
+				f.breakStates = append(f.breakStates, st.clone())
+				return st, true
+			}
+		case token.CONTINUE:
+			if f.isLoop && (label == "" || f.label == label) {
+				f.contStates = append(f.contStates, st.clone())
+				return st, true
+			}
+		}
+	}
+	// Unmatched (label on a plain block, or malformed): treat as terminator.
+	return st, true
+}
+
+func (c *pcChecker) walkIf(s *ast.IfStmt, st *pstate) (*pstate, bool) {
+	if s.Init != nil {
+		st, _ = c.walkStmt(s.Init, st)
+	}
+	c.scanExpr(s.Cond, st)
+	thenEntry, elseEntry := st.clone(), st.clone()
+	c.refineNilGuard(s.Cond, thenEntry, elseEntry)
+	thenSt, thenTerm := c.walkStmts(s.Body.List, thenEntry)
+	elseSt := elseEntry
+	elseTerm := false
+	if s.Else != nil {
+		elseSt, elseTerm = c.walkStmt(s.Else, elseEntry)
+	}
+	switch {
+	case thenTerm && elseTerm:
+		return st, true
+	case thenTerm:
+		return elseSt, false
+	case elseTerm:
+		return thenSt, false
+	default:
+		return join(thenSt, elseSt), false
+	}
+}
+
+// refineNilGuard applies flow information from `x == nil` / `x != nil`
+// conditions: on the branch where x is nil, a resource bound to x that is
+// only maybe-live cannot exist there (the acquiring path set x non-nil), so
+// the idiomatic
+//
+//	if nu > 0 { s = linalg.GetVec(mc) }
+//	...
+//	if s != nil { linalg.PutVec(s) }
+//
+// pairing is recognized instead of reported as a conditional leak.
+func (c *pcChecker) refineNilGuard(cond ast.Expr, thenSt, elseSt *pstate) {
+	be, ok := unparen(cond).(*ast.BinaryExpr)
+	if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+		return
+	}
+	var x *ast.Ident
+	switch {
+	case isNilIdent(c.pass.TypesInfo, be.Y):
+		x, _ = unparen(be.X).(*ast.Ident)
+	case isNilIdent(c.pass.TypesInfo, be.X):
+		x, _ = unparen(be.Y).(*ast.Ident)
+	}
+	if x == nil {
+		return
+	}
+	nilSt := thenSt // x == nil: the then branch is the nil branch
+	if be.Op == token.NEQ {
+		nilSt = elseSt
+	}
+	obj := c.pass.TypesInfo.Uses[x]
+	for _, r := range nilSt.bind[obj] {
+		if nilSt.res[r] == psMaybe {
+			nilSt.res[r] = psReleased
+		}
+	}
+}
+
+func isNilIdent(info *types.Info, e ast.Expr) bool {
+	id, ok := unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.Uses[id].(*types.Nil)
+	return isNil
+}
+
+// walkLoopBody runs a loop body to fixpoint with diagnostics muted, then a
+// final reporting pass. entry is the state at the loop head (after Init);
+// cond/post hooks run per simulated iteration. It returns the loop exit
+// state, or nil when the loop can never exit (no breaks, no condition).
+func (c *pcChecker) walkLoopBody(label string, body *ast.BlockStmt, entry *pstate, zeroIter bool, cond func(*pstate), post func(*pstate) *pstate) (*pstate, bool) {
+	cur := entry
+	c.mute++
+	for i := 0; i < 8; i++ {
+		next := c.runIteration(label, body, cur, cond, post, nil)
+		merged := join(cur.clone(), next)
+		if merged.equal(cur) {
+			break
+		}
+		cur = merged
+	}
+	c.mute--
+	f := &frame{isLoop: true, label: label, body: body}
+	c.runIteration(label, body, cur, cond, post, f)
+	exits := f.breakStates
+	if zeroIter {
+		exits = append(exits, cur)
+	}
+	exit := joinAll(exits)
+	if exit == nil {
+		return entry, true // no way out of the loop
+	}
+	return exit, false
+}
+
+// runIteration simulates one loop iteration from head state cur and returns
+// the state reaching the next iteration (nil if the body always leaves the
+// loop). When reuse is non-nil it is used as the frame so the caller can
+// collect break states from the (reporting) pass.
+func (c *pcChecker) runIteration(label string, body *ast.BlockStmt, cur *pstate, cond func(*pstate), post func(*pstate) *pstate, reuse *frame) *pstate {
+	f := reuse
+	if f == nil {
+		f = &frame{isLoop: true, label: label, body: body}
+	}
+	it := cur.clone()
+	if cond != nil {
+		cond(it)
+	}
+	c.frames = append(c.frames, f)
+	end, term := c.walkStmts(body.List, it)
+	c.frames = c.frames[:len(c.frames)-1]
+	var ends []*pstate
+	if !term {
+		ends = append(ends, end)
+	}
+	ends = append(ends, f.contStates...)
+	iterEnd := joinAll(ends)
+	if iterEnd == nil {
+		return nil
+	}
+	c.checkIterationEnd(iterEnd, body)
+	if post != nil {
+		iterEnd = post(iterEnd)
+	}
+	return iterEnd
+}
+
+// checkIterationEnd flags resources acquired during the iteration into
+// variables scoped to the loop body: the binding is gone next iteration, so
+// an unreleased buffer can never be put back.
+func (c *pcChecker) checkIterationEnd(st *pstate, body *ast.BlockStmt) {
+	for r, status := range st.res {
+		if status != psLive && status != psMaybe {
+			continue
+		}
+		if r.obj == nil || r.obj.Pos() < body.Lbrace || r.obj.Pos() > body.Rbrace {
+			continue // variable outlives the iteration; later code may release
+		}
+		verb := "is not released"
+		if status == psMaybe {
+			verb = "is not released on some paths"
+		}
+		c.reportResource(r, "%s result %s by the end of the loop iteration that acquired it (missing %s)",
+			r.getName, verb, r.kind.putName())
+		// Stop tracking so the fixpoint and exit checks stay quiet.
+		st.res[r] = psEscaped
+	}
+}
+
+func (c *pcChecker) walkFor(s *ast.ForStmt, label string, st *pstate) (*pstate, bool) {
+	if s.Init != nil {
+		st, _ = c.walkStmt(s.Init, st)
+	}
+	var cond func(*pstate)
+	if s.Cond != nil {
+		cond = func(p *pstate) { c.scanExpr(s.Cond, p) }
+	}
+	var post func(*pstate) *pstate
+	if s.Post != nil {
+		post = func(p *pstate) *pstate { p2, _ := c.walkStmt(s.Post, p); return p2 }
+	}
+	return c.walkLoopBody(label, s.Body, st, s.Cond != nil, cond, post)
+}
+
+func (c *pcChecker) walkRange(s *ast.RangeStmt, label string, st *pstate) (*pstate, bool) {
+	c.scanExpr(s.X, st)
+	return c.walkLoopBody(label, s.Body, st, true, nil, nil)
+}
+
+func (c *pcChecker) walkSwitch(init ast.Stmt, tag ast.Expr, assign ast.Stmt, body *ast.BlockStmt, st *pstate) (*pstate, bool) {
+	if init != nil {
+		st, _ = c.walkStmt(init, st)
+	}
+	if tag != nil {
+		c.scanExpr(tag, st)
+	}
+	if assign != nil {
+		// The type-switch assign introduces a per-clause variable; no pool
+		// effects beyond scanning the operand.
+		ast.Inspect(assign, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				c.scanExpr(e, st)
+				return false
+			}
+			return true
+		})
+	}
+	f := &frame{}
+	c.frames = append(c.frames, f)
+	var ends []*pstate
+	hasDefault := false
+	allTerm := true
+	var fallSt *pstate
+	for _, cl := range body.List {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		entry := st.clone()
+		if fallSt != nil {
+			entry = join(entry, fallSt)
+			fallSt = nil
+		}
+		for _, e := range cc.List {
+			c.scanExpr(e, entry)
+		}
+		end, term := c.walkStmts(cc.Body, entry)
+		if endsInFallthrough(cc.Body) {
+			fallSt = end
+			continue
+		}
+		if !term {
+			ends = append(ends, end)
+			allTerm = false
+		}
+	}
+	c.frames = c.frames[:len(c.frames)-1]
+	ends = append(ends, f.breakStates...)
+	if len(f.breakStates) > 0 {
+		allTerm = false
+	}
+	if !hasDefault {
+		ends = append(ends, st)
+		allTerm = false
+	}
+	out := joinAll(ends)
+	if out == nil || allTerm {
+		return st, true
+	}
+	return out, false
+}
+
+func endsInFallthrough(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	b, ok := body[len(body)-1].(*ast.BranchStmt)
+	return ok && b.Tok == token.FALLTHROUGH
+}
+
+func (c *pcChecker) walkSelect(s *ast.SelectStmt, st *pstate) (*pstate, bool) {
+	f := &frame{}
+	c.frames = append(c.frames, f)
+	var ends []*pstate
+	any := false
+	for _, cl := range s.Body.List {
+		cc, ok := cl.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		any = true
+		entry := st.clone()
+		if cc.Comm != nil {
+			entry, _ = c.walkStmt(cc.Comm, entry)
+		}
+		end, term := c.walkStmts(cc.Body, entry)
+		if !term {
+			ends = append(ends, end)
+		}
+	}
+	c.frames = c.frames[:len(c.frames)-1]
+	ends = append(ends, f.breakStates...)
+	out := joinAll(ends)
+	if !any || out == nil {
+		return st, true
+	}
+	return out, false
+}
+
+// walkDefer registers deferred releases and treats other deferred calls as
+// borrowing. A deferred Put inside a loop only runs at function exit — the
+// classic unbounded-checkout bug — and is reported.
+func (c *pcChecker) walkDefer(s *ast.DeferStmt, st *pstate) {
+	inLoop := false
+	for _, f := range c.frames {
+		if f.isLoop {
+			inLoop = true
+		}
+	}
+	deferRelease := func(call *ast.CallExpr, k poolKind) {
+		for _, arg := range call.Args {
+			id, ok := unparen(arg).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := c.pass.TypesInfo.Uses[id]
+			for _, r := range st.bind[obj] {
+				if st.res[r] == psEscaped {
+					continue
+				}
+				if r.kind != k {
+					c.reportf(call.Pos(), "%s result released with %s (needs %s)", r.getName, k.putName(), r.kind.putName())
+				}
+				if inLoop {
+					c.reportf(s.Pos(), "deferred %s inside a loop only runs at function exit; release per iteration instead", k.putName())
+				}
+				st.res[r] = psDeferred
+			}
+		}
+	}
+	if k, ok := c.releaseKind(s.Call); ok {
+		deferRelease(s.Call, k)
+		return
+	}
+	if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+		// A deferred closure releasing tracked resources counts as a defer of
+		// each Put it contains; everything else it references is borrowed.
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if k, ok := c.releaseKind(call); ok {
+				deferRelease(call, k)
+				return false
+			}
+			return true
+		})
+		return
+	}
+	c.scanExpr(s.Call, st)
+}
+
+// walkAssign handles bindings, rebindings and aliasing.
+func (c *pcChecker) walkAssign(s *ast.AssignStmt, st *pstate) {
+	// Tuple form: lhs... := call().
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		if call, ok := unparen(s.Rhs[0]).(*ast.CallExpr); ok {
+			if k, name, ok := c.acquireKind(call); ok {
+				c.scanExpr(call, st)
+				if fo := c.funcObjOf(call); fo != nil {
+					sig := fo.Type().(*types.Signature)
+					if idx := resultIndexForKind(sig, k); idx >= 0 && idx < len(s.Lhs) {
+						c.bindAcquire(s.Lhs[idx], k, name, call.Pos(), st)
+					}
+				}
+				return
+			}
+			c.scanExpr(call, st)
+			for _, l := range s.Lhs {
+				c.checkOverwrite(l, st)
+			}
+			return
+		}
+	}
+	if len(s.Lhs) == len(s.Rhs) {
+		for i := range s.Lhs {
+			c.walkBindings(s.Pos(), []ast.Expr{s.Lhs[i]}, []ast.Expr{s.Rhs[i]}, st)
+		}
+		return
+	}
+	for _, r := range s.Rhs {
+		c.scanExpr(r, st)
+	}
+	for _, l := range s.Lhs {
+		c.checkOverwrite(l, st)
+	}
+}
+
+// walkBindings processes parallel name/value pairs from := , = and var decls.
+func (c *pcChecker) walkBindings(pos token.Pos, lhs []ast.Expr, rhs []ast.Expr, st *pstate) {
+	for i, l := range lhs {
+		if i >= len(rhs) {
+			break
+		}
+		r := rhs[i]
+		if call, ok := unparen(r).(*ast.CallExpr); ok {
+			if k, name, ok2 := c.acquireKind(call); ok2 {
+				c.scanExpr(call, st)
+				c.bindAcquire(l, k, name, call.Pos(), st)
+				continue
+			}
+		}
+		// Aliasing a tracked resource to another name loses the 1:1 binding
+		// the analysis relies on; treat as escape. Blank assignment is a
+		// no-op.
+		if id, ok := unparen(r).(*ast.Ident); ok {
+			if lid, isIdent := unparen(l).(*ast.Ident); !isIdent || lid.Name != "_" {
+				obj := c.pass.TypesInfo.Uses[id]
+				for _, res := range st.bind[obj] {
+					if st.res[res] == psLive || st.res[res] == psMaybe || st.res[res] == psDeferred {
+						st.res[res] = psEscaped
+					}
+				}
+			}
+		}
+		c.scanExpr(r, st)
+		c.checkOverwrite(l, st)
+	}
+}
+
+// bindAcquire starts tracking a new acquisition bound to lhs.
+func (c *pcChecker) bindAcquire(lhs ast.Expr, k poolKind, name string, pos token.Pos, st *pstate) {
+	id, ok := unparen(lhs).(*ast.Ident)
+	if !ok {
+		// Stored straight into a field/slot: ownership escapes immediately.
+		c.checkOverwrite(lhs, st)
+		return
+	}
+	if id.Name == "_" {
+		c.reportf(pos, "result of %s is discarded; the pooled %s can never be released", name, k)
+		return
+	}
+	c.checkOverwrite(id, st)
+	obj := c.pass.TypesInfo.Defs[id]
+	if obj == nil {
+		obj = c.pass.TypesInfo.Uses[id]
+	}
+	r := c.sites[pos]
+	if r == nil {
+		r = &presource{pos: pos, getName: name, kind: k, obj: obj}
+		c.sites[pos] = r
+	}
+	st.res[r] = psLive
+	st.bind[obj] = []*presource{r}
+}
+
+// checkOverwrite flags rebinding a variable that still holds a live buffer
+// (the old buffer becomes unreachable and can never be released), then drops
+// the binding.
+func (c *pcChecker) checkOverwrite(lhs ast.Expr, st *pstate) {
+	id, ok := unparen(lhs).(*ast.Ident)
+	if !ok {
+		return
+	}
+	var obj types.Object
+	if d := c.pass.TypesInfo.Defs[id]; d != nil {
+		obj = d
+	} else {
+		obj = c.pass.TypesInfo.Uses[id]
+	}
+	if obj == nil {
+		return
+	}
+	for _, r := range st.bind[obj] {
+		if st.res[r] == psLive {
+			c.reportResource(r, "%s result is overwritten before being released (missing %s)", r.getName, r.kind.putName())
+			st.res[r] = psEscaped
+		}
+	}
+	delete(st.bind, obj)
+}
+
+// escapeIdentResources marks resources referenced by e (an ident, or any
+// ident inside composite expressions when deep) as escaped.
+func (c *pcChecker) escapeIdentResources(e ast.Expr, st *pstate, deep bool) {
+	mark := func(id *ast.Ident) {
+		obj := c.pass.TypesInfo.Uses[id]
+		for _, r := range st.bind[obj] {
+			if st.res[r] != psReleased {
+				st.res[r] = psEscaped
+			}
+		}
+	}
+	if id, ok := unparen(e).(*ast.Ident); ok {
+		mark(id)
+		return
+	}
+	if !deep {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			mark(id)
+		}
+		return true
+	})
+}
+
+// escapeAllIn marks every tracked resource referenced anywhere under n as
+// escaped (goroutines, stored closures).
+func (c *pcChecker) escapeAllIn(n ast.Node, st *pstate) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			obj := c.pass.TypesInfo.Uses[id]
+			for _, r := range st.bind[obj] {
+				if st.res[r] != psReleased {
+					st.res[r] = psEscaped
+				}
+			}
+		}
+		return true
+	})
+}
+
+// scanExpr applies the expression-level effects: releases, use-after-put
+// detection, and escapes through composite literals, address-taking, stored
+// closures and channel operations. Plain call arguments are borrows.
+func (c *pcChecker) scanExpr(e ast.Expr, st *pstate) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if k, ok := c.releaseKind(x); ok {
+				c.doRelease(x, k, st)
+				return false
+			}
+			if _, _, ok := c.acquireKind(x); ok {
+				// Nested acquisition (argument position, composite literal):
+				// whoever receives it owns it; untracked. A bare discard is
+				// handled at statement level.
+				for _, a := range x.Args {
+					c.scanExpr(a, st)
+				}
+				return false
+			}
+			return true
+		case *ast.FuncLit:
+			// A closure that merely reads a resource borrows it only if it
+			// cannot outlive the function; assume stored closures escape.
+			c.escapeAllIn(x.Body, st)
+			return false
+		case *ast.CompositeLit:
+			for _, el := range x.Elts {
+				c.escapeIdentResources(el, st, true)
+			}
+			return true
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				c.escapeIdentResources(x.X, st, false)
+			}
+			return true
+		case *ast.Ident:
+			c.checkUse(x, st)
+			return true
+		}
+		return true
+	})
+}
+
+// checkUse flags uses of already-released buffers.
+func (c *pcChecker) checkUse(id *ast.Ident, st *pstate) {
+	obj := c.pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return
+	}
+	for _, r := range st.bind[obj] {
+		if st.res[r] == psReleased {
+			c.reportResource(r, "pooled %s is used at line %d after %s returned it to the pool",
+				r.kind, c.pass.Fset.Position(id.Pos()).Line, r.kind.putName())
+		}
+	}
+}
+
+// doRelease processes one Put call.
+func (c *pcChecker) doRelease(call *ast.CallExpr, k poolKind, st *pstate) {
+	for _, arg := range call.Args {
+		id, ok := unparen(arg).(*ast.Ident)
+		if !ok {
+			c.scanExpr(arg, st)
+			continue
+		}
+		obj := c.pass.TypesInfo.Uses[id]
+		rs := st.bind[obj]
+		if len(rs) == 0 {
+			continue
+		}
+		for _, r := range rs {
+			switch st.res[r] {
+			case psEscaped:
+			case psReleased:
+				c.reportf(call.Pos(), "%s called twice on the same %s (double put)", k.putName(), r.kind)
+			default:
+				if r.kind != k {
+					c.reportf(call.Pos(), "%s result released with %s (needs %s)", r.getName, k.putName(), r.kind.putName())
+					st.res[r] = psEscaped
+					continue
+				}
+				st.res[r] = psReleased
+			}
+		}
+	}
+}
+
+func identsOf(names []*ast.Ident) []ast.Expr {
+	out := make([]ast.Expr, len(names))
+	for i, n := range names {
+		out[i] = n
+	}
+	return out
+}
+
+// isTerminatorCall reports calls that never return: panic, os.Exit and the
+// log.Fatal family.
+func isTerminatorCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	switch fn := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if b, ok := info.Uses[fn].(*types.Builtin); ok && b.Name() == "panic" {
+			return "panic", true
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fn.Sel].(*types.Func); ok && f.Pkg() != nil {
+			id := f.Pkg().Path() + "." + f.Name()
+			switch id {
+			case "os.Exit", "log.Fatal", "log.Fatalf", "log.Fatalln", "runtime.Goexit":
+				return f.Name(), true
+			}
+		}
+	}
+	return "", false
+}
+
+// unparen strips parentheses (ast.Unparen needs go1.22; the module targets
+// go1.21).
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

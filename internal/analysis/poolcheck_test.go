@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestPoolcheck(t *testing.T) {
+	RunFixture(t, Poolcheck, "poolcheck")
+}

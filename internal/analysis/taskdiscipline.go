@@ -1,0 +1,180 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Taskdiscipline checks taskrt group hygiene: a *taskrt.Group created with
+// NewGroup and kept local to the function must be waited on (Wait), and when
+// work is submitted through SubmitErr its error must be collected (Err) —
+// otherwise failures in the parallel section vanish silently. Groups that
+// escape the function (returned, stored, passed along) are the receiver's
+// responsibility and are not reported.
+var Taskdiscipline = &Analyzer{
+	Name: "taskdiscipline",
+	Doc:  "check that taskrt groups are waited on and their errors collected",
+	Run:  runTaskdiscipline,
+}
+
+const newGroupID = "repro/internal/taskrt.(Runtime).NewGroup"
+
+// groupMethods are the Group methods a local group may have called on it
+// without counting as an escape.
+var groupMethods = map[string]bool{
+	"Submit": true, "SubmitErr": true, "Wait": true, "Err": true, "NewHandle": true,
+}
+
+func runTaskdiscipline(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkGroups(pass, fd)
+		}
+	}
+	return nil
+}
+
+// groupUse aggregates what one function does with one group variable.
+type groupUse struct {
+	pos       ast.Expr // the NewGroup call, for reporting
+	wait      bool
+	err       bool
+	submit    bool
+	submitErr bool
+	escapes   bool
+}
+
+func checkGroups(pass *Pass, fd *ast.FuncDecl) {
+	groups := map[types.Object]*groupUse{}
+
+	// Collect `g := rt.NewGroup()` bindings.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fo := calleeFunc(pass.TypesInfo, call)
+		if fo == nil || funcID(fo) != newGroupID {
+			return true
+		}
+		id, ok := unparen(as.Lhs[0]).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Uses[id]
+		}
+		if obj != nil {
+			groups[obj] = &groupUse{pos: call}
+		}
+		return true
+	})
+	if len(groups) == 0 {
+		return
+	}
+
+	// Classify every use of each group variable. A use as the receiver of a
+	// known Group method is discipline; any other appearance (argument,
+	// return value, struct field, channel send, reassignment source) is an
+	// escape that transfers the obligation.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := unparen(sel.X).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		g, ok := groups[pass.TypesInfo.Uses[id]]
+		if !ok || !groupMethods[sel.Sel.Name] {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Wait":
+			g.wait = true
+		case "Err":
+			g.err = true
+		case "Submit":
+			g.submit = true
+		case "SubmitErr":
+			g.submitErr = true
+		}
+		// The receiver ident is accounted for; still descend into arguments.
+		for _, a := range call.Args {
+			markEscapes(pass, a, groups)
+		}
+		return false
+	})
+
+	// Any remaining bare reference to a group variable is an escape.
+	markEscapes(pass, fd.Body, groups)
+
+	for _, g := range groups {
+		if g.escapes {
+			continue
+		}
+		if !g.wait {
+			pass.Reportf(g.pos.Pos(), "taskrt group is never waited on (missing Wait); its tasks may still be running at return")
+			continue
+		}
+		if g.submitErr && !g.err {
+			pass.Reportf(g.pos.Pos(), "taskrt group uses SubmitErr but its error is never collected (missing Err)")
+		}
+	}
+}
+
+// markEscapes marks group variables referenced under n outside the
+// receiver-of-a-known-method position as escaped.
+func markEscapes(pass *Pass, n ast.Node, groups map[types.Object]*groupUse) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.CallExpr:
+			// Skip the receiver of g.<Method>(...) but examine the arguments.
+			if sel, ok := unparen(x.Fun).(*ast.SelectorExpr); ok {
+				if id, ok := unparen(sel.X).(*ast.Ident); ok {
+					if _, isGroup := groups[pass.TypesInfo.Uses[id]]; isGroup && groupMethods[sel.Sel.Name] {
+						for _, a := range x.Args {
+							markEscapes(pass, a, groups)
+						}
+						return false
+					}
+				}
+			}
+			return true
+		case *ast.AssignStmt:
+			// The defining assignment's RHS call is not an escape; any other
+			// assignment involving the variable is.
+			for _, r := range x.Rhs {
+				if call, ok := unparen(r).(*ast.CallExpr); ok {
+					if fo := calleeFunc(pass.TypesInfo, call); fo != nil && funcID(fo) == newGroupID {
+						for _, a := range call.Args {
+							markEscapes(pass, a, groups)
+						}
+						continue
+					}
+				}
+				markEscapes(pass, r, groups)
+			}
+			return false
+		case *ast.Ident:
+			if g, ok := groups[pass.TypesInfo.Uses[x]]; ok {
+				g.escapes = true
+			}
+		}
+		return true
+	})
+}

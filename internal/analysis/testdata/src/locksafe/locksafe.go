@@ -1,0 +1,148 @@
+// Package locksafe exercises the locksafe analyzer: lock pairing on all
+// paths and critical-section hygiene.
+package locksafe
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/tile"
+)
+
+type store struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	vals map[int]int
+}
+
+// ok: the canonical defer pairing.
+func okDefer(s *store, k int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.vals[k]
+}
+
+// ok: explicit pairing.
+func okExplicit(s *store, k, v int) {
+	s.mu.Lock()
+	s.vals[k] = v
+	s.mu.Unlock()
+}
+
+// bug: the early return leaves the mutex held.
+func missingUnlockOnError(s *store, k int) error {
+	s.mu.Lock()
+	if s.vals == nil {
+		return errors.New("no store") // want `s.mu is still locked at this exit \(missing Unlock or defer\)`
+	}
+	s.vals[k] = 1
+	s.mu.Unlock()
+	return nil
+}
+
+// bug: self-deadlock.
+func doubleLock(s *store) {
+	s.mu.Lock()
+	s.mu.Lock() // want `s.mu.Lock called while s.mu is already held \(self-deadlock\)`
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// bug: unlock of a mutex this path never locked.
+func unlockWithoutLock(s *store) {
+	s.mu.Unlock() // want `s.mu.Unlock without a matching lock on this path`
+}
+
+// ok: released in both branches.
+func okBranchRelease(s *store, cond bool) {
+	s.mu.Lock()
+	if cond {
+		s.vals[0] = 1
+		s.mu.Unlock()
+	} else {
+		s.mu.Unlock()
+	}
+}
+
+// bug: released in one branch only.
+func releasedOneBranch(s *store, cond bool) {
+	s.mu.Lock()
+	if cond {
+		s.mu.Unlock()
+	} // want `s.mu is released on one branch but still held on the other`
+	s.vals[0] = 1
+}
+
+// bug: sleeping inside the critical section.
+func sleepUnderLock(s *store) {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time.Sleep while s.mu is held`
+	s.mu.Unlock()
+}
+
+// bug: channel operations inside the critical section.
+func chanSendUnderLock(s *store, ch chan int) {
+	s.mu.Lock()
+	ch <- 1 // want `channel send while s.mu is held`
+	s.mu.Unlock()
+}
+
+func chanRecvUnderLock(s *store, ch chan int) {
+	s.mu.Lock()
+	<-ch // want `channel receive while s.mu is held`
+	s.mu.Unlock()
+}
+
+func selectUnderLock(s *store, ch chan int) {
+	s.mu.Lock()
+	select { // want `select while s.mu is held`
+	case <-ch:
+	default:
+	}
+	s.mu.Unlock()
+}
+
+// ok: the channel op happens after the critical section.
+func okChanAfterUnlock(s *store, ch chan int) {
+	s.mu.Lock()
+	v := s.vals[0]
+	s.mu.Unlock()
+	ch <- v
+}
+
+// bug: factorization-scale work under the shard mutex.
+func heavyUnderLock(s *store) {
+	s.mu.Lock()
+	tile.Compress(nil, 0.5, 4) // want `factorization-path call internal/tile.Compress while s.mu is held`
+	s.mu.Unlock()
+}
+
+// ok: reader pairing on the RWMutex.
+func okRead(s *store, k int) int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return s.vals[k]
+}
+
+// bug: read lock leaks.
+func leakRLock(s *store, k int) int {
+	s.rw.RLock()
+	return s.vals[k] // want `s.rw is still locked at this exit \(missing RUnlock or defer\)`
+}
+
+// bug: a lock acquired every iteration and never released.
+func loopImbalance(s *store, n int) {
+	for i := 0; i < n; i++ {
+		s.mu.Lock()
+	} // want `s.mu lock/unlock imbalance across a loop iteration`
+}
+
+// ok: lock and unlock both inside the iteration.
+func okLoopPaired(s *store, n int) {
+	for i := 0; i < n; i++ {
+		s.mu.Lock()
+		s.vals[i] = i
+		s.mu.Unlock()
+	}
+}

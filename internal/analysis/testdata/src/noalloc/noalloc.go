@@ -1,0 +1,150 @@
+// Package noalloc exercises the noalloc analyzer: allocating constructs,
+// transitive call certification, suppressions and interface annotations.
+package noalloc
+
+import (
+	"math"
+
+	"repro/internal/linalg"
+)
+
+//repro:noalloc
+func okPure(x float64) float64 { return math.Sqrt(x) * 2 }
+
+// ok: pool accessors are whitelisted trusted primitives.
+//
+//repro:noalloc
+func okPool(n int) {
+	v := linalg.GetVec(n)
+	v[0] = 1
+	linalg.PutVec(v)
+}
+
+//repro:noalloc
+func annotatedHelper(x float64) float64 { return x * 2 }
+
+//repro:noalloc
+func okCallAnnotated(x float64) float64 { return annotatedHelper(x) }
+
+// unannotated functions are not checked at all.
+func uncheckedMake(n int) []float64 { return make([]float64, n) }
+
+//repro:noalloc
+func badMake(n int) []float64 {
+	return make([]float64, n) // want `make allocates in //repro:noalloc function badMake`
+}
+
+//repro:noalloc
+func badNew() *int {
+	return new(int) // want `new allocates`
+}
+
+//repro:noalloc
+func badAppend(xs []int, x int) []int {
+	return append(xs, x) // want `append may reallocate its backing array`
+}
+
+//repro:noalloc
+func badClosure(n int) func() int {
+	return func() int { return n } // want `func literal allocates a closure`
+}
+
+//repro:noalloc
+func badGo() {
+	go uncheckedMake(1) // want `go statement spawns a goroutine`
+}
+
+//repro:noalloc
+func badMapWrite(m map[int]int) {
+	m[1] = 2 // want `map assignment may allocate`
+}
+
+// reading a map does not allocate.
+//
+//repro:noalloc
+func okMapRead(m map[int]int) int { return m[1] }
+
+//repro:noalloc
+func badChanSend(ch chan int) {
+	ch <- 1 // want `channel send blocks`
+}
+
+//repro:noalloc
+func badChanRecv(ch chan int) int {
+	return <-ch // want `channel receive blocks`
+}
+
+//repro:noalloc
+func badConcat(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+//repro:noalloc
+func badStringConv(b []byte) string {
+	return string(b) // want `conversion to string allocates`
+}
+
+//repro:noalloc
+func badBox(x int) any {
+	return x // want `int value boxed into interface \(allocates\)`
+}
+
+// pointers ride in the interface word without boxing.
+//
+//repro:noalloc
+func okPtrBox(p *point) any { return p }
+
+//repro:noalloc
+func badCallUnannotated(n int) []float64 {
+	return uncheckedMake(n) // want `call to fixture/noalloc.uncheckedMake, which is not annotated //repro:noalloc`
+}
+
+//repro:noalloc
+func badIndirect(f func() int) int {
+	return f() // want `call through a function value cannot be certified allocation-free`
+}
+
+//repro:noalloc
+func badSliceLit() []int {
+	return []int{1, 2} // want `slice literal allocates its backing array`
+}
+
+type point struct{ x, y int }
+
+//repro:noalloc
+func badAddrLit() *point {
+	return &point{1, 2} // want `address-taken composite literal escapes to the heap`
+}
+
+// value struct literals stay on the stack.
+//
+//repro:noalloc
+func okValueLit() point { return point{1, 2} }
+
+// a deliberate cold-path allocation, documented and suppressed.
+//
+//repro:noalloc
+func okSuppressed(n int) []float64 {
+	return make([]float64, n) //repro:alloc-ok cold resize path
+}
+
+// Stepper's annotated method makes interface calls legal in noalloc
+// functions and obligates every implementation.
+type Stepper interface {
+	//repro:noalloc
+	Step(x float64) float64
+}
+
+type okImpl struct{}
+
+//repro:noalloc
+func (okImpl) Step(x float64) float64 { return x + 1 }
+
+type badImpl struct{}
+
+func (badImpl) Step(x float64) float64 { return x + 2 } // want `fixture/noalloc.\(badImpl\).Step implements Stepper.Step, which is annotated //repro:noalloc, but is not annotated itself`
+
+//repro:noalloc
+func okIfaceCall(g Stepper, x float64) float64 {
+	return g.Step(x)
+}

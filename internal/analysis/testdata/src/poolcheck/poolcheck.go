@@ -1,0 +1,264 @@
+// Package poolcheck exercises the poolcheck analyzer: pool pairing on all
+// paths, error returns, defers, loops, double puts and use-after-put.
+package poolcheck
+
+import (
+	"errors"
+
+	"repro/internal/linalg"
+)
+
+// ok: straight-line acquire/release.
+func okSimple(n int) {
+	m := linalg.GetMat(n, n)
+	m.Set(0, 0, 1)
+	linalg.PutMat(m)
+}
+
+// ok: deferred release covers every path, including the error return.
+func okDefer(n int) error {
+	v := linalg.GetVec(n)
+	defer linalg.PutVec(v)
+	if n > 3 {
+		return errors.New("too big")
+	}
+	v[0] = 1
+	return nil
+}
+
+// leak: the error path returns without releasing.
+func leakErrorPath(n int) error {
+	m := linalg.GetMat(n, n) // want `GetMat result is not released on the return path at line \d+`
+	if n > 3 {
+		return errors.New("too big")
+	}
+	linalg.PutMat(m)
+	return nil
+}
+
+// leak: no release anywhere.
+func leakAlways(n int) {
+	v := linalg.GetVec(n) // want `GetVec result is not released on the function exit at line \d+`
+	v[0] = 2
+}
+
+// leak: released in one branch only, then function falls off the end.
+func leakConditionalPut(n int) {
+	w := linalg.GetInts(n) // want `GetInts result is released on some paths but not on the function exit`
+	if n%2 == 0 {
+		linalg.PutInts(w)
+	}
+}
+
+// ok: released in both branches.
+func okBothBranches(n int) {
+	w := linalg.GetInts(n)
+	if n%2 == 0 {
+		linalg.PutInts(w)
+	} else {
+		linalg.PutInts(w)
+	}
+}
+
+// double put: both branches release, then an unconditional second release.
+func doublePut(n int) {
+	v := linalg.GetVec(n)
+	linalg.PutVec(v)
+	linalg.PutVec(v) // want `PutVec called twice on the same vec \(double put\)`
+}
+
+// use after put.
+func useAfterPut(n int) float64 {
+	v := linalg.GetVec(n) // want `pooled vec is used at line \d+ after PutVec returned it to the pool`
+	linalg.PutVec(v)
+	return v[0]
+}
+
+// kind mismatch: a view's shared backing must go back via PutMatView.
+func wrongPutKind(parent *linalg.Matrix) {
+	v := linalg.GetMatView(parent, 0, 0, 1, 1)
+	linalg.PutMat(v) // want `GetMatView result released with PutMat \(needs PutMatView\)`
+}
+
+// discard: the result can never be released.
+func discard(n int) {
+	linalg.GetMat(n, n) // want `result of GetMat is discarded`
+}
+
+// overwrite: rebinding the only handle loses the first buffer.
+func overwrite(n int) {
+	m := linalg.GetMat(n, n) // want `GetMat result is overwritten before being released`
+	m = linalg.GetMat(n, n)
+	linalg.PutMat(m)
+}
+
+// ok: per-iteration acquire and release.
+func okLoop(n int) {
+	for i := 0; i < n; i++ {
+		v := linalg.GetVec(i)
+		linalg.PutVec(v)
+	}
+}
+
+// leak: a loop-scoped buffer survives its iteration.
+func leakLoopScoped(n int) {
+	for i := 0; i < n; i++ {
+		v := linalg.GetVec(i) // want `GetVec result is not released by the end of the loop iteration`
+		_ = v
+	}
+}
+
+// defer-in-loop: releases pile up until function exit.
+func deferInLoop(n int) {
+	for i := 0; i < n; i++ {
+		v := linalg.GetVec(i)
+		defer linalg.PutVec(v) // want `deferred PutVec inside a loop only runs at function exit`
+	}
+}
+
+// ok: loop-carried buffer released on the continue path and after the loop,
+// the Compress-shaped pattern (conditional put + regrow).
+func okLoopCarried(n int) {
+	var b *linalg.Matrix
+	for l := 1; l < n; l *= 2 {
+		b = linalg.GetMat(l, n)
+		if l*2 >= n {
+			break
+		}
+		linalg.PutMat(b)
+	}
+	linalg.PutMat(b)
+}
+
+// ok: conditional acquisition paired with a nil-guarded release, the
+// sweepColumn Student-t scale pattern.
+func okNilGuardedPut(n int, nu float64) {
+	var s []float64
+	if nu > 0 {
+		s = linalg.GetVec(n)
+	}
+	if s != nil {
+		linalg.PutVec(s)
+	}
+}
+
+// same shape with the guard inverted.
+func okNilGuardedPutInverted(n int, nu float64) {
+	var s []float64
+	if nu > 0 {
+		s = linalg.GetVec(n)
+	}
+	if s == nil {
+		return
+	}
+	linalg.PutVec(s)
+}
+
+// leak: the nil guard alone does not release anything.
+func leakNilGuardNoPut(n int, nu float64) {
+	var s []float64
+	if nu > 0 {
+		s = linalg.GetVec(n) // want `GetVec result is released on some paths but not on the function exit`
+	}
+	if s != nil {
+		s[0] = 1
+	}
+}
+
+// leak on an explicit panic path.
+func leakOnPanic(n int) {
+	v := linalg.GetVec(n) // want `GetVec result is not released on the panic path`
+	if n > 10 {
+		panic("n too large")
+	}
+	linalg.PutVec(v)
+}
+
+// ok: the deferred release also covers the panic path.
+func okPanicDefer(n int) {
+	v := linalg.GetVec(n)
+	defer linalg.PutVec(v)
+	if n > 10 {
+		panic("n too large")
+	}
+}
+
+// ok: ownership escapes into a returned struct; the caller releases.
+type holder struct{ m *linalg.Matrix }
+
+func okEscapeStruct(n int) *holder {
+	m := linalg.GetMat(n, n)
+	return &holder{m: m}
+}
+
+// ok: ownership transfers out via return.
+func okEscapeReturn(n int) *linalg.Matrix {
+	m := linalg.GetMat(n, n)
+	return m
+}
+
+// ok: switch releases in every case including default.
+func okSwitch(n int) {
+	v := linalg.GetVec(n)
+	switch n {
+	case 0:
+		linalg.PutVec(v)
+	case 1:
+		v[0] = 1
+		linalg.PutVec(v)
+	default:
+		linalg.PutVec(v)
+	}
+}
+
+// leak: one switch case misses the release.
+func leakSwitchCase(n int) {
+	v := linalg.GetVec(n) // want `GetVec result is released on some paths but not on the function exit`
+	switch n {
+	case 0:
+		linalg.PutVec(v)
+	case 1: // missing put
+	default:
+		linalg.PutVec(v)
+	}
+}
+
+// ok: annotated constructor call sites are tracked like GetMat...
+//
+//repro:returns-pooled mat
+func newScratch(n int) *linalg.Matrix {
+	return linalg.GetMat(n, n)
+}
+
+// ...so leaking one is reported.
+func leakAnnotatedConstructor(n int) {
+	m := newScratch(n) // want `newScratch result is not released on the function exit`
+	_ = m.Rows
+}
+
+// ok: annotated constructor used correctly.
+func okAnnotatedConstructor(n int) int {
+	m := newScratch(n)
+	r := m.Rows
+	linalg.PutMat(m)
+	return r
+}
+
+// ok: a tuple constructor where only one result is pooled (getLaneWS shape).
+//
+//repro:returns-pooled vec
+func newPair(n int) (int, []float64) {
+	return n, linalg.GetVec(n)
+}
+
+func leakTupleConstructor(n int) {
+	k, buf := newPair(n) // want `newPair result is not released on the function exit`
+	_ = k
+	_ = buf
+}
+
+func okTupleConstructor(n int) {
+	k, buf := newPair(n)
+	_ = k
+	linalg.PutVec(buf)
+}

@@ -1,0 +1,62 @@
+// Package taskdiscipline exercises the taskdiscipline analyzer: local task
+// groups must be waited on, and SubmitErr errors must be collected.
+package taskdiscipline
+
+import (
+	"repro/internal/taskrt"
+)
+
+// ok: submitted and waited.
+func okWaited(rt *taskrt.Runtime) {
+	g := rt.NewGroup()
+	g.Submit("t", 0, func() {})
+	g.Wait()
+}
+
+// bug: the function can return while tasks are still running.
+func missingWait(rt *taskrt.Runtime) {
+	g := rt.NewGroup() // want `taskrt group is never waited on \(missing Wait\)`
+	g.Submit("t", 0, func() {})
+}
+
+// bug: errors from the parallel section vanish.
+func missingErr(rt *taskrt.Runtime) {
+	g := rt.NewGroup() // want `taskrt group uses SubmitErr but its error is never collected \(missing Err\)`
+	g.SubmitErr("t", 0, func() error { return nil })
+	g.Wait()
+}
+
+// ok: full discipline.
+func okErrChecked(rt *taskrt.Runtime) error {
+	g := rt.NewGroup()
+	g.SubmitErr("t", 0, func() error { return nil })
+	g.Wait()
+	return g.Err()
+}
+
+// ok: plain Submit carries no error, so Wait alone suffices.
+func okSubmitNoErr(rt *taskrt.Runtime) {
+	g := rt.NewGroup()
+	g.Submit("a", 0, func() {})
+	g.Submit("b", 0, func() {})
+	g.Wait()
+}
+
+// ok: the group escapes; the caller owns the obligation.
+func okEscapesReturn(rt *taskrt.Runtime) *taskrt.Group {
+	g := rt.NewGroup()
+	g.Submit("t", 0, func() {})
+	return g
+}
+
+// ok: handed to a helper that waits.
+func okPassedAlong(rt *taskrt.Runtime) {
+	g := rt.NewGroup()
+	g.SubmitErr("t", 0, func() error { return nil })
+	drain(g)
+}
+
+func drain(g *taskrt.Group) {
+	g.Wait()
+	_ = g.Err()
+}

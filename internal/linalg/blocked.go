@@ -33,6 +33,7 @@ func HasVectorKernels() bool { return hasVectorKernels }
 // gemmBlocked computes C += alpha·op(A)·op(B) for the already-validated,
 // beta-scaled destination: the five-loop packed algorithm. m, n, k are the
 // logical op() dimensions.
+//repro:noalloc
 func gemmBlocked(transA, transB bool, alpha float64, a, b *Matrix, c *Matrix, m, n, k int) {
 	apack := GetVec(mcBlk * kcBlk)
 	bpack := GetVec(kcBlk * ncBlk)
@@ -63,6 +64,7 @@ func gemmBlocked(transA, transB bool, alpha float64, a, b *Matrix, c *Matrix, m,
 // micro-panels: dst[panel·(mrReg·kcc) + l·mrReg + i] = op(A)[ic+ip+i, pc+l].
 // Ragged bottom panels are zero-padded so the micro-kernel never branches on
 // the depth loop.
+//repro:noalloc
 func packA(transA bool, a *Matrix, dst []float64, ic, pc, mcc, kcc int) {
 	for ip := 0; ip < mcc; ip += mrReg {
 		rows := min(mrReg, mcc-ip)
@@ -106,6 +108,7 @@ func packA(transA bool, a *Matrix, dst []float64, ic, pc, mcc, kcc int) {
 // packB packs the kcc×nc block of op(B) at (pc,jc) into nrReg-column
 // micro-panels: dst[panel·(nrReg·kcc) + l·nrReg + j] = op(B)[pc+l, jc+jp+j],
 // zero-padding ragged right panels.
+//repro:noalloc
 func packB(transB bool, b *Matrix, dst []float64, pc, jc, kcc, nc int) {
 	for jp := 0; jp < nc; jp += nrReg {
 		cols := min(nrReg, nc-jp)
@@ -143,6 +146,7 @@ func packB(transB bool, b *Matrix, dst []float64, pc, jc, kcc, nc int) {
 // micro-panels into stack scratch, then accumulates
 // C[i0:i0+rows, j0:j0+cols] += alpha·tile. rows/cols mask the write-back at
 // ragged edges (the packed operands are zero-padded there).
+//repro:noalloc
 func microKernel(kcc int, ap, bp []float64, c *Matrix, i0, j0, rows, cols int, alpha float64) {
 	var acc [mrReg * nrReg]float64
 	if hasVectorKernels {
@@ -171,6 +175,7 @@ func microKernel(kcc int, ap, bp []float64, c *Matrix, i0, j0, rows, cols int, a
 
 // microF64Go is the portable micro-kernel: same packed contract as the
 // native one, two-row register tiles to stay within scalar registers.
+//repro:noalloc
 func microF64Go(kcc int, ap, bp []float64, acc *[mrReg * nrReg]float64) {
 	for i := 0; i < mrReg; i += 2 {
 		var c00, c01, c02, c03, c04, c05 float64

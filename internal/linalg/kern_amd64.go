@@ -9,6 +9,7 @@ func cpuHasAVX2FMA() bool
 // dgemmKern8x6 computes the packed 8×6 double-precision register tile.
 //
 //go:noescape
+//repro:noalloc
 func dgemmKern8x6(k int, ap, bp, c *float64)
 
 // sgemmKern16x6 computes the packed 16×6 single-precision register tile.
@@ -19,11 +20,13 @@ func sgemmKern16x6(k int, ap, bp, c *float32)
 // ddot returns Σ x[i]·y[i] (AVX2+FMA).
 //
 //go:noescape
+//repro:noalloc
 func ddot(n int, x, y *float64) float64
 
 // daxpy computes y += a·x (AVX2+FMA).
 //
 //go:noescape
+//repro:noalloc
 func daxpy(n int, a float64, x, y *float64)
 
 // drot applies the plane rotation (x,y) ← (c·x−s·y, s·x+c·y) (AVX2+FMA).
@@ -31,7 +34,9 @@ func daxpy(n int, a float64, x, y *float64)
 //go:noescape
 func drot(n int, x, y *float64, c, s float64)
 
+//repro:noalloc
 func dotVec(x, y []float64) float64     { return ddot(len(x), &x[0], &y[0]) }
+//repro:noalloc
 func axpyVec(a float64, x, y []float64) { daxpy(len(x), a, &x[0], &y[0]) }
 func rotVec(x, y []float64, c, s float64) {
 	drot(len(x), &x[0], &y[0], c, s)
@@ -43,6 +48,7 @@ func rotVec(x, y []float64, c, s float64) {
 var hasVectorKernels = cpuHasAVX2FMA()
 
 // microF64 runs the native 8×6 micro-kernel.
+//repro:noalloc
 func microF64(k int, ap, bp []float64, c *[mrReg * nrReg]float64) {
 	dgemmKern8x6(k, &ap[0], &bp[0], &c[0])
 }

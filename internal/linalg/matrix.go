@@ -36,6 +36,7 @@ func FromColMajor(r, c int, data []float64) *Matrix {
 }
 
 // At returns element (i,j).
+//repro:noalloc
 func (m *Matrix) At(i, j int) float64 { return m.Data[i+j*m.Stride] }
 
 // Set assigns element (i,j).
@@ -45,6 +46,7 @@ func (m *Matrix) Set(i, j int, v float64) { m.Data[i+j*m.Stride] = v }
 func (m *Matrix) Add(i, j int, v float64) { m.Data[i+j*m.Stride] += v }
 
 // Col returns column j as a length-Rows slice sharing the backing array.
+//repro:noalloc
 func (m *Matrix) Col(j int) []float64 {
 	if m.Rows == 0 {
 		// A 0×c matrix has Stride 1 but no storage behind it.
@@ -83,6 +85,7 @@ func (m *Matrix) CopyFrom(src *Matrix) {
 }
 
 // Zero clears every element.
+//repro:noalloc
 func (m *Matrix) Zero() {
 	for j := 0; j < m.Cols; j++ {
 		col := m.Col(j)

@@ -24,14 +24,19 @@ import (
 // exactly where the paper's TLR speedup materializes.
 type Factor interface {
 	// N returns the problem dimension.
+	//repro:noalloc
 	N() int
 	// TS returns the tile size.
+	//repro:noalloc
 	TS() int
 	// NT returns the number of tile rows.
+	//repro:noalloc
 	NT() int
 	// TileRows returns the number of rows in tile row i.
+	//repro:noalloc
 	TileRows(i int) int
 	// Diag returns the dense diagonal tile k of L (lower triangular).
+	//repro:noalloc
 	Diag(k int) *linalg.Matrix
 	// ApplyOffDiagLanes computes dst = alpha·y·L(i,j)ᵀ + beta·dst for the
 	// strictly-lower tile (i,j), i > j, in the lane-major (chains × rows)
@@ -41,6 +46,7 @@ type Factor interface {
 	// conditioning sum, so a single accumulation replaces the seed's paired
 	// A/B tile updates — half the propagation GEMMs; beta = 0 overwrites
 	// dst, sparing the sweep a zeroing pass over pooled scratch.)
+	//repro:noalloc
 	ApplyOffDiagLanes(i, j int, alpha float64, y *linalg.Matrix, beta float64, dst *linalg.Matrix)
 }
 
@@ -56,21 +62,27 @@ func NewDenseFactor(l *tile.Matrix) *DenseFactor {
 }
 
 // N implements Factor.
+//repro:noalloc
 func (f *DenseFactor) N() int { return f.L.M }
 
 // TS implements Factor.
+//repro:noalloc
 func (f *DenseFactor) TS() int { return f.L.TS }
 
 // NT implements Factor.
+//repro:noalloc
 func (f *DenseFactor) NT() int { return f.L.MT }
 
 // TileRows implements Factor.
+//repro:noalloc
 func (f *DenseFactor) TileRows(i int) int { return f.L.TileRows(i) }
 
 // Diag implements Factor.
+//repro:noalloc
 func (f *DenseFactor) Diag(k int) *linalg.Matrix { return f.L.Tile(k, k) }
 
 // ApplyOffDiagLanes implements Factor.
+//repro:noalloc
 func (f *DenseFactor) ApplyOffDiagLanes(i, j int, alpha float64, y *linalg.Matrix, beta float64, dst *linalg.Matrix) {
 	linalg.Gemm(false, true, alpha, y, f.L.Tile(i, j), beta, dst)
 }
@@ -82,21 +94,27 @@ type TLRFactor struct{ L *tlr.Matrix }
 func NewTLRFactor(l *tlr.Matrix) *TLRFactor { return &TLRFactor{L: l} }
 
 // N implements Factor.
+//repro:noalloc
 func (f *TLRFactor) N() int { return f.L.N }
 
 // TS implements Factor.
+//repro:noalloc
 func (f *TLRFactor) TS() int { return f.L.TS }
 
 // NT implements Factor.
+//repro:noalloc
 func (f *TLRFactor) NT() int { return f.L.NT }
 
 // TileRows implements Factor.
+//repro:noalloc
 func (f *TLRFactor) TileRows(i int) int { return f.L.TileRows(i) }
 
 // Diag implements Factor.
+//repro:noalloc
 func (f *TLRFactor) Diag(k int) *linalg.Matrix { return f.L.Diag[k] }
 
 // ApplyOffDiagLanes implements Factor.
+//repro:noalloc
 func (f *TLRFactor) ApplyOffDiagLanes(i, j int, alpha float64, y *linalg.Matrix, beta float64, dst *linalg.Matrix) {
 	f.L.Low[i][j].ApplyRightTrans(alpha, y, beta, dst)
 }
@@ -127,21 +145,27 @@ func NewGridFactor(g *engine.Grid) *GridFactor {
 }
 
 // N implements Factor.
+//repro:noalloc
 func (f *GridFactor) N() int { return f.G.N }
 
 // TS implements Factor.
+//repro:noalloc
 func (f *GridFactor) TS() int { return f.G.TS }
 
 // NT implements Factor.
+//repro:noalloc
 func (f *GridFactor) NT() int { return f.G.NT }
 
 // TileRows implements Factor.
+//repro:noalloc
 func (f *GridFactor) TileRows(i int) int { return f.G.TileRows(i) }
 
 // Diag implements Factor.
+//repro:noalloc
 func (f *GridFactor) Diag(k int) *linalg.Matrix { return f.G.Diag(k) }
 
 // ApplyOffDiagLanes implements Factor.
+//repro:noalloc
 func (f *GridFactor) ApplyOffDiagLanes(i, j int, alpha float64, y *linalg.Matrix, beta float64, dst *linalg.Matrix) {
 	switch t := f.G.At(i, j).(type) {
 	case *tile.DenseF64:

@@ -67,10 +67,12 @@ func SOVSequentialT(a, b []float64, l *linalg.Matrix, nu float64, gen qmc.Genera
 }
 
 // chiScale maps a uniform draw to s = √(χ²inv_ν(w)/ν).
+//repro:noalloc
 func chiScale(w, nu float64) float64 {
 	return math.Sqrt(stats.Chi2Inv(w, nu) / nu)
 }
 
+//repro:noalloc
 func scaleLimit(v, s float64) float64 {
 	if math.IsInf(v, 0) {
 		return v
@@ -83,9 +85,11 @@ func scaleLimit(v, s float64) float64 {
 // by its χ² draw (the generator's extra leading coordinate). Like PMVN, the
 // randomized replicates run concurrently in their own runtime groups, with
 // all shifts pre-drawn from Options.Rng.
+//repro:noalloc
 func PMVT(rt *taskrt.Runtime, f Factor, a, b []float64, nu float64, opt Options) Result {
 	n := f.N()
 	if len(a) != n || len(b) != n {
+		//repro:alloc-ok shape-mismatch panic path
 		panic(fmt.Sprintf("mvn: limits length %d,%d != dimension %d", len(a), len(b), n))
 	}
 	if nu <= 0 {

@@ -38,6 +38,7 @@ type Options struct {
 	Inline bool
 }
 
+//repro:noalloc
 func (o Options) withDefaults(ts int) Options {
 	if o.N <= 0 {
 		o.N = 1000
@@ -67,9 +68,11 @@ type Result struct {
 // block swept left-looking through the factor, parallel across columns and
 // across randomized-QMC replicates. PMVN is safe to call from multiple
 // goroutines on one runtime (the Factor is only read).
+//repro:noalloc
 func PMVN(rt *taskrt.Runtime, f Factor, a, b []float64, opt Options) Result {
 	n := f.N()
 	if len(a) != n || len(b) != n {
+		//repro:alloc-ok shape-mismatch panic path
 		panic(fmt.Sprintf("mvn: limits length %d,%d != dimension %d", len(a), len(b), n))
 	}
 	return integrate(rt, f, a, b, opt.withDefaults(f.TS()), 0)
@@ -77,6 +80,7 @@ func PMVN(rt *taskrt.Runtime, f Factor, a, b []float64, opt Options) Result {
 
 // integrate runs the replicated integration behind PMVN (nu = 0) and PMVT
 // (nu > 0) on defaulted options.
+//repro:noalloc
 func integrate(rt *taskrt.Runtime, f Factor, a, b []float64, o Options, nu float64) Result {
 	genDim := f.N()
 	if nu > 0 {
@@ -93,10 +97,16 @@ func integrate(rt *taskrt.Runtime, f Factor, a, b []float64, o Options, nu float
 		qmc.PutRichtmyer(g)
 		return Result{Prob: clampProb(p)}
 	}
+	//repro:alloc-ok replicated/custom-generator queries build one generator per replicate
+	return integrateReplicated(rt, f, a, b, o, nu, genDim, inline)
+}
 
-	// Replicated path: pre-draw all shifts from the (shared, not
-	// goroutine-safe) Rng up front, then run the replicates concurrently
-	// unless inline.
+// integrateReplicated runs the replicated (or custom-generator) integration:
+// all shifts are pre-drawn from the (shared, not goroutine-safe) Rng up
+// front, then the replicates run concurrently unless inline. This path
+// allocates by design — one generator per replicate — and is kept out of the
+// //repro:noalloc-certified integrate above.
+func integrateReplicated(rt *taskrt.Runtime, f Factor, a, b []float64, o Options, nu float64, genDim int, inline bool) Result {
 	rng := o.Rng
 	if rng == nil {
 		rng = rand.New(rand.NewSource(1))
@@ -137,8 +147,10 @@ func integrate(rt *taskrt.Runtime, f Factor, a, b []float64, o Options, nu float
 // independent lane blocks, swept inline on the calling goroutine or fanned
 // out as one task each in their own runtime group. The per-column sums land
 // in fixed slots, so the estimate is deterministic regardless of scheduling.
+//repro:noalloc
 func runReplicate(rt *taskrt.Runtime, f Factor, a, b []float64, gen qmc.Generator, o Options, nu float64, inline bool) float64 {
 	if gen.Dim() != genDimFor(f, nu) {
+		//repro:alloc-ok dimension-mismatch panic path
 		panic(fmt.Sprintf("mvn: generator dim %d, want %d", gen.Dim(), genDimFor(f, nu)))
 	}
 	n, mc := o.N, o.SampleTile
@@ -153,6 +165,7 @@ func runReplicate(rt *taskrt.Runtime, f Factor, a, b []float64, gen qmc.Generato
 		}
 		src.release()
 	} else {
+		//repro:alloc-ok task fan-out closes over the column index; the warm batched path runs inline
 		runColumnTasks(rt, f, a, b, gen, sums, n, mc, nu)
 	}
 	sum := 0.0
@@ -178,6 +191,7 @@ func runColumnTasks(rt *taskrt.Runtime, f Factor, a, b []float64, gen qmc.Genera
 	src.release()
 }
 
+//repro:noalloc
 func genDimFor(f Factor, nu float64) int {
 	if nu > 0 {
 		return f.N() + 1
@@ -204,4 +218,5 @@ func reduceReplicates(probs []float64) Result {
 	return res
 }
 
+//repro:noalloc
 func clampProb(p float64) float64 { return math.Min(1, math.Max(0, p)) }

@@ -15,6 +15,7 @@ import (
 //
 // When the interval probability underflows, the factor is 0 and y falls
 // back to a finite midpoint so downstream arithmetic stays NaN-free.
+//repro:noalloc
 func chainStep(aPrime, bPrime, w float64) (factor, y float64) {
 	diff, da := stats.PhiIntervalAndPhi(aPrime, bPrime)
 	if diff <= 0 {
@@ -31,6 +32,7 @@ func chainStep(aPrime, bPrime, w float64) (factor, y float64) {
 // probability underflowed: a midpoint or the nearer finite limit, keeping
 // downstream arithmetic NaN-free. Shared by the scalar chainStep and the
 // lane-batched kernel so both compute identical values.
+//repro:noalloc
 func emptyIntervalY(aPrime, bPrime float64) (y float64) {
 	switch {
 	case !math.IsInf(aPrime, 0) && !math.IsInf(bPrime, 0):
@@ -45,6 +47,7 @@ func emptyIntervalY(aPrime, bPrime float64) (y float64) {
 
 // clampTailY replaces an extreme tail draw (Φ⁻¹ returned ±∞ or NaN) with the
 // nearer finite limit. Shared by chainStep and the lane-batched kernel.
+//repro:noalloc
 func clampTailY(y, aPrime, bPrime float64) float64 {
 	if math.IsNaN(y) || math.IsInf(y, 1) {
 		if !math.IsInf(bPrime, 1) {
@@ -93,6 +96,7 @@ func SOVSequential(a, b []float64, l *linalg.Matrix, gen qmc.Generator, n int) f
 }
 
 // shiftLimit computes (limit − acc)/d, preserving infinities.
+//repro:noalloc
 func shiftLimit(limit, acc, d float64) float64 {
 	if math.IsInf(limit, 0) {
 		return limit

@@ -36,15 +36,18 @@ type blockSource struct {
 	pre *linalg.Matrix // (points × dim) lane-major, used when bg is nil
 }
 
+//repro:noalloc
 func newBlockSource(gen qmc.Generator, n int) blockSource {
 	if bg, ok := gen.(qmc.BlockGenerator); ok {
 		return blockSource{bg: bg}
 	}
 	pre := linalg.GetMat(n, gen.Dim())
+	//repro:alloc-ok sequential-generator pre-expansion; the default generator is block-capable
 	qmc.NextBlock(gen, pre, n)
 	return blockSource{pre: pre}
 }
 
+//repro:noalloc
 func (s *blockSource) fill(dst *linalg.Matrix, p0, d0 int) {
 	if s.bg != nil {
 		s.bg.FillBlock(dst, p0, d0)
@@ -56,6 +59,7 @@ func (s *blockSource) fill(dst *linalg.Matrix, p0, d0 int) {
 	}
 }
 
+//repro:noalloc
 func (s *blockSource) release() {
 	if s.pre != nil {
 		linalg.PutMat(s.pre)
@@ -69,6 +73,11 @@ type laneWS struct {
 	acc, aP, bP, dif, da, u []float64
 }
 
+// The second result is the pooled backing buffer; callers return it with
+// linalg.PutVec when the sweep finishes.
+//
+//repro:returns-pooled vec
+//repro:noalloc
 func getLaneWS(mc int) (laneWS, []float64) {
 	buf := linalg.GetVec(6 * mc)
 	return laneWS{
@@ -86,6 +95,7 @@ func getLaneWS(mc int) (laneWS, []float64) {
 // of the conditioning values, so whole free tiles skip their limit tiles and
 // incoming propagation GEMMs entirely — the PrefixProb query shape
 // constrains only a prefix of the locations and leaves most rows free.
+//repro:noalloc
 func freeSpan(a, b []float64, row0, rows int) bool {
 	for i := row0; i < row0+rows; i++ {
 		if !math.IsInf(a[i], -1) || !math.IsInf(b[i], 1) {
@@ -101,6 +111,7 @@ func freeSpan(a, b []float64, row0, rows int) bool {
 // coordinate fixes each lane's χ² scale. Everything it touches is pooled or
 // caller-owned; concurrent calls for disjoint columns are safe (the Factor
 // is only read).
+//repro:noalloc
 func sweepColumn(f Factor, a, b []float64, src *blockSource, kOff, mc int, nu float64) float64 {
 	nt, ts := f.NT(), f.TS()
 	yAll := linalg.GetMat(mc, f.N())
@@ -191,6 +202,7 @@ func sweepColumn(f Factor, a, b []float64, src *blockSource, kOff, mc int, nu fl
 // vectors, then a fix-up pass for dead lanes, empty intervals and tail
 // clamps. Once most lanes are dead the scalar chainStep over the survivors
 // is cheaper than full-width batches; both paths compute identical values.
+//repro:noalloc
 func qmcKernelLanes(lkk, rT, cond, yT *linalg.Matrix, a, b []float64, row0 int, s, p []float64, ws laneWS, alive int) int {
 	m := lkk.Rows
 	mc := len(p)
@@ -289,6 +301,7 @@ func qmcKernelLanes(lkk, rT, cond, yT *linalg.Matrix, a, b []float64, row0 int, 
 // not clamp its output into (0,1)) would send an infinity into the Y grid
 // and NaN every downstream conditioning sum. The in-repo generators never
 // produce one, so the scan stays branch-predicted free.
+//repro:noalloc
 func clampFreeY(ys []float64) {
 	for l, y := range ys {
 		if math.IsInf(y, 0) || math.IsNaN(y) {
@@ -301,6 +314,7 @@ func clampFreeY(ys []float64) {
 // limit of one row. An infinite limit short-circuits to itself across all
 // lanes (the χ² scale and the conditioning shift both preserve it); s is nil
 // for the plain MVN path.
+//repro:noalloc
 func shiftLanes(dst []float64, limit float64, acc []float64, d float64, s []float64) {
 	if math.IsInf(limit, 0) {
 		for l := range dst {

@@ -19,6 +19,7 @@ import (
 // [0,1)^Dim.
 type Generator interface {
 	// Dim returns the dimensionality of generated points.
+	//repro:noalloc
 	Dim() int
 	// Next fills dst (length Dim) with the next point in the sequence.
 	Next(dst []float64)
@@ -42,6 +43,7 @@ type BlockGenerator interface {
 	// indices are zero-based: point 0 is the first point Next produces after
 	// Reset, and the values are identical to the sequential ones. FillBlock
 	// does not advance the generator's sequential state.
+	//repro:noalloc
 	FillBlock(dst *linalg.Matrix, p0, d0 int)
 	// Pos returns the zero-based index of the point the next Next call would
 	// produce.
@@ -198,6 +200,7 @@ func PutRichtmyer(r *Richtmyer) {
 }
 
 // Dim implements Generator.
+//repro:noalloc
 func (r *Richtmyer) Dim() int { return len(r.alpha) }
 
 // Next implements Generator.
@@ -230,6 +233,7 @@ func (r *Richtmyer) Skip(count int) { r.k += float64(count) }
 // FillBlock implements BlockGenerator: one pass per dimension, stride-1
 // writes, the lattice recurrence reduced to a multiply, a floor and the
 // shift fold per element.
+//repro:noalloc
 func (r *Richtmyer) FillBlock(dst *linalg.Matrix, p0, d0 int) {
 	for d := 0; d < dst.Cols; d++ {
 		a := r.alpha[d0+d]
@@ -282,6 +286,7 @@ func NewHalton(dim int, shift []float64) *Halton {
 }
 
 // Dim implements Generator.
+//repro:noalloc
 func (h *Halton) Dim() int { return len(h.bases) }
 
 // Next implements Generator.
@@ -309,6 +314,7 @@ func (h *Halton) Pos() int { return int(h.k) - 1 }
 func (h *Halton) Skip(count int) { h.k += int64(count) }
 
 // FillBlock implements BlockGenerator.
+//repro:noalloc
 func (h *Halton) FillBlock(dst *linalg.Matrix, p0, d0 int) {
 	for d := 0; d < dst.Cols; d++ {
 		b := h.bases[d0+d]
@@ -327,6 +333,7 @@ func (h *Halton) FillBlock(dst *linalg.Matrix, p0, d0 int) {
 	}
 }
 
+//repro:noalloc
 func radicalInverse(k int64, base int) float64 {
 	inv := 1.0 / float64(base)
 	f := inv
@@ -382,6 +389,7 @@ func NewScrambledHalton(dim int, seed int64) *ScrambledHalton {
 }
 
 // Dim implements Generator.
+//repro:noalloc
 func (h *ScrambledHalton) Dim() int { return len(h.bases) }
 
 // Next implements Generator.
@@ -402,6 +410,7 @@ func (h *ScrambledHalton) Pos() int { return int(h.k) - 1 }
 func (h *ScrambledHalton) Skip(count int) { h.k += int64(count) }
 
 // FillBlock implements BlockGenerator.
+//repro:noalloc
 func (h *ScrambledHalton) FillBlock(dst *linalg.Matrix, p0, d0 int) {
 	for d := 0; d < dst.Cols; d++ {
 		b := h.bases[d0+d]
@@ -413,6 +422,7 @@ func (h *ScrambledHalton) FillBlock(dst *linalg.Matrix, p0, d0 int) {
 	}
 }
 
+//repro:noalloc
 func scrambledRadicalInverse(k int64, base int, perm []uint8) float64 {
 	inv := 1.0 / float64(base)
 	f := inv
@@ -451,6 +461,7 @@ func NewPseudo(dim int, seed int64) *Pseudo {
 }
 
 // Dim implements Generator.
+//repro:noalloc
 func (p *Pseudo) Dim() int { return p.dim }
 
 // Next implements Generator.
@@ -464,6 +475,7 @@ func (p *Pseudo) Next(dst []float64) {
 func (p *Pseudo) Reset() { p.rng = rand.New(rand.NewSource(p.seed)) }
 
 // clamp01 keeps u strictly inside (0,1) so that Φ⁻¹ stays finite.
+//repro:noalloc
 func clamp01(u float64) float64 {
 	const eps = 1e-15
 	if u < eps {

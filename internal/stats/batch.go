@@ -12,6 +12,7 @@ import "math"
 
 // PhiBatch fills dst[i] = Phi(x[i]). x and dst must have equal length and may
 // alias.
+//repro:noalloc
 func PhiBatch(x, dst []float64) {
 	dst = dst[:len(x)]
 	for i, v := range x {
@@ -22,6 +23,7 @@ func PhiBatch(x, dst []float64) {
 // PhiIntervalBatch fills dst[i] = PhiInterval(a[i], b[i]), the tail-stable
 // interval probability per lane. The slices must have equal length; dst may
 // alias a or b.
+//repro:noalloc
 func PhiIntervalBatch(a, b, dst []float64) {
 	dst = dst[:len(a)]
 	b = b[:len(a)]
@@ -40,6 +42,7 @@ func PhiIntervalBatch(a, b, dst []float64) {
 // (the chain is dead and the step never forms u). The scalar chainStep and
 // the batched kernel both evaluate through this function, so their values
 // agree exactly.
+//repro:noalloc
 func PhiIntervalAndPhi(a, b float64) (dif, da float64) {
 	switch {
 	case b <= a:
@@ -67,6 +70,7 @@ func PhiIntervalAndPhi(a, b float64) (dif, da float64) {
 // PhiIntervalPhiBatch fills dif[i], da[i] = PhiIntervalAndPhi(a[i], b[i])
 // over contiguous lane vectors. Slices must have equal length; dif and da
 // may alias a or b.
+//repro:noalloc
 func PhiIntervalPhiBatch(a, b, dif, da []float64) {
 	b = b[:len(a)]
 	dif = dif[:len(a)]
@@ -81,6 +85,7 @@ func PhiIntervalPhiBatch(a, b, dif, da []float64) {
 // polynomial evaluated in a branch-light pass; tails, endpoints and invalid
 // inputs fall back to the scalar PhiInv (NaN compares false, so it lands in
 // the fallback too). p and dst must have equal length and may alias.
+//repro:noalloc
 func PhiInvBatch(p, dst []float64) {
 	dst = dst[:len(p)]
 	for i, v := range p {

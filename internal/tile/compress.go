@@ -133,6 +133,8 @@ func frobSq(a *linalg.Matrix) float64 {
 // splitmix64 stream seeded only by the shape: the sketch is independent of
 // the data (which is all the randomized analysis needs) and deterministic
 // across runs, workers and repeated calls.
+//
+//repro:returns-pooled mat
 func gaussMat(r, c int) *linalg.Matrix {
 	m := linalg.GetMat(r, c)
 	state := uint64(r)<<32 ^ uint64(c) ^ 0x9e3779b97f4a7c15

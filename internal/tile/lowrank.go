@@ -16,6 +16,7 @@ type LowRank struct {
 }
 
 // Rank returns the current rank k.
+//repro:noalloc
 func (t *LowRank) Rank() int {
 	if t.U == nil {
 		return 0
@@ -235,6 +236,7 @@ func roundLRCholQR(bigU, bigV *linalg.Matrix, tol float64, maxRank int) (*linalg
 // (chains × rows) layout of the chain-blocked sweep: the sample lanes run
 // down the stride-1 axis of b and c. A rank-0 tile still applies the beta
 // scaling (beta = 0 fully defines c, even over uninitialized scratch).
+//repro:noalloc
 func (t *LowRank) ApplyRightTrans(alpha float64, b *linalg.Matrix, beta float64, c *linalg.Matrix) {
 	k := t.Rank()
 	if k == 0 {

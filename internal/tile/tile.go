@@ -41,6 +41,7 @@ func New(m, n, ts int) *Matrix {
 func ceilDiv(a, b int) int { return (a + b - 1) / b }
 
 // TileRows returns the row count of tile row i.
+//repro:noalloc
 func (t *Matrix) TileRows(i int) int {
 	if i == t.MT-1 {
 		if r := t.M - i*t.TS; r > 0 {
@@ -61,8 +62,10 @@ func (t *Matrix) TileCols(j int) int {
 }
 
 // Tile returns tile (i,j).
+//repro:noalloc
 func (t *Matrix) Tile(i, j int) *linalg.Matrix {
 	if i < 0 || i >= t.MT || j < 0 || j >= t.NT {
+		//repro:alloc-ok out-of-grid panic path
 		panic(fmt.Sprintf("tile: tile (%d,%d) out of %dx%d grid", i, j, t.MT, t.NT))
 	}
 	return t.tiles[i+j*t.MT]

@@ -42,6 +42,7 @@ type Matrix struct {
 }
 
 // TileRows returns the number of rows of tile row i.
+//repro:noalloc
 func (a *Matrix) TileRows(i int) int {
 	if i == a.NT-1 {
 		if r := a.N - i*a.TS; r > 0 {

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# bcegate.sh — bounds-check-elimination gate for the portable inner loops.
+#
+# Compiles internal/linalg and internal/mvn with -d=ssa/check_bce and counts
+# the bounds checks the compiler could NOT eliminate in the gated files: the
+# packed BLAS-3 kernels (blocked.go) and the chain-blocked sweep (sweep.go),
+# whose portable fallback loops are the hot path on machines without the
+# AVX2+FMA micro-kernels. The gate fails when a gated file gains bounds
+# checks over the checked-in golden counts — the usual way a "harmless"
+# refactor of an inner loop quietly reintroduces per-element branches.
+#
+# Counts, not line numbers, are compared, so edits elsewhere in the file do
+# not trip the gate. When a count drops (more checks eliminated) the gate
+# still passes but asks for a re-bless so the ceiling stays tight:
+#
+#   scripts/bcegate.sh --update
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+GOLDEN=scripts/golden/bce.golden
+GATED='^internal/(linalg/blocked|mvn/sweep)\.go'
+
+# One "file count" line per gated file. sort -u first: the same diagnostic
+# can be replayed once per build action that names the package.
+current() {
+    go build -gcflags=-d=ssa/check_bce ./internal/linalg ./internal/mvn 2>&1 |
+        grep -E ': Found (IsInBounds|IsSliceInBounds)$' |
+        sort -u |
+        sed -E 's/^([^:]*):.*/\1/' |
+        grep -E "$GATED" |
+        sort | uniq -c | awk '{print $2, $1}'
+}
+
+if [[ "${1:-}" == "--update" ]]; then
+    mkdir -p "$(dirname "$GOLDEN")"
+    current > "$GOLDEN"
+    cat "$GOLDEN"
+    echo "bcegate: golden counts updated"
+    exit 0
+fi
+
+if [[ ! -f "$GOLDEN" ]]; then
+    echo "bcegate: missing $GOLDEN — run scripts/bcegate.sh --update" >&2
+    exit 1
+fi
+
+rc=0
+improved=0
+while read -r file count; do
+    golden=$(awk -v f="$file" '$1 == f {print $2}' "$GOLDEN")
+    if [[ -z "$golden" ]]; then
+        echo "bcegate: $file not in golden list — run scripts/bcegate.sh --update" >&2
+        rc=1
+    elif (( count > golden )); then
+        echo "bcegate: FAIL $file: $count bounds checks remain (golden $golden) — an inner loop regressed; restructure the indexing or re-bless deliberately" >&2
+        rc=1
+    elif (( count < golden )); then
+        echo "bcegate: note $file improved to $count bounds checks (golden $golden) — re-bless with scripts/bcegate.sh --update"
+        improved=1
+    else
+        echo "bcegate: ok $file: $count bounds checks (at golden ceiling)"
+    fi
+done < <(current)
+
+# A gated file disappearing from the build entirely should be loud too.
+while read -r file _; do
+    if ! current | awk -v f="$file" '$1 == f {found=1} END {exit !found}'; then
+        echo "bcegate: golden file $file produced no diagnostics — deleted or renamed? run scripts/bcegate.sh --update" >&2
+        rc=1
+    fi
+done < "$GOLDEN"
+
+exit $rc

@@ -20,14 +20,15 @@ PROFILE="${1:-}"
 if [[ -z "$PROFILE" ]]; then
     PROFILE="$(mktemp)"
     trap 'rm -f "$PROFILE"' EXIT
-    go test -coverprofile="$PROFILE" -coverpkg=repro,repro/internal/serve \
-        . ./internal/serve > /dev/null
+    go test -coverprofile="$PROFILE" \
+        -coverpkg=repro,repro/internal/serve,repro/internal/analysis \
+        . ./internal/serve ./internal/analysis > /dev/null
 fi
 
 # Floors (percent). Measured at recording time (2026-07): serve 90.4,
-# api.go 89.4, cache.go 93.7, batch.go 85.5, validate.go 95.8. Each floor
-# sits ~8 points under the measurement to absorb small refactors while
-# still tripping on a lost test file.
+# api.go 89.4, cache.go 93.7, batch.go 85.5, validate.go 95.8; (2026-08):
+# internal/analysis 87.1. Each floor sits ~8 points under the measurement
+# to absorb small refactors while still tripping on a lost test file.
 check() {
     local label="$1" pattern="$2" floor="$3"
     awk -v pat="$pattern" -v floor="$floor" -v label="$label" '
@@ -56,4 +57,5 @@ check "api.go"              "^repro/api\\.go$"       80 || rc=1
 check "cache.go"            "^repro/cache\\.go$"     85 || rc=1
 check "batch.go"            "^repro/batch\\.go$"     78 || rc=1
 check "validate.go"         "^repro/validate\\.go$"  88 || rc=1
+check "internal/analysis"   "^repro/internal/analysis/" 79 || rc=1
 exit $rc
