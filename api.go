@@ -220,6 +220,14 @@ type Config struct {
 	// CollectStats attaches a snapshot of the runtime scheduler statistics
 	// (tasks executed per kind, peak ready-queue depth) to each Result.
 	CollectStats bool
+	// SweepF32 runs the QMC sweep's conditioning state (the Y grid and its
+	// GEMM/axpy propagation) in float32, halving the sweep's memory traffic
+	// and using the 16-lane f32 micro-kernel; special functions and
+	// probability accumulation stay float64, so estimates differ from the
+	// default sweep by well under the QMC error bar. The cached Cholesky
+	// factor stays float64 and is shared with f64 queries; its f32 shadow is
+	// built once per factor on first use.
+	SweepF32 bool
 }
 
 func (c Config) withDefaults() Config {
@@ -291,6 +299,12 @@ func NewSession(cfg Config) *Session {
 
 // Cache exposes the session's factor cache (hit/miss statistics, purging).
 func (s *Session) Cache() *FactorCache { return s.cache }
+
+// ShareCache redirects s's factor lookups to peer's cache, so sessions
+// whose configurations differ only in knobs outside the factor key (e.g.
+// SweepF32) reuse one set of Cholesky factors instead of each building its
+// own. Must be called before s serves its first query.
+func (s *Session) ShareCache(peer *Session) { s.cache = peer.cache }
 
 // Config returns the session's effective (defaulted) configuration.
 func (s *Session) Config() Config { return s.cfg }
@@ -439,7 +453,7 @@ func (s *Session) validateTileSize(n int) error {
 
 //repro:noalloc
 func (s *Session) mvnOpts() mvn.Options {
-	return mvn.Options{N: s.cfg.QMCSize, Replicates: s.cfg.Replicates}
+	return mvn.Options{N: s.cfg.QMCSize, Replicates: s.cfg.Replicates, SweepF32: s.cfg.SweepF32}
 }
 
 // MVNProb computes Φn(a,b;0,Σ) where Σ is assembled from the kernel at the

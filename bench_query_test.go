@@ -53,14 +53,14 @@ func queryBenchLimits(n int) map[string][2][]float64 {
 	}
 }
 
-func benchWarmQuery(b *testing.B, method Method, side int, regime string) {
+func benchWarmQuery(b *testing.B, method Method, side int, regime string, sweepF32 bool) {
 	locs := Grid(side, side)
 	n := len(locs)
 	kernel := KernelSpec{Family: "matern", Range: 0.2, Nu: 2.5, Nugget: 0.05}
 	lim := queryBenchLimits(n)[regime]
 	s := NewSession(Config{
 		Method: method, TileSize: 64, QMCSize: 1000, TLRTol: 1e-6,
-		AdaptiveF32Norm: 0.5,
+		AdaptiveF32Norm: 0.5, SweepF32: sweepF32,
 	})
 	defer s.Close()
 	// Warm the factor cache: iterations measure only the integration.
@@ -77,16 +77,19 @@ func benchWarmQuery(b *testing.B, method Method, side int, regime string) {
 }
 
 // BenchmarkQuery: warm-factor MVN queries (N=1000 chains) across methods,
-// sizes and limit regimes.
+// sizes, limit regimes and sweep precisions (the default f64 sweep, and the
+// opt-in f32 conditioning sweep recorded as the sweep=f32 rows).
 func BenchmarkQuery(b *testing.B) {
 	for _, m := range []Method{Dense, TLR, MethodAdaptive} {
 		for _, side := range []int{24, 40} { // n = 576, 1600
 			for _, regime := range []string{"excursion", "prefix", "wide"} {
-				m, side, regime := m, side, regime
-				name := m.String() + "/n=" + itoa(side*side) + "/" + regime
-				b.Run(name, func(b *testing.B) {
-					benchWarmQuery(b, m, side, regime)
-				})
+				for _, sweep := range []string{"f64", "f32"} {
+					m, side, regime, sweep := m, side, regime, sweep
+					name := m.String() + "/n=" + itoa(side*side) + "/" + regime + "/sweep=" + sweep
+					b.Run(name, func(b *testing.B) {
+						benchWarmQuery(b, m, side, regime, sweep == "f32")
+					})
+				}
 			}
 		}
 	}

@@ -76,7 +76,18 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile (taken after the run) to this file")
 	serveAddr := flag.String("serve", "", "serve HTTP/JSON queries on this address (same engine configuration) instead of computing one query")
+	sweep := flag.String("sweep", "f64", "QMC sweep precision: f64, or f32 for a float32 conditioning sweep (faster, accuracy within the QMC error bar)")
 	flag.Parse()
+
+	sweepF32 := false
+	switch *sweep {
+	case "f64":
+	case "f32":
+		sweepF32 = true
+	default:
+		fmt.Fprintf(os.Stderr, "mvnprob: unknown sweep %q (want f64 or f32)\n", *sweep)
+		os.Exit(2)
+	}
 
 	if *serveAddr != "" {
 		m := parmvn.Dense
@@ -150,7 +161,7 @@ func main() {
 	s := parmvn.NewSession(parmvn.Config{
 		Method: m, Workers: *workers, TileSize: ts,
 		TLRTol: *tol, QMCSize: *qmc, Replicates: *reps,
-		CollectStats: *stats,
+		CollectStats: *stats, SweepF32: sweepF32,
 	})
 	defer s.Close()
 
@@ -162,6 +173,9 @@ func main() {
 	kernel := parmvn.KernelSpec{Family: *family, Range: *rng, Nu: *nu}
 	fmt.Printf("dimension      %d\n", n)
 	fmt.Printf("method         %s (tile %d)\n", m, ts)
+	if sweepF32 {
+		fmt.Printf("sweep          f32\n")
+	}
 	fmt.Printf("QMC            N=%d, %d replicates\n", *qmc, *reps)
 	if *batch > 1 {
 		queries := make([]parmvn.Bounds, *batch)

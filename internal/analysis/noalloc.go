@@ -49,6 +49,15 @@ var noallocFuncs = map[string]bool{
 	"repro/internal/linalg.PutMatView": true,
 	"repro/internal/qmc.GetRichtmyer":  true,
 	"repro/internal/qmc.PutRichtmyer":  true,
+	"repro/internal/tile.getVec32":     true,
+	"repro/internal/tile.putVec32":     true,
+	"repro/internal/tile.GetVec32":     true,
+	"repro/internal/tile.PutVec32":     true,
+	"repro/internal/tile.GetMat32":     true,
+	"repro/internal/tile.GetMat32Zero": true,
+	"repro/internal/tile.PutMat32":     true,
+	"repro/internal/tile.GetMat32View": true,
+	"repro/internal/tile.PutMat32View": true,
 	"repro/internal/engine.getMat":     true,
 	"repro/internal/engine.putMat":     true,
 	// Lock and lock-free synchronization primitives: they block but never
@@ -70,7 +79,7 @@ var noallocFuncs = map[string]bool{
 // steady-state allocation. append, make, new, print and println are absent
 // deliberately.
 var allowedBuiltins = map[string]bool{
-	"len": true, "cap": true, "copy": true, "delete": true,
+	"len": true, "cap": true, "copy": true, "delete": true, "clear": true,
 	"min": true, "max": true, "real": true, "imag": true, "complex": true,
 	"panic": true, "recover": true,
 }

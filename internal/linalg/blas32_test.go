@@ -1,0 +1,40 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestAxpy32MatchesScalar pins the saxpy kernel against the scalar loop on
+// every tail length, including the sub-threshold sizes that skip the kernel.
+func TestAxpy32MatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for n := 0; n <= 40; n++ {
+		x := make([]float32, n)
+		y := make([]float32, n)
+		want := make([]float32, n)
+		for i := range x {
+			x[i] = float32(rng.NormFloat64())
+			y[i] = float32(rng.NormFloat64())
+			want[i] = y[i]
+		}
+		const a = float32(1.25) // exact in f32: kernel FMA vs scalar agree
+		Axpy32(a, x, y)
+		for i := range want {
+			want[i] += a * x[i]
+		}
+		for i := range y {
+			if d := math.Abs(float64(y[i] - want[i])); d > 1e-6*math.Abs(float64(want[i]))+1e-7 {
+				t.Fatalf("n=%d: Axpy32 y[%d]=%g want %g", n, i, y[i], want[i])
+			}
+		}
+	}
+	// alpha == 0 must not touch y even with NaN x.
+	x := []float32{float32(math.NaN())}
+	y := []float32{3}
+	Axpy32(0, x, y)
+	if y[0] != 3 {
+		t.Fatalf("Axpy32 with alpha=0 modified y: %g", y[0])
+	}
+}

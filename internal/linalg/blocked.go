@@ -28,6 +28,7 @@ const (
 // vector micro-kernel (AVX2+FMA). When false, the public dispatchers keep
 // the historical unpacked loops, which beat packing overhead without vector
 // FMA underneath.
+//repro:noalloc
 func HasVectorKernels() bool { return hasVectorKernels }
 
 // gemmBlocked computes C += alpha·op(A)·op(B) for the already-validated,

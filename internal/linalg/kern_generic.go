@@ -21,6 +21,7 @@ func MicroF32(k int, ap, bp []float32, c *[96]float32) {
 
 // The level-1 vector kernels are never reached when hasVectorKernels is
 // false; the dispatchers fall back to the scalar loops first.
-func dotVec(x, y []float64) float64       { panic("linalg: no vector kernels") }
-func axpyVec(a float64, x, y []float64)   { panic("linalg: no vector kernels") }
-func rotVec(x, y []float64, c, s float64) { panic("linalg: no vector kernels") }
+func dotVec(x, y []float64) float64        { panic("linalg: no vector kernels") }
+func axpyVec(a float64, x, y []float64)    { panic("linalg: no vector kernels") }
+func rotVec(x, y []float64, c, s float64)  { panic("linalg: no vector kernels") }
+func axpy32Vec(a float32, x, y []float32)  { panic("linalg: no vector kernels") }

@@ -51,7 +51,10 @@ type Factor interface {
 }
 
 // DenseFactor adapts a dense tiled Cholesky factor to the Factor interface.
-type DenseFactor struct{ L *tile.Matrix }
+type DenseFactor struct {
+	L    *tile.Matrix
+	sh32 shadowBox
+}
 
 // NewDenseFactor wraps a tiled lower Cholesky factor.
 func NewDenseFactor(l *tile.Matrix) *DenseFactor {
@@ -88,7 +91,10 @@ func (f *DenseFactor) ApplyOffDiagLanes(i, j int, alpha float64, y *linalg.Matri
 }
 
 // TLRFactor adapts a TLR Cholesky factor to the Factor interface.
-type TLRFactor struct{ L *tlr.Matrix }
+type TLRFactor struct {
+	L    *tlr.Matrix
+	sh32 shadowBox
+}
 
 // NewTLRFactor wraps a TLR lower Cholesky factor.
 func NewTLRFactor(l *tlr.Matrix) *TLRFactor { return &TLRFactor{L: l} }
@@ -126,8 +132,9 @@ func (f *TLRFactor) ApplyOffDiagLanes(i, j int, alpha float64, y *linalg.Matrix,
 // are promoted to float64 once at construction so the hot path never pays
 // per-application conversions.
 type GridFactor struct {
-	G   *engine.Grid
-	f32 [][]*linalg.Matrix // promoted float32 tiles, nil elsewhere
+	G    *engine.Grid
+	f32  [][]*linalg.Matrix // promoted float32 tiles, nil elsewhere
+	sh32 shadowBox
 }
 
 // NewGridFactor wraps a factored engine grid.

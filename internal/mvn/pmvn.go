@@ -36,6 +36,13 @@ type Options struct {
 	// nil or has a single worker, where task submission is pure overhead.
 	// Results are bit-identical either way.
 	Inline bool
+	// SweepF32 runs the sweep's conditioning state — the Y grid, the
+	// propagation GEMMs and the intra-tile lane axpys — in float32 (see
+	// sweep32.go); the QMC points, special functions and probability
+	// accumulation stay float64, so the estimate differs from the f64 sweep
+	// by well under the QMC error bar. Ignored (f64 sweep) for a custom
+	// Factor that does not implement F32Sweeper.
+	SweepF32 bool
 }
 
 //repro:noalloc
@@ -156,17 +163,28 @@ func runReplicate(rt *taskrt.Runtime, f Factor, a, b []float64, gen qmc.Generato
 	n, mc := o.N, o.SampleTile
 	kt := (n + mc - 1) / mc
 	sums := linalg.GetVec(kt)
+	// The f32 shadow is resolved once per replicate, before any column runs
+	// (its one-time build is the only allocating step; warm loads are an
+	// atomic read). nil falls back to the f64 sweep.
+	var sh *ShadowF32
+	if o.SweepF32 {
+		sh = shadowFor(f)
+	}
 	if inline || kt == 1 {
 		// Kept free of the task path's closures so the block source stays
 		// on the stack: the warm inline query allocates nothing.
 		src := newBlockSource(gen, n)
 		for k := 0; k < kt; k++ {
-			sums[k] = sweepColumn(f, a, b, &src, k*mc, min(mc, n-k*mc), nu)
+			if sh != nil {
+				sums[k] = sweepColumn32(f, sh, a, b, &src, k*mc, min(mc, n-k*mc), nu)
+			} else {
+				sums[k] = sweepColumn(f, a, b, &src, k*mc, min(mc, n-k*mc), nu)
+			}
 		}
 		src.release()
 	} else {
 		//repro:alloc-ok task fan-out closes over the column index; the warm batched path runs inline
-		runColumnTasks(rt, f, a, b, gen, sums, n, mc, nu)
+		runColumnTasks(rt, f, sh, a, b, gen, sums, n, mc, nu)
 	}
 	sum := 0.0
 	for _, v := range sums {
@@ -177,14 +195,18 @@ func runReplicate(rt *taskrt.Runtime, f Factor, a, b []float64, gen qmc.Generato
 }
 
 // runColumnTasks fans the sample-tile columns out as one task each in their
-// own runtime group (the block source is read-only across them).
-func runColumnTasks(rt *taskrt.Runtime, f Factor, a, b []float64, gen qmc.Generator, sums []float64, n, mc int, nu float64) {
+// own runtime group (the block source and shadow are read-only across them).
+func runColumnTasks(rt *taskrt.Runtime, f Factor, sh *ShadowF32, a, b []float64, gen qmc.Generator, sums []float64, n, mc int, nu float64) {
 	src := newBlockSource(gen, n)
 	g := rt.NewGroup()
 	for k := range sums {
 		k := k
 		g.Submit("qmc", 0, func() {
-			sums[k] = sweepColumn(f, a, b, &src, k*mc, min(mc, n-k*mc), nu)
+			if sh != nil {
+				sums[k] = sweepColumn32(f, sh, a, b, &src, k*mc, min(mc, n-k*mc), nu)
+			} else {
+				sums[k] = sweepColumn(f, a, b, &src, k*mc, min(mc, n-k*mc), nu)
+			}
 		})
 	}
 	g.Wait()

@@ -1,0 +1,139 @@
+package mvn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cov"
+	"repro/internal/geo"
+	"repro/internal/taskrt"
+	"repro/internal/tlr"
+)
+
+// TestPMVNSweepF32MatchesF64 is the accuracy property for the f32 sweep:
+// with the conditioning state in float32 (the probability accumulation stays
+// f64), the estimate must land within the QMC error bar of the f64 sweep on
+// the same randomized points — the per-step rounding of order 2⁻²⁴ is far
+// below the QMC sampling error at any practical N. Covers dense and TLR
+// factors across the three query regimes.
+func TestPMVNSweepF32MatchesF64(t *testing.T) {
+	g := geo.RegularGrid(8, 8)
+	k := &cov.Exponential{Sigma2: 1, Range: 0.15}
+	sigma := cov.Matrix(g, k)
+	n := 64
+	rt := taskrt.New(4)
+	defer rt.Shutdown()
+
+	tl := tlr.BuildFromKernel(g, k, 16, 1e-7, 0)
+	if err := tlr.Potrf(rt, tl); err != nil {
+		t.Fatal(err)
+	}
+	factors := map[string]Factor{
+		"dense": newDenseFactor(t, sigma, 16),
+		"tlr":   NewTLRFactor(tl),
+	}
+
+	regimes := []struct {
+		name string
+		a, b float64 // broadcast limits; ±Inf allowed
+	}{
+		{"orthant", math.Inf(-1), 0.8},
+		{"excursion", -0.3, math.Inf(1)},
+		{"wide", -1.5, 2.0},
+	}
+	for fname, f := range factors {
+		for _, rg := range regimes {
+			a := make([]float64, n)
+			b := make([]float64, n)
+			for i := range a {
+				a[i], b[i] = rg.a, rg.b
+			}
+			opt := Options{N: 2000, Replicates: 4}
+			r64 := PMVN(rt, f, a, b, opt)
+			opt.SweepF32 = true
+			r32 := PMVN(rt, f, a, b, opt)
+			bar := 4*(r32.StdErr+r64.StdErr) + 1e-4*r64.Prob + 1e-9
+			if d := math.Abs(r32.Prob - r64.Prob); d > bar {
+				t.Errorf("%s/%s: f32 %v vs f64 %v differ by %v > error bar %v",
+					fname, rg.name, r32.Prob, r64.Prob, d, bar)
+			}
+			if r32.StdErr <= 0 {
+				t.Errorf("%s/%s: f32 sweep reported non-positive stderr %v",
+					fname, rg.name, r32.StdErr)
+			}
+		}
+	}
+}
+
+// TestPMVTSweepF32MatchesF64 repeats the accuracy property on the Student-t
+// path: the chi-scale applied to the limits runs in f64, only the
+// conditioning sweep narrows.
+func TestPMVTSweepF32MatchesF64(t *testing.T) {
+	g := geo.RegularGrid(6, 6)
+	k := &cov.Exponential{Sigma2: 1, Range: 0.2}
+	sigma := cov.Matrix(g, k)
+	n := 36
+	f := newDenseFactor(t, sigma, 9)
+	rt := taskrt.New(2)
+	defer rt.Shutdown()
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i], b[i] = -0.5, 1.5
+	}
+	opt := Options{N: 2000, Replicates: 4}
+	r64 := PMVT(rt, f, a, b, 7, opt)
+	opt.SweepF32 = true
+	r32 := PMVT(rt, f, a, b, 7, opt)
+	bar := 4*(r32.StdErr+r64.StdErr) + 1e-4*r64.Prob + 1e-9
+	if d := math.Abs(r32.Prob - r64.Prob); d > bar {
+		t.Errorf("mvt: f32 %v vs f64 %v differ by %v > error bar %v",
+			r32.Prob, r64.Prob, d, bar)
+	}
+}
+
+// TestPMVNSweepF32Deterministic pins that the f32 sweep, like the f64 one,
+// is bit-deterministic across worker counts.
+func TestPMVNSweepF32Deterministic(t *testing.T) {
+	g := geo.RegularGrid(5, 5)
+	sigma := cov.Matrix(g, &cov.Exponential{Sigma2: 1, Range: 0.2})
+	a := make([]float64, 25)
+	b := make([]float64, 25)
+	for i := range a {
+		a[i], b[i] = -0.5, 2
+	}
+	var ref float64
+	for i, w := range []int{1, 4} {
+		f := newDenseFactor(t, sigma, 5)
+		rt := taskrt.New(w)
+		res := PMVN(rt, f, a, b, Options{N: 300, SweepF32: true})
+		rt.Shutdown()
+		if i == 0 {
+			ref = res.Prob
+		} else if res.Prob != ref {
+			t.Errorf("worker count changed f32 result: %v vs %v", res.Prob, ref)
+		}
+	}
+}
+
+// TestPMVNSweepF32EmptyAndOpenBoxes pins the degenerate-box semantics on the
+// f32 path: fully open boxes give exactly 1, empty boxes exactly 0.
+func TestPMVNSweepF32EmptyAndOpenBoxes(t *testing.T) {
+	g := geo.RegularGrid(4, 4)
+	sigma := cov.Matrix(g, &cov.Exponential{Sigma2: 2, Range: 0.3})
+	f := newDenseFactor(t, sigma, 4)
+	rt := taskrt.New(2)
+	defer rt.Shutdown()
+	if res := PMVN(rt, f, negInf(16), posInf(16), Options{N: 50, SweepF32: true}); res.Prob != 1 {
+		t.Errorf("open box f32 prob = %v, want exactly 1", res.Prob)
+	}
+	a := make([]float64, 16)
+	b := make([]float64, 16)
+	for i := range a {
+		a[i], b[i] = -1, 1
+	}
+	a[3], b[3] = 2, 1 // a > b in one dimension empties the box
+	if res := PMVN(rt, f, a, b, Options{N: 50, SweepF32: true}); res.Prob != 0 {
+		t.Errorf("empty box f32 prob = %v, want exactly 0", res.Prob)
+	}
+}

@@ -42,6 +42,11 @@ type Request struct {
 	// Method optionally overrides the server's default factorization
 	// method: "dense", "tlr" or "adaptive" ("" = server default).
 	Method string
+	// Sweep selects the QMC sweep precision: "f32" runs the conditioning
+	// state in float32 (faster, accuracy within the QMC error bar), "f64"
+	// or "" the default double-precision sweep. The cached factor is shared
+	// across both.
+	Sweep string
 }
 
 // Response is the wire result of one query.
@@ -50,6 +55,9 @@ type Response struct {
 	StdErr float64 `json:"stderr"`
 	N      int     `json:"n"`
 	Method string  `json:"method"`
+	// Sweep echoes the sweep precision the query ran with ("f32"; omitted
+	// for the default f64 sweep).
+	Sweep string `json:"sweep,omitempty"`
 	// Coalesced reports that this request joined an in-flight
 	// factorization or batch instead of starting its own.
 	Coalesced bool    `json:"coalesced,omitempty"`
@@ -95,7 +103,8 @@ type wireGrid struct {
 //	  "b": [1.0, null, …],              // per-dimension upper limits, null = +Inf
 //	  "lower": -0.5, "upper": 1.0,      // or broadcast scalars instead of a/b
 //	  "nu": 7,                          // mvtprob only: degrees of freedom
-//	  "method": "tlr"                   // optional: dense | tlr | adaptive
+//	  "method": "tlr",                  // optional: dense | tlr | adaptive
+//	  "sweep": "f32"                    // optional: f64 (default) | f32
 //	}
 type wireRequest struct {
 	Locs   [][]float64 `json:"locs"`
@@ -107,6 +116,7 @@ type wireRequest struct {
 	Upper  *float64    `json:"upper"`
 	Nu     float64     `json:"nu"`
 	Method string      `json:"method"`
+	Sweep  string      `json:"sweep"`
 }
 
 // DecodeRequest parses and structurally validates one JSON request body.
@@ -128,7 +138,10 @@ func DecodeRequest(data []byte, lim Limits) (*Request, error) {
 		return nil, badReq("body", "%v", err)
 	}
 
-	req := &Request{Nu: w.Nu, Method: w.Method}
+	req := &Request{Nu: w.Nu, Method: w.Method, Sweep: w.Sweep}
+	if err := validSweep(req.Sweep); err != nil {
+		return nil, err
+	}
 	switch {
 	case w.Grid != nil && len(w.Locs) > 0:
 		return nil, badReq("grid", "locs and grid are mutually exclusive")
@@ -220,3 +233,14 @@ func limitVector(field string, arr []*float64, scalar *float64, n int, open floa
 }
 
 func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// validSweep accepts the sweep-precision selector: "" (default f64), "f64"
+// or "f32". Shared by DecodeRequest and Server.do so in-process callers get
+// identical treatment.
+func validSweep(s string) error {
+	switch s {
+	case "", "f64", "f32":
+		return nil
+	}
+	return badReq("sweep", "unknown sweep %q (want f64 or f32)", s)
+}

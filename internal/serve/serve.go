@@ -126,15 +126,18 @@ type shard struct {
 type sessionKey struct {
 	method parmvn.Method
 	tile   int
+	f32    bool
 }
 
 // flightKey identifies one coalescible stream of queries: one factorization
 // problem and, for Student-t, one ν (MVN and MVT flights for the same
 // problem share the cached factor, but their queries cannot share one batch
-// call).
+// call). Sweep precision is part of the key too: f32 and f64 queries run on
+// different pooled sessions, though they still share the cached factor.
 type flightKey struct {
-	pk parmvn.ProblemKey
-	nu float64
+	pk  parmvn.ProblemKey
+	nu  float64
+	f32 bool
 }
 
 // New starts a server. It owns the Sessions it creates; Close releases them.
@@ -206,20 +209,27 @@ func tileFor(n, base int) int {
 // sessionConfig is the exact parmvn.Config the pooled session for (method,
 // n) is built from — and therefore also the config whose ProblemKey routes
 // the request, keeping routing and caching definitionally consistent.
-func (s *Server) sessionConfig(method parmvn.Method, n int) parmvn.Config {
+func (s *Server) sessionConfig(method parmvn.Method, n int, sweepF32 bool) parmvn.Config {
 	cfg := s.cfg.Session
 	cfg.Method = method
 	cfg.TileSize = tileFor(n, s.baseTile())
+	cfg.SweepF32 = sweepF32
 	return cfg
 }
 
 // session returns the shard's session for cfg, creating it on first use.
 func (sh *shard) session(cfg parmvn.Config) *parmvn.Session {
-	k := sessionKey{method: cfg.Method, tile: cfg.TileSize}
+	k := sessionKey{method: cfg.Method, tile: cfg.TileSize, f32: cfg.SweepF32}
 	sh.mu.Lock()
 	sess, ok := sh.sessions[k]
 	if !ok {
 		sess = parmvn.NewSession(cfg)
+		// The f32 and f64 sweeps of one (method, tile) differ only in
+		// query-time precision; the Cholesky factor is identical (sweep is
+		// outside the factor key), so twin sessions share one cache.
+		if twin, ok := sh.sessions[sessionKey{method: k.method, tile: k.tile, f32: !k.f32}]; ok {
+			sess.ShareCache(twin)
+		}
 		sh.sessions[k] = sess
 	}
 	sh.mu.Unlock()
@@ -280,6 +290,10 @@ func (s *Server) do(ctx context.Context, req *Request) (*Response, error) {
 	} else {
 		s.ctr.mvn.Add(1)
 	}
+	if err := validSweep(req.Sweep); err != nil {
+		return nil, err
+	}
+	sweepF32 := req.Sweep == "f32"
 	if err := req.Kernel.Validate(); err != nil {
 		return nil, badReq("kernel", "%v", err)
 	}
@@ -290,16 +304,20 @@ func (s *Server) do(ctx context.Context, req *Request) (*Response, error) {
 		// The box is empty: the probability is exactly 0 and the engine
 		// would never touch the factor, so don't spend a flight — or, on a
 		// cold key, a factorization slot — on it either.
-		return &Response{Prob: 0, N: n, Method: method.String()}, nil
+		resp := &Response{Prob: 0, N: n, Method: method.String()}
+		if sweepF32 {
+			resp.Sweep = "f32"
+		}
+		return resp, nil
 	}
 
-	cfg := s.sessionConfig(method, n)
+	cfg := s.sessionConfig(method, n, sweepF32)
 	pk, err := cfg.ProblemKey(req.Locs, req.Kernel)
 	if err != nil {
 		return nil, badReq("kernel", "%v", err)
 	}
 	sh := s.shards[pk.Hash()%uint64(len(s.shards))]
-	ch, coalesced := sh.enqueue(flightKey{pk: pk, nu: req.Nu}, pk, cfg, req)
+	ch, coalesced := sh.enqueue(flightKey{pk: pk, nu: req.Nu, f32: sweepF32}, pk, cfg, req)
 	if coalesced {
 		s.ctr.coalesced.Add(1)
 	}
@@ -308,10 +326,14 @@ func (s *Server) do(ctx context.Context, req *Request) (*Response, error) {
 		if r.err != nil {
 			return nil, r.err
 		}
-		return &Response{
+		resp := &Response{
 			Prob: r.res.Prob, StdErr: r.res.StdErr,
 			N: n, Method: method.String(), Coalesced: coalesced,
-		}, nil
+		}
+		if sweepF32 {
+			resp.Sweep = "f32"
+		}
+		return resp, nil
 	case <-ctx.Done():
 		// The flight still computes and delivers into the buffered channel;
 		// only this caller stops waiting.

@@ -97,7 +97,7 @@ func TestServeMatchesSession(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", method, err)
 		}
-		cfg := srv.sessionConfig(mustMethod(t, method), len(req.Locs))
+		cfg := srv.sessionConfig(mustMethod(t, method), len(req.Locs), false)
 		sess := parmvn.NewSession(cfg)
 		want, err := sess.MVNProb(req.Locs, req.Kernel, req.A, req.B)
 		sess.Close()
@@ -127,6 +127,66 @@ func TestServeMatchesSession(t *testing.T) {
 	}
 }
 
+// TestServeSweepF32 pins the f32 sweep path through the serving layer: the
+// response echoes the sweep it ran with, the result stays within the QMC
+// error bar of the f64 sweep, and both precisions share one cached factor
+// (sweep is excluded from the factor key; only the pooled sessions differ).
+func TestServeSweepF32(t *testing.T) {
+	srv := New(testConfig())
+	defer srv.Close()
+	ctx := context.Background()
+
+	r64, err := srv.Do(ctx, testRequest(6, 0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r64.Sweep != "" {
+		t.Fatalf("f64 sweep echo = %q, want empty", r64.Sweep)
+	}
+
+	req := testRequest(6, 0.2)
+	req.Sweep = "f32"
+	r32, err := srv.Do(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r32.Sweep != "f32" {
+		t.Fatalf("f32 sweep echo = %q, want %q", r32.Sweep, "f32")
+	}
+	if math.Abs(r32.Prob-r64.Prob) > 1e-3+3*(r32.StdErr+r64.StdErr) {
+		t.Fatalf("f32 prob %g vs f64 %g beyond error bar (stderr %g/%g)",
+			r32.Prob, r64.Prob, r32.StdErr, r64.StdErr)
+	}
+	if st := srv.Snapshot(); st.Factorizations != 1 {
+		t.Fatalf("factorizations = %d, want 1 (f32 and f64 share the cached factor)",
+			st.Factorizations)
+	}
+
+	// The explicit "f64" spelling is accepted and equals the default.
+	req64 := testRequest(6, 0.2)
+	req64.Sweep = "f64"
+	rExp, err := srv.Do(ctx, req64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rExp.Prob != r64.Prob {
+		t.Fatalf(`sweep "f64" prob %g != default prob %g`, rExp.Prob, r64.Prob)
+	}
+
+	// Wire-level: the sweep field decodes and bad values are rejected.
+	body := []byte(`{"grid":{"nx":3,"ny":3},"kernel":{"family":"exponential","range":0.2},"lower":-1,"sweep":"f32"}`)
+	dec, err := DecodeRequest(body, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Sweep != "f32" {
+		t.Fatalf("decoded sweep = %q, want %q", dec.Sweep, "f32")
+	}
+	if _, err := DecodeRequest([]byte(`{"grid":{"nx":3,"ny":3},"kernel":{"family":"exponential","range":0.2},"sweep":"half"}`), Limits{}); err == nil {
+		t.Fatal("bad sweep value decoded without error")
+	}
+}
+
 func mustMethod(t *testing.T, s string) parmvn.Method {
 	t.Helper()
 	m, err := parseMethod(s, parmvn.Dense)
@@ -151,6 +211,7 @@ func TestServeValidation(t *testing.T) {
 		{"short a", func(r *Request) { r.A = r.A[:3] }, "limits"},
 		{"nan limit", func(r *Request) { r.B[2] = math.NaN() }, "limits"},
 		{"bad method", func(r *Request) { r.Method = "sparse" }, "method"},
+		{"bad sweep", func(r *Request) { r.Sweep = "f16" }, "sweep"},
 		{"bad nu", func(r *Request) { r.Nu = -2 }, "nu"},
 		{"huge", func(r *Request) { r.Locs = parmvn.Grid(200, 200) }, "locs"},
 	}

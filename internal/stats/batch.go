@@ -5,28 +5,128 @@ import "math"
 // Batched special functions for the chain-blocked SOV kernel: the QMC
 // integration applies Φ, Φ⁻¹ and the interval probability to a whole lane
 // block of chains at once, so the batch forms take contiguous slices and
-// keep the inner loops branch-light. Every batch function computes exactly
-// the same expressions as its scalar counterpart — results are bit-identical,
-// which the property tests in batch_test.go pin — so callers can mix scalar
-// and batched evaluation freely.
+// keep the inner loops branch-light.
+//
+// On amd64 hosts with AVX2+FMA the batch forms dispatch to the 4-lane vector
+// kernels in spec_amd64.s (kill-switch: REPRO_NOASM, see spec_amd64.go); the
+// scalar loops below remain the portable fallback and the reference the
+// property/fuzz tests in batch_test.go compare against. The vector erfc
+// re-evaluates the FDLIBM rationals branch-free with a single-split
+// exponential, so results are NOT bit-identical to math.Erfc; agreement is
+// bounded by the documented tolerances:
+//
+//	ErfcVecMaxRel   relative error of the vector erfc (and everything built
+//	                on it: PhiBatch, PhiIntervalBatch, PhiIntervalPhiBatch)
+//	                against the scalar forms, for results ≥ ErfcVecTinyAbs.
+//	ErfcVecTinyAbs  absolute error floor for near-underflow tails: the
+//	                vector exp clamps its argument at −708, so erfc results
+//	                below ~1e-305 can be inflated up to ~1.3e-309 absolute
+//	                (DBL_MIN/|x|) instead of rounding to subnormals/zero.
+//	PhiInvVecMaxRel relative error of the vector Φ⁻¹ central rational (FMA
+//	                contraction only; same AS241 coefficients).
+//
+// The fix-up semantics (dead lanes, empty intervals, tail clamps, NaN and
+// ±Inf handling) are identical on both paths, which the fuzz targets pin.
+const (
+	ErfcVecMaxRel   = 5e-13
+	ErfcVecTinyAbs  = 1e-305
+	PhiInvVecMaxRel = 1e-13
+)
+
+// erfcArgs is the shared argument preparation of the interval forms: both
+// scalar and vector paths scale the limits onto the erfc axis exactly once,
+// through this helper, so their branch selections agree bit-for-bit
+// (negating a scaled limit is exact, so ±a/√2 and ±b/√2 all derive from one
+// division each).
+//repro:noalloc
+func erfcArgs(a, b float64) (sa, sb float64) {
+	return a / Sqrt2, b / Sqrt2
+}
 
 // PhiBatch fills dst[i] = Phi(x[i]). x and dst must have equal length and may
 // alias.
 //repro:noalloc
 func PhiBatch(x, dst []float64) {
 	dst = dst[:len(x)]
+	if hasVecSpecials && len(x) >= 4 {
+		erfcVec(x, dst, -1/Sqrt2, 0.5)
+		return
+	}
+	phiBatchScalar(x, dst)
+}
+
+//repro:noalloc
+func phiBatchScalar(x, dst []float64) {
 	for i, v := range x {
 		dst[i] = 0.5 * math.Erfc(-v/Sqrt2)
 	}
 }
 
+// ErfcBatch fills dst[i] = erfc(x[i]); the raw batched complementary error
+// function behind the Φ forms, exported for callers that work on the erfc
+// axis directly. x and dst must have equal length and may alias.
+//repro:noalloc
+func ErfcBatch(x, dst []float64) {
+	dst = dst[:len(x)]
+	if hasVecSpecials && len(x) >= 4 {
+		erfcVec(x, dst, 1, 1)
+		return
+	}
+	for i, v := range x {
+		dst[i] = math.Erfc(v)
+	}
+}
+
+// specChunk is the lane-block granularity of PhiIntervalBatch's vector path:
+// one stack-resident scratch vector of this length holds the second erfc
+// stream, so the batch stays allocation-free at any input length.
+const specChunk = 128
+
 // PhiIntervalBatch fills dst[i] = PhiInterval(a[i], b[i]), the tail-stable
 // interval probability per lane. The slices must have equal length; dst may
-// alias a or b.
+// alias a or b (aliased calls take the scalar path).
 //repro:noalloc
 func PhiIntervalBatch(a, b, dst []float64) {
 	dst = dst[:len(a)]
 	b = b[:len(a)]
+	if !hasVecSpecials || len(a) < 4 || &dst[0] == &a[0] || &dst[0] == &b[0] {
+		phiIntervalBatchScalar(a, b, dst)
+		return
+	}
+	var e1 [specChunk]float64
+	for o := 0; o < len(a); o += specChunk {
+		m := len(a) - o
+		if m > specChunk {
+			m = specChunk
+		}
+		ac, bc, dc := a[o:o+m], b[o:o+m], dst[o:o+m]
+		for i, ai := range ac {
+			sa, sb := erfcArgs(ai, bc[i])
+			if ai >= 0 {
+				e1[i], dc[i] = sa, sb
+			} else {
+				e1[i], dc[i] = -sa, -sb
+			}
+		}
+		erfcVec(e1[:m], e1[:m], 1, 0.5)
+		erfcVec(dc, dc, 1, 0.5)
+		for i, ai := range ac {
+			switch {
+			case bc[i] <= ai:
+				dc[i] = 0
+			case ai >= 0: // right tail / half-open: Φ(b)−Φ(a) on the a-side
+				dc[i] = e1[i] - dc[i]
+			case ai < 0: // left tail / straddle, mirrored
+				dc[i] = dc[i] - e1[i]
+			default: // a is NaN
+				dc[i] = math.NaN()
+			}
+		}
+	}
+}
+
+//repro:noalloc
+func phiIntervalBatchScalar(a, b, dst []float64) {
 	for i, ai := range a {
 		dst[i] = PhiInterval(ai, b[i])
 	}
@@ -40,41 +140,80 @@ func PhiIntervalBatch(a, b, dst []float64) {
 // interval (a, +∞) with a ≥ 0, da = 1 − dif (one erfc instead of two,
 // within one ulp of Phi(a)); and when dif ≤ 0, da is 0 and must not be used
 // (the chain is dead and the step never forms u). The scalar chainStep and
-// the batched kernel both evaluate through this function, so their values
-// agree exactly.
+// the batched kernel's scalar fallback both evaluate through this function;
+// the vector path agrees within ErfcVecMaxRel.
 //repro:noalloc
 func PhiIntervalAndPhi(a, b float64) (dif, da float64) {
-	switch {
-	case b <= a:
+	if b <= a {
 		return 0, 0
+	}
+	sa, sb := erfcArgs(a, b)
+	switch {
 	case math.IsInf(b, 1):
 		// Half-open exceedance interval — the excursion/prefix query shape:
 		// one tail erfc serves both quantities.
 		if a >= 0 {
-			dif = 0.5 * math.Erfc(a/Sqrt2)
+			dif = 0.5 * math.Erfc(sa)
 			return dif, 1 - dif
 		}
-		da = 0.5 * math.Erfc(-a/Sqrt2)
+		da = 0.5 * math.Erfc(-sa)
 		return 1 - da, da
 	case a >= 0: // right tail
-		return 0.5 * (math.Erfc(a/Sqrt2) - math.Erfc(b/Sqrt2)), 0.5 * math.Erfc(-a/Sqrt2)
+		return 0.5 * (math.Erfc(sa) - math.Erfc(sb)), 0.5 * math.Erfc(-sa)
 	case b <= 0: // left tail: Φ(a) shares the interval's erfc(−a/√2)
-		ea := math.Erfc(-a / Sqrt2)
-		return 0.5 * (math.Erfc(-b/Sqrt2) - ea), 0.5 * ea
+		ea := math.Erfc(-sa)
+		return 0.5 * (math.Erfc(-sb) - ea), 0.5 * ea
 	default: // straddles zero
-		da = 0.5 * math.Erfc(-a/Sqrt2)
-		return 0.5*math.Erfc(-b/Sqrt2) - da, da
+		da = 0.5 * math.Erfc(-sa)
+		return 0.5*math.Erfc(-sb) - da, da
 	}
 }
 
 // PhiIntervalPhiBatch fills dif[i], da[i] = PhiIntervalAndPhi(a[i], b[i])
 // over contiguous lane vectors. Slices must have equal length; dif and da
-// may alias a or b.
+// may alias a or b (aliased calls take the scalar path — the vector path
+// stages its erfc streams in dif and da while it still needs a and b).
 //repro:noalloc
 func PhiIntervalPhiBatch(a, b, dif, da []float64) {
 	b = b[:len(a)]
 	dif = dif[:len(a)]
 	da = da[:len(a)]
+	if !hasVecSpecials || len(a) < 4 ||
+		&dif[0] == &a[0] || &dif[0] == &b[0] || &da[0] == &a[0] || &da[0] == &b[0] {
+		phiIntervalPhiBatchScalar(a, b, dif, da)
+		return
+	}
+	// e1 = ½erfc(|a|/√2) in dif, e2 = ½erfc(sign(a)·b/√2) in da: for a ≥ 0
+	// these are the right-tail pair (Φ(-a), Φ(-b)); for a < 0 the mirrored
+	// left-tail pair (Φ(a), Φ(b)) — exactly the quantities every branch of
+	// PhiIntervalAndPhi combines.
+	for i, ai := range a {
+		sa, sb := erfcArgs(ai, b[i])
+		if ai >= 0 {
+			dif[i], da[i] = sa, sb
+		} else {
+			dif[i], da[i] = -sa, -sb
+		}
+	}
+	erfcVec(dif, dif, 1, 0.5)
+	erfcVec(da, da, 1, 0.5)
+	for i, ai := range a {
+		e1, e2 := dif[i], da[i]
+		switch {
+		case b[i] <= ai:
+			dif[i], da[i] = 0, 0
+		case ai >= 0:
+			dif[i], da[i] = e1-e2, 1-e1
+		case ai < 0:
+			dif[i], da[i] = e2-e1, e1
+		default: // a is NaN
+			dif[i], da[i] = math.NaN(), math.NaN()
+		}
+	}
+}
+
+//repro:noalloc
+func phiIntervalPhiBatchScalar(a, b, dif, da []float64) {
 	for i, ai := range a {
 		dif[i], da[i] = PhiIntervalAndPhi(ai, b[i])
 	}
@@ -82,12 +221,30 @@ func PhiIntervalPhiBatch(a, b, dif, da []float64) {
 
 // PhiInvBatch fills dst[i] = PhiInv(p[i]). The central region
 // |p−1/2| ≤ 0.425 — the bulk of uniform QMC draws — is a single rational
-// polynomial evaluated in a branch-light pass; tails, endpoints and invalid
-// inputs fall back to the scalar PhiInv (NaN compares false, so it lands in
-// the fallback too). p and dst must have equal length and may alias.
+// polynomial, vectorized over all lanes with a scalar fix-up pass for tail,
+// endpoint and invalid lanes (NaN compares false, so it lands in the
+// fallback too). p and dst must have equal length and may alias (aliased
+// calls take the scalar path).
 //repro:noalloc
 func PhiInvBatch(p, dst []float64) {
 	dst = dst[:len(p)]
+	if !hasVecSpecials || len(p) < 4 || &dst[0] == &p[0] {
+		phiInvBatchScalar(p, dst)
+		return
+	}
+	n := len(p) &^ 3
+	phiInvCentralSimd(n, &p[0], &dst[0])
+	for i := 0; i < n; i++ {
+		q := p[i] - 0.5
+		if !(q >= -0.425 && q <= 0.425) {
+			dst[i] = PhiInv(p[i])
+		}
+	}
+	phiInvBatchScalar(p[n:], dst[n:])
+}
+
+//repro:noalloc
+func phiInvBatchScalar(p, dst []float64) {
 	for i, v := range p {
 		q := v - 0.5
 		if q >= -0.425 && q <= 0.425 {
@@ -97,4 +254,23 @@ func PhiInvBatch(p, dst []float64) {
 			dst[i] = PhiInv(v)
 		}
 	}
+}
+
+// erfcVec fills dst[i] = mulOut·erfc(mulIn·x[i]) with the vector kernel;
+// callers guarantee hasVecSpecials and len ≥ 1. Ragged tails shorter than a
+// lane block run through one extra vector iteration on a stack buffer, so
+// any length is allocation-free. x and dst may alias exactly.
+//repro:noalloc
+func erfcVec(x, dst []float64, mulIn, mulOut float64) {
+	n := len(x) &^ 3
+	if n > 0 {
+		erfcSimd(n, &x[0], &dst[0], mulIn, mulOut)
+	}
+	if n == len(x) {
+		return
+	}
+	var xs, ds [4]float64
+	copy(xs[:], x[n:])
+	erfcSimd(4, &xs[0], &ds[0], mulIn, mulOut)
+	copy(dst[n:], ds[:len(x)-n])
 }

@@ -1,0 +1,364 @@
+// AVX2+FMA batch special-function kernels (see spec_amd64.go for the Go
+// declarations and batch.go for the dispatchers).
+//
+// erfcSimd evaluates 4 lanes of erfc per iteration with the FDLIBM region
+// scheme (the same rational approximations math.Erfc uses), made branch-free
+// across lanes: the three region results are computed for every lane and
+// mask-blended. The central regions
+//
+//	|x| <  0.84375          erf  = x + x·pp(x²)/qq(x²)
+//	|x| ∈ [0.84375, 1.25)   erf  = erx + pa(|x|−1)/qa(|x|−1)
+//
+// combine into erfc = 1 − (erf ⊕ sign(x)), and the tail region
+//
+//	|x| ∈ [1.25, ∞)         erfc = exp(−x² − 0.5625 + R(1/x²)/S(1/x²))/|x|
+//
+// blends the ra/sa and rb/sb rationals BEFORE its single division and uses
+// one vector exp (FDLIBM splits the exponential in two to stay exact; the
+// single-split form costs ~x²·ε relative error, bounded by the documented
+// tolerance in batch.go). The exp argument is clamped at −708 so the 2^k
+// scale stays normal; erfc results below ~1e-305 may therefore be inflated
+// by up to ~1.3e-309 absolute (they underflow toward DBL_MIN/|x| instead of
+// true subnormal/zero). NaN lanes fall out of all region masks and inherit
+// the NaN the central polynomials propagate; ±Inf lanes ride the tail
+// region's exp(−Inf)/Inf → 0 and 2−0.
+//
+// The whole tail region is skipped (VMOVMSKPD) when no lane needs it — the
+// common case for the sweep's central conditioning values — saving the two
+// rationals, the divisions and the exp.
+//
+// specTab layout (Go side fills it; every constant replicated ×4 so FMA/cmp
+// memory operands broadcast for free):
+//
+//	idx  0 absMask   1 one      2 two      3 erx     4 0.84375  5 1.25
+//	     6 1/0.35    7..11 pp0..pp4       12..16 qq1..qq5
+//	    17..23 pa0..pa6                   24..29 qa1..qa6
+//	    30..37 ra0..ra7                   38..45 sa1..sa8
+//	    46..52 rb0..rb6                   53..59 sb1..sb7
+//	    60 log2e    61 ln2hi   62 ln2lo   63..67 expP1..expP5
+//	    68 2^52+1023  69 −708  70 0.5625  71 0.5    72 0.180625
+//	    73..80 ppnd16A[0..7]              81..87 ppnd16B[1..7]
+
+#include "textflag.h"
+
+#define C_ABS   0(R15)
+#define C_ONE   32(R15)
+#define C_TWO   64(R15)
+#define C_ERX   96(R15)
+#define C_T1    128(R15)
+#define C_T2    160(R15)
+#define C_TAB   192(R15)
+#define C_PP0   224(R15)
+#define C_PP1   256(R15)
+#define C_PP2   288(R15)
+#define C_PP3   320(R15)
+#define C_PP4   352(R15)
+#define C_QQ1   384(R15)
+#define C_QQ2   416(R15)
+#define C_QQ3   448(R15)
+#define C_QQ4   480(R15)
+#define C_QQ5   512(R15)
+#define C_PA0   544(R15)
+#define C_PA1   576(R15)
+#define C_PA2   608(R15)
+#define C_PA3   640(R15)
+#define C_PA4   672(R15)
+#define C_PA5   704(R15)
+#define C_PA6   736(R15)
+#define C_QA1   768(R15)
+#define C_QA2   800(R15)
+#define C_QA3   832(R15)
+#define C_QA4   864(R15)
+#define C_QA5   896(R15)
+#define C_QA6   928(R15)
+#define C_RA0   960(R15)
+#define C_RA1   992(R15)
+#define C_RA2   1024(R15)
+#define C_RA3   1056(R15)
+#define C_RA4   1088(R15)
+#define C_RA5   1120(R15)
+#define C_RA6   1152(R15)
+#define C_RA7   1184(R15)
+#define C_SA1   1216(R15)
+#define C_SA2   1248(R15)
+#define C_SA3   1280(R15)
+#define C_SA4   1312(R15)
+#define C_SA5   1344(R15)
+#define C_SA6   1376(R15)
+#define C_SA7   1408(R15)
+#define C_SA8   1440(R15)
+#define C_RB0   1472(R15)
+#define C_RB1   1504(R15)
+#define C_RB2   1536(R15)
+#define C_RB3   1568(R15)
+#define C_RB4   1600(R15)
+#define C_RB5   1632(R15)
+#define C_RB6   1664(R15)
+#define C_SB1   1696(R15)
+#define C_SB2   1728(R15)
+#define C_SB3   1760(R15)
+#define C_SB4   1792(R15)
+#define C_SB5   1824(R15)
+#define C_SB6   1856(R15)
+#define C_SB7   1888(R15)
+#define C_LOG2E 1920(R15)
+#define C_LN2HI 1952(R15)
+#define C_LN2LO 1984(R15)
+#define C_EP1   2016(R15)
+#define C_EP2   2048(R15)
+#define C_EP3   2080(R15)
+#define C_EP4   2112(R15)
+#define C_EP5   2144(R15)
+#define C_KBIAS 2176(R15)
+#define C_UFLOW 2208(R15)
+#define C_C5625 2240(R15)
+#define C_HALF  2272(R15)
+#define C_R018  2304(R15)
+#define C_A0    2336(R15)
+#define C_A1    2368(R15)
+#define C_A2    2400(R15)
+#define C_A3    2432(R15)
+#define C_A4    2464(R15)
+#define C_A5    2496(R15)
+#define C_A6    2528(R15)
+#define C_A7    2560(R15)
+#define C_B1    2592(R15)
+#define C_B2    2624(R15)
+#define C_B3    2656(R15)
+#define C_B4    2688(R15)
+#define C_B5    2720(R15)
+#define C_B6    2752(R15)
+#define C_B7    2784(R15)
+
+// func statsCPUHasAVX2FMA() bool
+TEXT ·statsCPUHasAVX2FMA(SB), NOSPLIT, $0-1
+	MOVQ $1, AX
+	XORQ CX, CX
+	CPUID
+	// Need FMA (CX bit 12) and OSXSAVE (CX bit 27).
+	MOVL CX, R8
+	ANDL $(1<<12 | 1<<27), R8
+	CMPL R8, $(1<<12 | 1<<27)
+	JNE  no
+	// OS must have enabled XMM+YMM state (XCR0 bits 1 and 2).
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  no
+	// AVX2: leaf 7 subleaf 0, BX bit 5.
+	MOVQ $7, AX
+	XORQ CX, CX
+	CPUID
+	ANDL $(1<<5), BX
+	JZ   no
+	MOVB $1, ret+0(FP)
+	RET
+no:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func erfcSimd(n int, x, dst *float64, mulIn, mulOut float64)
+//
+// dst[i] = mulOut·erfc(mulIn·x[i]) for i < n; n must be a positive multiple
+// of 4. x and dst may alias exactly (each block is fully loaded before its
+// store).
+TEXT ·erfcSimd(SB), NOSPLIT, $0-40
+	MOVQ n+0(FP), CX
+	MOVQ x+8(FP), SI
+	MOVQ dst+16(FP), DI
+	MOVQ $·specTab(SB), R15
+	VBROADCASTSD mulIn+24(FP), Y14
+	VBROADCASTSD mulOut+32(FP), Y13
+
+eloop:
+	VMOVUPD (SI), Y0
+	VMULPD  Y14, Y0, Y0            // x ← mulIn·x
+	VANDPD  C_ABS, Y0, Y1          // t = |x|
+
+	// Region masks.
+	VMOVUPD C_T1, Y2
+	VCMPPD  $1, Y2, Y1, Y2         // maskR1: t < 0.84375
+	VMOVUPD C_T2, Y3
+	VCMPPD  $13, Y3, Y1, Y3        // maskR3: t ≥ 1.25
+
+	// Regions 1+2: E = erf(t), then erfc = 1 − (E ⊕ sign(x)).
+	VMULPD  Y1, Y1, Y5             // z = t²
+	VMOVUPD C_PP4, Y6
+	VFMADD213PD C_PP3, Y5, Y6
+	VFMADD213PD C_PP2, Y5, Y6
+	VFMADD213PD C_PP1, Y5, Y6
+	VFMADD213PD C_PP0, Y5, Y6      // pp(z)
+	VMOVUPD C_QQ5, Y7
+	VFMADD213PD C_QQ4, Y5, Y7
+	VFMADD213PD C_QQ3, Y5, Y7
+	VFMADD213PD C_QQ2, Y5, Y7
+	VFMADD213PD C_QQ1, Y5, Y7
+	VFMADD213PD C_ONE, Y5, Y7      // qq(z) = 1 + z·(…)
+	VDIVPD  Y7, Y6, Y6             // r = pp/qq
+	VFMADD213PD Y1, Y1, Y6         // E1 = t·r + t
+
+	VMOVUPD C_ONE, Y8
+	VSUBPD  Y8, Y1, Y5             // s = t − 1
+	VMOVUPD C_PA6, Y8
+	VFMADD213PD C_PA5, Y5, Y8
+	VFMADD213PD C_PA4, Y5, Y8
+	VFMADD213PD C_PA3, Y5, Y8
+	VFMADD213PD C_PA2, Y5, Y8
+	VFMADD213PD C_PA1, Y5, Y8
+	VFMADD213PD C_PA0, Y5, Y8      // pa(s)
+	VMOVUPD C_QA6, Y9
+	VFMADD213PD C_QA5, Y5, Y9
+	VFMADD213PD C_QA4, Y5, Y9
+	VFMADD213PD C_QA3, Y5, Y9
+	VFMADD213PD C_QA2, Y5, Y9
+	VFMADD213PD C_QA1, Y5, Y9
+	VFMADD213PD C_ONE, Y5, Y9      // qa(s) = 1 + s·(…)
+	VDIVPD  Y9, Y8, Y8
+	VADDPD  C_ERX, Y8, Y8          // E2 = erx + pa/qa
+
+	VBLENDVPD Y2, Y6, Y8, Y4       // E = maskR1 ? E1 : E2
+	VMOVUPD C_ABS, Y5
+	VANDNPD Y0, Y5, Y5             // sign bit of x
+	VXORPD  Y4, Y5, Y5             // ±E
+	VMOVUPD C_ONE, Y4
+	VSUBPD  Y5, Y4, Y4             // res12 = 1 − ±E
+
+	// Region 3, only when some lane has t ≥ 1.25.
+	VMOVMSKPD Y3, AX
+	TESTL   AX, AX
+	JE      eblend
+
+	VMULPD  Y1, Y1, Y5             // z = t²
+	VMOVUPD C_ONE, Y6
+	VDIVPD  Y5, Y6, Y6             // s = 1/t²
+	VMOVUPD C_RA7, Y7
+	VFMADD213PD C_RA6, Y6, Y7
+	VFMADD213PD C_RA5, Y6, Y7
+	VFMADD213PD C_RA4, Y6, Y7
+	VFMADD213PD C_RA3, Y6, Y7
+	VFMADD213PD C_RA2, Y6, Y7
+	VFMADD213PD C_RA1, Y6, Y7
+	VFMADD213PD C_RA0, Y6, Y7      // Ra(s)
+	VMOVUPD C_SA8, Y8
+	VFMADD213PD C_SA7, Y6, Y8
+	VFMADD213PD C_SA6, Y6, Y8
+	VFMADD213PD C_SA5, Y6, Y8
+	VFMADD213PD C_SA4, Y6, Y8
+	VFMADD213PD C_SA3, Y6, Y8
+	VFMADD213PD C_SA2, Y6, Y8
+	VFMADD213PD C_SA1, Y6, Y8
+	VFMADD213PD C_ONE, Y6, Y8      // Sa(s) = 1 + s·(…)
+	VMOVUPD C_RB6, Y9
+	VFMADD213PD C_RB5, Y6, Y9
+	VFMADD213PD C_RB4, Y6, Y9
+	VFMADD213PD C_RB3, Y6, Y9
+	VFMADD213PD C_RB2, Y6, Y9
+	VFMADD213PD C_RB1, Y6, Y9
+	VFMADD213PD C_RB0, Y6, Y9      // Rb(s)
+	VMOVUPD C_SB7, Y10
+	VFMADD213PD C_SB6, Y6, Y10
+	VFMADD213PD C_SB5, Y6, Y10
+	VFMADD213PD C_SB4, Y6, Y10
+	VFMADD213PD C_SB3, Y6, Y10
+	VFMADD213PD C_SB2, Y6, Y10
+	VFMADD213PD C_SB1, Y6, Y10
+	VFMADD213PD C_ONE, Y6, Y10     // Sb(s) = 1 + s·(…)
+	VMOVUPD C_TAB, Y11
+	VCMPPD  $1, Y11, Y1, Y11       // t < 1/0.35 → ra/sa, else rb/sb
+	VBLENDVPD Y11, Y7, Y9, Y7      // R
+	VBLENDVPD Y11, Y8, Y10, Y8     // S
+	VDIVPD  Y8, Y7, Y7             // R/S
+	VSUBPD  C_C5625, Y7, Y7
+	VSUBPD  Y5, Y7, Y7             // arg = R/S − 0.5625 − t²
+
+	// exp(arg) → Y7 (FDLIBM kernel, one split; arg clamped ≥ −708 so the
+	// 2^k scale stays a normal float).
+	VMAXPD  C_UFLOW, Y7, Y7
+	VMULPD  C_LOG2E, Y7, Y8
+	VROUNDPD $0, Y8, Y8            // k
+	VMOVAPD Y7, Y9
+	VFNMADD231PD C_LN2HI, Y8, Y9   // hi = arg − k·ln2hi
+	VMULPD  C_LN2LO, Y8, Y10       // lo = k·ln2lo
+	VSUBPD  Y10, Y9, Y11           // rr = hi − lo
+	VMULPD  Y11, Y11, Y12          // rr²
+	VMOVUPD C_EP5, Y7
+	VFMADD213PD C_EP4, Y12, Y7
+	VFMADD213PD C_EP3, Y12, Y7
+	VFMADD213PD C_EP2, Y12, Y7
+	VFMADD213PD C_EP1, Y12, Y7    // pe(rr²)
+	VMOVAPD Y11, Y5
+	VFNMADD231PD Y7, Y12, Y5      // c = rr − rr²·pe
+	VMOVUPD C_TWO, Y6
+	VSUBPD  Y5, Y6, Y6            // 2 − c
+	VMULPD  Y5, Y11, Y5           // rr·c
+	VDIVPD  Y6, Y5, Y5            // q = rr·c/(2−c)
+	VSUBPD  Y5, Y10, Y10          // lo − q
+	VSUBPD  Y9, Y10, Y10          // (lo−q) − hi
+	VMOVUPD C_ONE, Y9
+	VSUBPD  Y10, Y9, Y9           // y = 1 − ((lo−q) − hi)
+	VADDPD  C_KBIAS, Y8, Y8       // k + (2^52 + 1023)
+	VPSLLQ  $52, Y8, Y8           // 2^k bit pattern
+	VMULPD  Y8, Y9, Y7            // e = y·2^k
+
+	VDIVPD  Y1, Y7, Y7            // r3 = e/t
+	VXORPD  Y8, Y8, Y8
+	VCMPPD  $1, Y8, Y0, Y8        // x < 0
+	VMOVUPD C_TWO, Y9
+	VSUBPD  Y7, Y9, Y9            // 2 − r3
+	VBLENDVPD Y8, Y9, Y7, Y7      // res3
+	VBLENDVPD Y3, Y7, Y4, Y4      // res = maskR3 ? res3 : res12
+
+eblend:
+	VMULPD  Y13, Y4, Y4            // mulOut·erfc
+	VMOVUPD Y4, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	SUBQ    $4, CX
+	JG      eloop
+	VZEROUPPER
+	RET
+
+// func phiInvCentralSimd(n int, p, dst *float64)
+//
+// Evaluates the AS241 PPND16 central rational q·A(r)/B(r), q = p−½,
+// r = 0.180625−q², for EVERY lane — lanes outside |q| ≤ 0.425 produce
+// garbage the Go dispatcher overwrites with the scalar tail path. n must be
+// a positive multiple of 4; p and dst may alias exactly.
+TEXT ·phiInvCentralSimd(SB), NOSPLIT, $0-24
+	MOVQ n+0(FP), CX
+	MOVQ p+8(FP), SI
+	MOVQ dst+16(FP), DI
+	MOVQ $·specTab(SB), R15
+
+ploop:
+	VMOVUPD (SI), Y0
+	VSUBPD  C_HALF, Y0, Y0        // q = p − 0.5
+	VMULPD  Y0, Y0, Y1            // q²  (unfused, matching the scalar)
+	VMOVUPD C_R018, Y2
+	VSUBPD  Y1, Y2, Y1            // r = 0.180625 − q²
+	VMOVUPD C_A7, Y2
+	VFMADD213PD C_A6, Y1, Y2
+	VFMADD213PD C_A5, Y1, Y2
+	VFMADD213PD C_A4, Y1, Y2
+	VFMADD213PD C_A3, Y1, Y2
+	VFMADD213PD C_A2, Y1, Y2
+	VFMADD213PD C_A1, Y1, Y2
+	VFMADD213PD C_A0, Y1, Y2      // A(r)
+	VMOVUPD C_B7, Y3
+	VFMADD213PD C_B6, Y1, Y3
+	VFMADD213PD C_B5, Y1, Y3
+	VFMADD213PD C_B4, Y1, Y3
+	VFMADD213PD C_B3, Y1, Y3
+	VFMADD213PD C_B2, Y1, Y3
+	VFMADD213PD C_B1, Y1, Y3
+	VFMADD213PD C_ONE, Y1, Y3     // B(r), B[0] = 1
+	VMULPD  Y2, Y0, Y0            // q·A
+	VDIVPD  Y3, Y0, Y0
+	VMOVUPD Y0, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	SUBQ    $4, CX
+	JG      ploop
+	VZEROUPPER
+	RET

@@ -1,0 +1,18 @@
+//go:build !amd64
+
+package stats
+
+// hasVecSpecials is always false without the amd64 kernels: every batch
+// dispatcher takes its portable scalar path.
+var hasVecSpecials = false
+
+// The vector entry points are never reached when hasVecSpecials is false;
+// the stubs exist so the dispatchers compile on every platform.
+
+func erfcSimd(n int, x, dst *float64, mulIn, mulOut float64) {
+	panic("stats: erfcSimd without vector kernels")
+}
+
+func phiInvCentralSimd(n int, p, dst *float64) {
+	panic("stats: phiInvCentralSimd without vector kernels")
+}

@@ -37,3 +37,67 @@ func putVec32(v []float32) {
 	*p = v[:cap(v)]
 	f32Pool.Put(p)
 }
+
+// The exported pool mirrors linalg's float64 Get/Put API for the f32 sweep
+// (internal/mvn): pooled vectors, pooled Matrix32 headers, and full-height
+// column views that share the parent's storage. Same ownership rules as the
+// f64 pool: Put* only what the caller owns outright, never a view's data.
+
+// GetVec32 returns a pooled float32 slice of length n, contents UNDEFINED.
+func GetVec32(n int) []float32 { return getVec32(n) }
+
+// PutVec32 recycles a slice obtained from GetVec32.
+func PutVec32(v []float32) { putVec32(v) }
+
+// mat32HeaderPool recycles Matrix32 headers so pooled Get/Put cycles are
+// allocation-free on the warm path.
+var mat32HeaderPool = sync.Pool{New: func() any { return new(Matrix32) }}
+
+// GetMat32 returns a pooled r×c float32 matrix whose contents are UNDEFINED:
+// the caller's first operation must fully overwrite it (note Gemm32 only
+// accumulates — zero first or use GetMat32Zero).
+func GetMat32(r, c int) *Matrix32 {
+	m := mat32HeaderPool.Get().(*Matrix32)
+	m.Rows, m.Cols, m.Data = r, c, getVec32(r*c)
+	return m
+}
+
+// GetMat32Zero returns a pooled zeroed r×c float32 matrix.
+func GetMat32Zero(r, c int) *Matrix32 {
+	m := GetMat32(r, c)
+	clear(m.Data)
+	return m
+}
+
+// PutMat32 recycles a matrix obtained from GetMat32/GetMat32Zero (never a
+// view — see PutMat32View). The caller must drop its pointer.
+func PutMat32(m *Matrix32) {
+	if m == nil {
+		return
+	}
+	putVec32(m.Data)
+	m.Data = nil
+	mat32HeaderPool.Put(m)
+}
+
+// GetMat32View returns a pooled header for the full-height c-column span of
+// parent starting at column j, sharing parent's storage. Matrix32 carries no
+// stride, so only full-height column views exist. Return with PutMat32View.
+func GetMat32View(parent *Matrix32, j, c int) *Matrix32 {
+	if j < 0 || c < 0 || j+c > parent.Cols {
+		panic("tile: Matrix32 view out of range")
+	}
+	m := mat32HeaderPool.Get().(*Matrix32)
+	m.Rows, m.Cols, m.Data = parent.Rows, c, parent.Data[j*parent.Rows:(j+c)*parent.Rows]
+	return m
+}
+
+// PutMat32View recycles a header obtained from GetMat32View; the shared data
+// stays with the parent.
+func PutMat32View(m *Matrix32) {
+	if m == nil {
+		return
+	}
+	m.Data = nil
+	mat32HeaderPool.Put(m)
+}

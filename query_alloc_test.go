@@ -41,6 +41,38 @@ func TestWarmQueryZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestWarmQueryZeroAllocsSweepF32: the f32 sweep's shadow factor is built
+// lazily on the first query; once it exists, the warm path — one atomic
+// load plus the pooled f32 conditioning buffers — must also be
+// allocation-free.
+func TestWarmQueryZeroAllocsSweepF32(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops puts under the race detector")
+	}
+	s := NewSession(Config{Workers: 1, TileSize: 16, QMCSize: 200, SweepF32: true})
+	defer s.Close()
+	locs := Grid(8, 8)
+	n := len(locs)
+	kernel := KernelSpec{Family: "exponential", Range: 0.2}
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i] = -1
+		b[i] = math.Inf(1)
+	}
+	warm := func() {
+		if _, err := s.MVNProb(locs, kernel, a, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	warm() // factorize once and build the f32 shadow
+	warm() // settle the workspace pools
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	if allocs := testing.AllocsPerRun(20, warm); allocs != 0 {
+		t.Errorf("warm f32-sweep MVNProb allocated %.1f times per query, want 0", allocs)
+	}
+}
+
 // TestWarmMVTQueryZeroAllocs: the Student-t path shares the pooled sweep
 // (plus its per-lane χ² scales) and must stay allocation-free too.
 func TestWarmMVTQueryZeroAllocs(t *testing.T) {

@@ -24,14 +24,15 @@ cd "$(dirname "$0")/.."
 
 GOLDEN=scripts/golden/escape.golden
 
-# The certified warm path: the chain-blocked sweep, the packed BLAS-3
-# kernels, the batched special functions and the QMC block generators.
-# (The scalar fallbacks in sov.go ride along: chainStep is the sweep's
-# sparse path.)
-GATED='^internal/(mvn/(sweep|sov|pmvn)|linalg/(blocked|blas)|stats/(batch|phinv|stats)|qmc/qmc)\.go'
+# The certified warm path: the chain-blocked sweep (f64 and f32), the packed
+# BLAS-3 kernels (including the AVX2 dispatch shims), the batched special
+# functions with their vector backends, the f32 tile kernels and the QMC
+# block generators. (The scalar fallbacks in sov.go ride along: chainStep is
+# the sweep's sparse path.)
+GATED='^internal/(mvn/(sweep|sweep32|sov|pmvn)|linalg/(blocked|blas|kern_amd64)|stats/(batch|spec_amd64|phinv|stats)|tile/(f32|pool32)|qmc/qmc)\.go'
 
 current() {
-    go build -gcflags=-m ./internal/mvn ./internal/linalg ./internal/stats ./internal/qmc 2>&1 |
+    go build -gcflags=-m ./internal/mvn ./internal/linalg ./internal/stats ./internal/tile ./internal/qmc 2>&1 |
         grep -E '(escapes to heap|moved to heap)' |
         sed -E 's/^([^:]*):[0-9]+:[0-9]+: /\1: /' |
         grep -E "$GATED" |
