@@ -217,6 +217,17 @@ type Config struct {
 	// blocks', is at most this threshold (default 0.1), keeping the f32
 	// rounding commensurate with TLRTol.
 	AdaptiveF32Norm float64
+	// StreamWindow bounds the factorization task graph to roughly this many
+	// panels of submission lookahead when a factor is built directly from a
+	// kernel (streaming assembly): in-flight task descriptors stay
+	// O(StreamWindow·NT²) instead of O(NT³). 0 keeps the default (2);
+	// negative submits the whole graph eagerly (the pre-streaming behavior).
+	StreamWindow int
+	// NoEviction disables right-looking compression eviction for
+	// kernel-built TLR/adaptive factors: by default a trailing dense tile is
+	// compressed to low rank at TLRTol as soon as its last Schur update
+	// lands, shrinking the live footprint at large n.
+	NoEviction bool
 	// CollectStats attaches a snapshot of the runtime scheduler statistics
 	// (tasks executed per kind, peak ready-queue depth) to each Result.
 	CollectStats bool
@@ -257,6 +268,12 @@ func (c Config) withDefaults() Config {
 		c.FactorCacheCap = 8
 	case c.FactorCacheCap < 0:
 		c.FactorCacheCap = 0 // unbounded
+	}
+	switch {
+	case c.StreamWindow == 0:
+		c.StreamWindow = 2
+	case c.StreamWindow < 0:
+		c.StreamWindow = 0 // eager submission
 	}
 	// The engine's policy owns the adaptive defaults; Tol is already
 	// defaulted above through TLRTol.
@@ -387,51 +404,58 @@ func (s *Session) factorize(sigma *linalg.Matrix) (mvn.Factor, error) {
 }
 
 // factorizeKernel builds the Cholesky factor directly from a kernel over a
-// geometry, never materializing the dense covariance: dense tiles are
-// assembled blockwise in parallel (lower triangle only), the TLR layout via
-// parallel ACA (O(rank·ts) kernel evaluations per off-diagonal tile), and
-// the adaptive layout with ACA probes that double as the accepted low-rank
-// tiles. This is the cold-query hot path behind MVNProb/MVTProb.
+// geometry, never materializing the dense covariance: every tile is
+// assembled by its own task fused into the factorization graph
+// (engine.PotrfStream) in the representation the method's policy chooses —
+// dense blocks for the dense layout and the band, ACA low rank off the
+// band (O(rank·ts) kernel evaluations per tile), the adaptive f32/f64
+// fallback where probing rejects. Submission is windowed (StreamWindow) and
+// trailing TLR/adaptive tiles compress as soon as their last Schur update
+// lands (unless NoEviction), so the live footprint at large n is the dense
+// band plus the compressed factor. This is the cold-query hot path behind
+// MVNProb/MVTProb.
 func (s *Session) factorizeKernel(g *geo.Geom, k cov.Kernel) (mvn.Factor, error) {
 	grp := s.rt.NewGroup()
 	n := g.Len()
 	ts := s.cfg.TileSize
+	grid, err := engine.NewGridChecked(n, ts)
+	if err != nil {
+		return nil, err
+	}
+	cfg := engine.Config{
+		Tol:     s.cfg.TLRTol,
+		MaxRank: s.cfg.TLRMaxRank,
+		Band:    s.cfg.AdaptiveBand,
+		Evict:   !s.cfg.NoEviction,
+		Window:  s.cfg.StreamWindow,
+	}
+	var asm *engine.Assembler
 	switch s.cfg.Method {
 	case TLR:
-		a := tlr.BuildFromKernelACA(grp, g, k, ts, s.cfg.TLRTol, s.cfg.TLRMaxRank)
-		if err := tlr.Potrf(grp, a); err != nil {
-			return nil, err
-		}
-		return mvn.NewTLRFactor(a), nil
+		asm = tlr.KernelAssembler(grid, g, k, s.cfg.TLRTol, s.cfg.TLRMaxRank)
 	case MethodAdaptive:
-		entry := func(i, j int) float64 {
+		asm = s.policy().EntryAssembler(grid, func(i, j int) float64 {
 			if i == j {
 				return k.Cov(0)
 			}
 			return k.Cov(g.Dist(i, j))
-		}
-		grid := engine.AssembleAdaptiveEntry(grp, n, ts, entry, s.policy())
-		if err := engine.Potrf(grp, grid, engine.Config{Tol: s.cfg.TLRTol, MaxRank: s.cfg.TLRMaxRank}); err != nil {
-			return nil, err
-		}
-		return mvn.NewGridFactor(grid), nil
+		})
 	default:
-		t := tile.New(n, n, ts)
-		for ti := 0; ti < t.MT; ti++ {
-			for tj := 0; tj <= ti; tj++ {
-				dst := t.Tile(ti, tj)
-				row0, col0 := ti*ts, tj*ts
-				grp.Submit("assemble", 0, func() {
-					cov.Block(dst, g, k, row0, col0)
-				})
+		// The dense layout is the exact reference: no eviction, every tile
+		// evaluated densely (cov.Block semantics), factored by the same
+		// engine graph tiledalg routes through.
+		cfg.Evict = false
+		asm = engine.DenseEntryAssembler(grid, func(i, j int) float64 {
+			if i == j {
+				return k.Cov(0)
 			}
-		}
-		grp.Wait()
-		if err := tiledalg.Potrf(grp, t); err != nil {
-			return nil, err
-		}
-		return mvn.NewDenseFactor(t), nil
+			return k.Cov(g.Dist(i, j))
+		})
 	}
+	if err := engine.PotrfStream(grp, grid, cfg, asm); err != nil {
+		return nil, err
+	}
+	return mvn.NewGridFactor(grid), nil
 }
 
 // validateTileSize checks the configured tile size against the problem
@@ -528,6 +552,54 @@ func (s *Session) attachStats(r *Result) {
 		snap := s.rt.Snapshot()
 		r.Stats = &snap
 	}
+}
+
+// SchedulerStats snapshots the session runtime's cumulative scheduler
+// statistics: per-kind task counts and busy time, peak ready-queue depth,
+// peak in-flight task descriptors, and tasks executed by work stealing.
+func (s *Session) SchedulerStats() taskrt.Stats { return s.rt.Snapshot() }
+
+// FactorFootprint describes the memory shape of a cached Cholesky factor:
+// the per-representation tile counts and the payload bytes, before and
+// after right-looking eviction. It backs the mvnprob -scale driver and
+// capacity planning for the serving layer.
+type FactorFootprint struct {
+	// Dense64, Dense32 and LowRank count the factor's tiles by
+	// representation; MaxRank is the largest low-rank tile rank.
+	Dense64, Dense32, LowRank, MaxRank int
+	// Bytes is the factor's payload in its current representations.
+	Bytes int64
+	// BytesAssembled is the payload as assembled, before eviction
+	// compressed trailing tiles (Bytes plus the freed amount).
+	BytesAssembled int64
+	// TilesEvicted counts tiles eviction compressed during factorization.
+	TilesEvicted int
+}
+
+// FactorFootprint builds (or fetches from the session cache) the Cholesky
+// factor for the locations and kernel, and reports its representation mix
+// and payload bytes. Only kernel-built factors carry a tile grid; explicit
+// covariance factors are not inspectable this way.
+func (s *Session) FactorFootprint(locs []Point, kernel KernelSpec) (FactorFootprint, error) {
+	if err := s.validateTileSize(len(locs)); err != nil {
+		return FactorFootprint{}, err
+	}
+	f, err := s.factorForKernel(locs, kernel)
+	if err != nil {
+		return FactorFootprint{}, err
+	}
+	gf, ok := f.(*mvn.GridFactor)
+	if !ok {
+		return FactorFootprint{}, fmt.Errorf("parmvn: %s factor exposes no tile-grid footprint", s.cfg.Method)
+	}
+	mix := gf.G.Mix()
+	evicted, freed := gf.G.EvictStats()
+	b := gf.G.Bytes()
+	return FactorFootprint{
+		Dense64: mix.Dense64, Dense32: mix.Dense32,
+		LowRank: mix.LowRank, MaxRank: mix.MaxRank,
+		Bytes: b, BytesAssembled: b + freed, TilesEvicted: evicted,
+	}, nil
 }
 
 // Excursion is the output of confidence-region detection.

@@ -45,6 +45,8 @@ func printStats(res parmvn.Result) {
 	}
 	fmt.Printf("scheduler      %d tasks executed, peak ready-queue depth %d\n",
 		res.Stats.Total(), res.Stats.PeakReady)
+	fmt.Printf("               peak in-flight %d, %d tasks stolen\n",
+		res.Stats.PeakInflight, res.Stats.Stolen)
 	kinds := make([]string, 0, len(res.Stats.Tasks))
 	for k := range res.Stats.Tasks {
 		kinds = append(kinds, k)
@@ -61,6 +63,7 @@ func main() {
 	family := flag.String("kernel", "exponential", "kernel family: exponential, matern, powexp")
 	rng := flag.Float64("range", 0.1, "kernel range parameter")
 	nu := flag.Float64("nu", 1.5, "Matérn smoothness / powexp exponent")
+	nugget := flag.Float64("nugget", 0, "white-noise nugget τ² added to the kernel diagonal")
 	lower := flag.Float64("lower", -0.5, "common lower integration limit (upper is +Inf)")
 	upper := flag.Float64("upper", math.Inf(1), "common upper integration limit")
 	method := flag.String("method", "dense", "factorization: dense, tlr or adaptive")
@@ -77,6 +80,9 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile (taken after the run) to this file")
 	serveAddr := flag.String("serve", "", "serve HTTP/JSON queries on this address (same engine configuration) instead of computing one query")
 	sweep := flag.String("sweep", "f64", "QMC sweep precision: f64, or f32 for a float32 conditioning sweep (faster, accuracy within the QMC error bar)")
+	scalePath := flag.String("scale", "", "run the out-of-core scaling benchmark (streaming TLR factorize + warm query per size) and write JSON rows to this file")
+	scaleSizes := flag.String("scale-sizes", "10000,25000,50000", "comma-separated target dimensions for -scale (each rounded to a square grid)")
+	scaleTile := flag.Int("scale-tile", 512, "tile size for -scale runs")
 	flag.Parse()
 
 	sweepF32 := false
@@ -87,6 +93,14 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "mvnprob: unknown sweep %q (want f64 or f32)\n", *sweep)
 		os.Exit(2)
+	}
+
+	if *scalePath != "" {
+		if err := runScale(*scalePath, *scaleSizes, *scaleTile, *tol, *qmc, *reps, *workers, *rng, *family, *nu, *nugget, *lower); err != nil {
+			fmt.Fprintln(os.Stderr, "mvnprob:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *serveAddr != "" {
@@ -170,7 +184,7 @@ func main() {
 	}
 	locs := parmvn.Grid(*grid, *grid)
 	n := len(locs)
-	kernel := parmvn.KernelSpec{Family: *family, Range: *rng, Nu: *nu}
+	kernel := parmvn.KernelSpec{Family: *family, Range: *rng, Nu: *nu, Nugget: *nugget}
 	fmt.Printf("dimension      %d\n", n)
 	fmt.Printf("method         %s (tile %d)\n", m, ts)
 	if sweepF32 {

@@ -1,0 +1,237 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro"
+)
+
+// The -scale driver: for each target dimension it builds a fresh session,
+// streams the TLR factorization directly from the kernel (windowed
+// submission, right-looking eviction), runs one warm query against the
+// cached factor, and records wall times, peak memory (sampled Go heap and
+// OS RSS), the factor's representation mix and byte footprint before/after
+// eviction, and the scheduler counters. The rows are written as JSON —
+// BENCH_scale.json in the repository is produced by exactly this path.
+
+// scaleRow is one benchmark record.
+type scaleRow struct {
+	N        int     `json:"n"`
+	GridSide int     `json:"grid_side"`
+	TileSize int     `json:"tile_size"`
+	Method   string  `json:"method"`
+	Kernel   string  `json:"kernel"`
+	TLRTol   float64 `json:"tlr_tol"`
+	QMCSize  int     `json:"qmc_size"`
+	Workers  int     `json:"workers"`
+
+	FactorizeSec float64 `json:"factorize_sec"`
+	WarmQuerySec float64 `json:"warm_query_sec"`
+	Prob         float64 `json:"prob"`
+
+	PeakHeapAllocBytes uint64  `json:"peak_heap_alloc_bytes"`
+	PeakRSSBytes       uint64  `json:"peak_rss_bytes"`
+	DenseBytes         int64   `json:"dense_bytes"` // the 8·n² baseline
+	RSSFracOfDense     float64 `json:"rss_frac_of_dense"`
+
+	FactorBytes          int64 `json:"factor_bytes"`
+	FactorBytesAssembled int64 `json:"factor_bytes_assembled"`
+	TilesDense64         int   `json:"tiles_dense64"`
+	TilesDense32         int   `json:"tiles_dense32"`
+	TilesLowRank         int   `json:"tiles_lowrank"`
+	MaxRank              int   `json:"max_rank"`
+	TilesEvicted         int   `json:"tiles_evicted"`
+
+	TasksTotal   int `json:"tasks_total"`
+	PeakInflight int `json:"peak_inflight"`
+	Stolen       int `json:"stolen"`
+}
+
+// memSampler polls the Go heap and the OS resident set while a benchmark
+// phase runs, keeping the maxima. Peak capture by sampling slightly
+// underestimates short spikes; the checked-in numbers note the cadence.
+type memSampler struct {
+	stop     chan struct{}
+	done     chan struct{}
+	mu       sync.Mutex
+	peakHeap uint64
+	peakRSS  uint64
+}
+
+func startSampler() *memSampler {
+	s := &memSampler{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		tick := time.NewTicker(20 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			s.sample()
+			select {
+			case <-s.stop:
+				s.sample()
+				return
+			case <-tick.C:
+			}
+		}
+	}()
+	return s
+}
+
+func (s *memSampler) sample() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	rss := readVmRSS()
+	s.mu.Lock()
+	if ms.HeapAlloc > s.peakHeap {
+		s.peakHeap = ms.HeapAlloc
+	}
+	if rss > s.peakRSS {
+		s.peakRSS = rss
+	}
+	s.mu.Unlock()
+}
+
+// halt stops sampling and returns the peaks.
+func (s *memSampler) halt() (peakHeap, peakRSS uint64) {
+	close(s.stop)
+	<-s.done
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.peakHeap, s.peakRSS
+}
+
+// readVmRSS returns the current resident set in bytes from
+// /proc/self/status, or 0 where that interface does not exist.
+func readVmRSS() uint64 {
+	f, err := os.Open("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "VmRSS:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb * 1024
+	}
+	return 0
+}
+
+// runScale executes the scaling benchmark and writes the JSON rows to path.
+func runScale(path, sizes string, ts int, tol float64, qmc, reps, workers int, rng float64, family string, nu, nugget, lower float64) error {
+	var rows []scaleRow
+	for _, tok := range strings.Split(sizes, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		target, err := strconv.Atoi(tok)
+		if err != nil {
+			return fmt.Errorf("bad -scale-sizes entry %q: %w", tok, err)
+		}
+		row, err := runScaleOne(target, ts, tol, qmc, reps, workers, rng, family, nu, nugget, lower)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, row)
+	}
+	out := struct {
+		GOOS    string     `json:"goos"`
+		GOARCH  string     `json:"goarch"`
+		NumCPU  int        `json:"num_cpu"`
+		Sampler string     `json:"sampler"`
+		Rows    []scaleRow `json:"rows"`
+	}{
+		GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, NumCPU: runtime.NumCPU(),
+		Sampler: "runtime.MemStats.HeapAlloc + /proc/self/status VmRSS @ 20ms",
+		Rows:    rows,
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("scale          wrote %d rows to %s\n", len(rows), path)
+	return nil
+}
+
+// runScaleOne benchmarks one dimension with a fresh session so cache state,
+// pools and scheduler counters start cold.
+func runScaleOne(target, ts int, tol float64, qmc, reps, workers int, rng float64, family string, nu, nugget, lower float64) (scaleRow, error) {
+	side := int(math.Round(math.Sqrt(float64(target))))
+	locs := parmvn.Grid(side, side)
+	n := len(locs)
+	s := parmvn.NewSession(parmvn.Config{
+		Method: parmvn.TLR, Workers: workers, TileSize: ts,
+		TLRTol: tol, QMCSize: qmc, Replicates: reps,
+	})
+	defer s.Close()
+	kernel := parmvn.KernelSpec{Family: family, Range: rng, Nu: nu, Nugget: nugget}
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i] = lower
+		b[i] = math.Inf(1)
+	}
+
+	fmt.Printf("scale n=%d (grid %d², tile %d): factorizing...", n, side, ts)
+	runtime.GC()
+	sampler := startSampler()
+	t0 := time.Now()
+	fp, err := s.FactorFootprint(locs, kernel)
+	factorizeSec := time.Since(t0).Seconds()
+	if err != nil {
+		sampler.halt()
+		fmt.Println()
+		return scaleRow{}, fmt.Errorf("n=%d factorize: %w", n, err)
+	}
+	t0 = time.Now()
+	res, err := s.MVNProb(locs, kernel, a, b)
+	querySec := time.Since(t0).Seconds()
+	peakHeap, peakRSS := sampler.halt()
+	if err != nil {
+		fmt.Println()
+		return scaleRow{}, fmt.Errorf("n=%d query: %w", n, err)
+	}
+	stats := s.SchedulerStats()
+	denseBytes := 8 * int64(n) * int64(n)
+	row := scaleRow{
+		N: n, GridSide: side, TileSize: ts, Method: "tlr",
+		Kernel: fmt.Sprintf("%s nu=%g range=%g nugget=%g", family, nu, rng, nugget),
+		TLRTol: tol, QMCSize: qmc, Workers: s.Config().Workers,
+		FactorizeSec: factorizeSec, WarmQuerySec: querySec, Prob: res.Prob,
+		PeakHeapAllocBytes: peakHeap, PeakRSSBytes: peakRSS,
+		DenseBytes:     denseBytes,
+		RSSFracOfDense: float64(peakRSS) / float64(denseBytes),
+		FactorBytes:    fp.Bytes, FactorBytesAssembled: fp.BytesAssembled,
+		TilesDense64: fp.Dense64, TilesDense32: fp.Dense32,
+		TilesLowRank: fp.LowRank, MaxRank: fp.MaxRank, TilesEvicted: fp.TilesEvicted,
+		TasksTotal: stats.Total(), PeakInflight: stats.PeakInflight, Stolen: stats.Stolen,
+	}
+	fmt.Printf(" %.2fs factorize, %.2fs query, rss %.0f MiB (%.1f%% of dense), factor %.0f MiB\n",
+		factorizeSec, querySec,
+		float64(peakRSS)/(1<<20), 100*row.RSSFracOfDense, float64(fp.Bytes)/(1<<20))
+	return row, nil
+}

@@ -15,7 +15,7 @@ import (
 const (
 	NoallocMarker = "//repro:noalloc"
 	AllocOKMarker = "//repro:alloc-ok"
-	// PooledMarker ("//repro:returns-pooled <mat|vec|ints|view|gen>") on a
+	// PooledMarker ("//repro:returns-pooled <mat|vec|ints|view|gen|mat32>") on a
 	// constructor marks its result as a pool acquisition, so poolcheck tracks
 	// call sites of wrappers like gaussMat the same way it tracks GetMat.
 	PooledMarker = "//repro:returns-pooled"
@@ -66,6 +66,8 @@ func parsePoolKind(s string) (poolKind, bool) {
 		return kView, true
 	case "gen":
 		return kGen, true
+	case "mat32":
+		return kMat32, true
 	}
 	return 0, false
 }

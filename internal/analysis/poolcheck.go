@@ -35,15 +35,16 @@ const (
 	kInts
 	kView
 	kGen
+	kMat32
 )
 
 func (k poolKind) String() string {
-	return [...]string{"mat", "vec", "ints", "view", "gen"}[k]
+	return [...]string{"mat", "vec", "ints", "view", "gen", "mat32"}[k]
 }
 
 // putName names the releasing function for a kind, for messages.
 func (k poolKind) putName() string {
-	return [...]string{"PutMat", "PutVec", "PutInts", "PutMatView", "PutRichtmyer"}[k]
+	return [...]string{"PutMat", "PutVec", "PutInts", "PutMatView", "PutRichtmyer", "PutMat32"}[k]
 }
 
 // acquireFuncs and releaseFuncs map funcIDs to the pool kind they acquire or
@@ -58,6 +59,8 @@ var acquireFuncs = map[string]poolKind{
 	"repro/internal/linalg.GetMatView": kView,
 	"repro/internal/engine.getMat":     kMat,
 	"repro/internal/qmc.GetRichtmyer":  kGen,
+	"repro/internal/tile.GetMat32":     kMat32,
+	"repro/internal/tile.GetMat32Zero": kMat32,
 }
 
 var releaseFuncs = map[string]poolKind{
@@ -67,6 +70,7 @@ var releaseFuncs = map[string]poolKind{
 	"repro/internal/linalg.PutMatView": kView,
 	"repro/internal/engine.putMat":     kMat,
 	"repro/internal/qmc.PutRichtmyer":  kGen,
+	"repro/internal/tile.PutMat32":     kMat32,
 }
 
 // presource is one tracked acquisition site.
@@ -355,6 +359,13 @@ func resultIndexForKind(sig *types.Signature, k poolKind) int {
 			}
 			n, ok := p.Elem().(*types.Named)
 			return ok && n.Obj().Name() == "Matrix"
+		case kMat32:
+			p, ok := t.(*types.Pointer)
+			if !ok {
+				return false
+			}
+			n, ok := p.Elem().(*types.Named)
+			return ok && n.Obj().Name() == "Matrix32"
 		case kVec:
 			s, ok := t.Underlying().(*types.Slice)
 			return ok && types.Identical(s.Elem(), types.Typ[types.Float64])

@@ -6,10 +6,18 @@
 // are thin layout constructors over this engine, and the per-tile adaptive
 // representation the paper names as future work falls out of mixing
 // representations freely within one grid.
+//
+// For out-of-core-shaped problems the engine also runs in streaming mode
+// (PotrfStream): tiles are assembled from a kernel evaluator by per-tile
+// tasks fused into the factorization graph, trailing tiles are compressed
+// to low rank as soon as their last Schur update lands (right-looking
+// eviction), and submission is windowed so task-descriptor memory stays
+// bounded. See stream.go.
 package engine
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/linalg"
 	"repro/internal/taskrt"
@@ -22,18 +30,62 @@ import (
 type Grid struct {
 	N, TS, NT int
 	tiles     [][]tile.Tile // tiles[i][j] valid for j ≤ i
+
+	// owned marks grids whose dense tiles were drawn from the linalg
+	// workspace pool by the engine itself (streaming assembly); only then
+	// may eviction recycle a densified tile's buffer. Grids assembled by
+	// callers alias caller storage and are never recycled.
+	owned bool
+
+	evictMu    sync.Mutex
+	evicted    int
+	evictFreed int64
 }
 
-// NewGrid returns an empty n×n grid with tile size ts; every tile must be
-// assigned with Set before factorizing.
-func NewGrid(n, ts int) *Grid {
+// maxTileRows bounds the tile-count of a grid: beyond it the handle table
+// and per-panel task fronts (O(NT²)) no longer fit any plausible host, so
+// the engine refuses with a typed error instead of dying on allocation.
+const maxTileRows = 1 << 20
+
+// SizeError reports a grid whose tile count overflows what the engine (and
+// its windowed scheduler) can cover.
+type SizeError struct {
+	N, TS, NT int
+}
+
+func (e *SizeError) Error() string {
+	return fmt.Sprintf("engine: grid n=%d ts=%d implies %d tile rows (max %d)", e.N, e.TS, e.NT, maxTileRows)
+}
+
+// NewGridChecked returns an empty n×n grid with tile size ts, or a
+// *SizeError when n/ts implies a tile count past maxTileRows. The tile
+// count is computed without the (n+ts-1) intermediate so n near MaxInt
+// cannot overflow.
+func NewGridChecked(n, ts int) (*Grid, error) {
 	if n < 0 || ts <= 0 {
-		panic(fmt.Sprintf("engine: invalid grid %d ts=%d", n, ts))
+		return nil, fmt.Errorf("engine: invalid grid n=%d ts=%d", n, ts)
 	}
-	nt := (n + ts - 1) / ts
+	nt := n / ts
+	if n%ts != 0 {
+		nt++
+	}
+	if nt > maxTileRows {
+		return nil, &SizeError{N: n, TS: ts, NT: nt}
+	}
 	g := &Grid{N: n, TS: ts, NT: nt, tiles: make([][]tile.Tile, nt)}
 	for i := range g.tiles {
 		g.tiles[i] = make([]tile.Tile, i+1)
+	}
+	return g, nil
+}
+
+// NewGrid returns an empty n×n grid with tile size ts; every tile must be
+// assigned with Set before factorizing. It panics where NewGridChecked
+// errors.
+func NewGrid(n, ts int) *Grid {
+	g, err := NewGridChecked(n, ts)
+	if err != nil {
+		panic(err.Error())
 	}
 	return g
 }
@@ -80,7 +132,8 @@ type Mix struct {
 	MaxRank                   int // largest low-rank tile rank
 }
 
-// Mix reports the grid's representation mix.
+// Mix reports the grid's representation mix. Unassigned tiles are skipped,
+// so it is meaningful mid-assembly too.
 func (g *Grid) Mix() Mix {
 	var m Mix
 	for i := 0; i < g.NT; i++ {
@@ -93,7 +146,7 @@ func (g *Grid) Mix() Mix {
 				if r := t.Rank(); r > m.MaxRank {
 					m.MaxRank = r
 				}
-			default:
+			case *tile.DenseF64:
 				m.Dense64++
 			}
 		}
@@ -101,14 +154,61 @@ func (g *Grid) Mix() Mix {
 	return m
 }
 
-// Config tunes the engine kernels.
+// Bytes reports the payload bytes of the grid's tiles in their current
+// representations (8·r·c dense f64, 4·r·c dense f32, 8·k·(m+n) low rank) —
+// the footprint the eviction and streaming paths exist to shrink.
+// Unassigned tiles count zero.
+//repro:noalloc
+func (g *Grid) Bytes() int64 {
+	var b int64
+	for i := 0; i < g.NT; i++ {
+		for j := 0; j <= i; j++ {
+			switch t := g.tiles[i][j].(type) {
+			case *tile.DenseF64:
+				b += 8 * int64(t.D.Rows) * int64(t.D.Cols)
+			case *tile.DenseF32:
+				b += 4 * int64(t.D.Rows) * int64(t.D.Cols)
+			case *tile.LowRank:
+				b += 8 * int64(t.Rank()) * int64(t.M+t.N)
+			}
+		}
+	}
+	return b
+}
+
+// EvictStats reports how many trailing tiles right-looking eviction
+// compressed during Potrf and the payload bytes that freed.
+func (g *Grid) EvictStats() (tiles int, freedBytes int64) {
+	g.evictMu.Lock()
+	defer g.evictMu.Unlock()
+	return g.evicted, g.evictFreed
+}
+
+// Config tunes the engine kernels and the factorization's memory policy.
 type Config struct {
 	// Tol is the recompression tolerance applied when a GEMM lands in a
-	// low-rank destination tile.
+	// low-rank destination tile, and the eviction compression tolerance.
 	Tol float64
 	// MaxRank caps low-rank tile ranks after recompression (0 = uncapped).
 	MaxRank int
+	// Band is the number of sub-diagonals eviction leaves dense (default 1);
+	// tiles at i-j ≤ Band keep their representation.
+	Band int
+	// Evict enables right-looking compression eviction: a trailing dense
+	// float64 tile is compressed to low rank at Tol as soon as its last
+	// Schur update lands, before it becomes a panel operand. Compression is
+	// kept only when it shrinks the tile.
+	Evict bool
+	// Window > 0 bounds submission to roughly Window panels of lookahead
+	// (Window·NT² in-flight tasks), keeping task-descriptor memory O(Window·NT²)
+	// instead of O(NT³). Zero submits the whole graph eagerly (historical
+	// behavior).
+	Window int
 }
+
+// minWindowTasks floors the windowed-submission limit so small grids never
+// starve the workers: below this the throttle costs more than it saves.
+const minWindowTasks = 1024
 
 // Potrf factorizes the SPD matrix held by the grid in place: one task graph,
 // the classical right-looking tile Cholesky, whatever each tile's
@@ -124,103 +224,11 @@ type Config struct {
 // the historical dense, TLR and mixed-precision implementations exactly, so
 // layout constructors routing through the engine reproduce their results
 // bit for bit. Errors (non-positive-definite pivots) propagate through the
-// submitter's SubmitErr/Err scope.
+// submitter's SubmitErr/Err scope. Every tile must be assigned; cfg.Evict
+// and cfg.Window apply here too (eviction never recycles caller-owned
+// buffers).
 func Potrf(rt taskrt.Submitter, g *Grid, cfg Config) error {
-	nt := g.NT
-	for k := 0; k < nt; k++ {
-		for j := 0; j <= k; j++ {
-			if g.tiles[k][j] == nil {
-				return fmt.Errorf("engine: tile (%d,%d) unassigned", k, j)
-			}
-		}
-		if _, ok := g.tiles[k][k].(*tile.DenseF64); !ok {
-			return fmt.Errorf("engine: diagonal tile %d must be dense float64, got %s", k, g.tiles[k][k].Kind())
-		}
-	}
-	h := make([][]*taskrt.Handle, nt)
-	for i := 0; i < nt; i++ {
-		h[i] = make([]*taskrt.Handle, i+1)
-		for j := 0; j <= i; j++ {
-			h[i][j] = rt.NewHandle("T(%d,%d)", i, j)
-		}
-	}
-	for k := 0; k < nt; k++ {
-		k := k
-		dk := g.Diag(k)
-		rt.SubmitErr("potrf", 3*nt-3*k, func() error {
-			// Large diagonal tiles run the blocked in-tile Cholesky so the
-			// bulk of the pivot work is level-3 on the packed kernels.
-			var err error
-			if dk.Rows > 48 {
-				err = linalg.PotrfBlocked(dk, 32)
-			} else {
-				err = linalg.PotrfUnblocked(dk)
-			}
-			if err != nil {
-				return fmt.Errorf("engine: diagonal tile (%d,%d): %w", k, k, err)
-			}
-			return nil
-		}, taskrt.ReadWrite(h[k][k]))
-
-		// Single-precision panel tiles solve against a float32 copy of the
-		// factored diagonal, converted once per panel by its own task.
-		var dk32 *tile.Matrix32
-		var dk32H *taskrt.Handle
-		for i := k + 1; i < nt; i++ {
-			if g.tiles[i][k].Kind() == tile.KindDenseF32 {
-				dk32H = rt.NewHandle("T32(%d)", k)
-				rt.Submit("convert", 3*nt-3*k, func() {
-					dk32 = tile.ToSingle(dk)
-				}, taskrt.Read(h[k][k]), taskrt.Write(dk32H))
-				break
-			}
-		}
-		for i := k + 1; i < nt; i++ {
-			switch t := g.tiles[i][k].(type) {
-			case *tile.DenseF64:
-				d := t.D
-				rt.Submit("trsm", 3*nt-3*k-1, func() {
-					linalg.TrsmLower(linalg.Right, true, 1, dk, d)
-				}, taskrt.Read(h[k][k]), taskrt.ReadWrite(h[i][k]))
-			case *tile.LowRank:
-				lr := t
-				rt.Submit("trsm", 3*nt-3*k-1, func() {
-					if lr.Rank() > 0 {
-						linalg.TrsmLower(linalg.Left, false, 1, dk, lr.V)
-					}
-				}, taskrt.Read(h[k][k]), taskrt.ReadWrite(h[i][k]))
-			case *tile.DenseF32:
-				d := t.D
-				rt.Submit("trsm32", 3*nt-3*k-1, func() {
-					tile.TrsmRightLowerTrans32(dk32, d)
-				}, taskrt.Read(dk32H), taskrt.ReadWrite(h[i][k]))
-			}
-		}
-		for i := k + 1; i < nt; i++ {
-			i := i
-			a := g.tiles[i][k]
-			di := g.Diag(i)
-			rt.Submit("syrk", 3*nt-3*k-2, func() {
-				syrkInto(a, di)
-			}, taskrt.Read(h[i][k]), taskrt.ReadWrite(h[i][i]))
-			for j := k + 1; j < i; j++ {
-				j := j
-				b := g.tiles[j][k]
-				c := g.tiles[i][j]
-				rt.Submit("gemm", 3*nt-3*k-2, func() {
-					gemmInto(a, b, c, cfg)
-				}, taskrt.Read(h[i][k]), taskrt.Read(h[j][k]), taskrt.ReadWrite(h[i][j]))
-			}
-		}
-	}
-	rt.Wait()
-	if err := rt.Err(); err != nil {
-		return err
-	}
-	for k := 0; k < nt; k++ {
-		g.Diag(k).LowerFromFull()
-	}
-	return nil
+	return potrf(rt, g, cfg, nil)
 }
 
 // syrkInto applies D ← D − A·Aᵀ for the panel tile a into the dense float64
@@ -232,7 +240,10 @@ func syrkInto(a tile.Tile, d *linalg.Matrix) {
 	case *tile.DenseF32:
 		// Diagonal updates run in double precision whatever the operand
 		// (the banded mixed-precision semantics: destination chooses).
-		linalg.Syrk(false, -1, a.D.ToDouble(), 1, d)
+		w := getMat(a.D.Rows, a.D.Cols)
+		a.D.ToDoubleInto(w)
+		linalg.Syrk(false, -1, w, 1, d)
+		putMat(w)
 	case *tile.LowRank:
 		k := a.Rank()
 		if k == 0 {
@@ -251,16 +262,36 @@ func syrkInto(a tile.Tile, d *linalg.Matrix) {
 
 // gemmInto applies C ← C − A·Bᵀ, dispatching on the destination
 // representation: the destination decides the arithmetic (f64, f32 or
-// low-rank concat-and-recompress), the operands are adapted to it.
+// low-rank concat-and-recompress), the operands are adapted to it. Operand
+// conversions draw from the workspace pools (never the heap), so the tasks
+// of a steady-state factorization allocate nothing here.
 func gemmInto(a, b, c tile.Tile, cfg Config) {
 	switch c := c.(type) {
 	case *tile.DenseF64:
 		gemmIntoDense64(a, b, c.D)
 	case *tile.DenseF32:
-		tile.Gemm32(true, -1, as32(a), as32(b), c.D)
+		if ad, ok := a.(*tile.DenseF32); ok {
+			gemm32RightOf(ad.D, b, c.D)
+		} else {
+			a32 := to32Pooled(a)
+			gemm32RightOf(a32, b, c.D)
+			tile.PutMat32(a32)
+		}
 	case *tile.LowRank:
 		gemmIntoLowRank(a, b, c, cfg)
 	}
+}
+
+// gemm32RightOf finishes dst −= A·Bᵀ in single precision once the left
+// operand is already float32, adapting the right operand.
+func gemm32RightOf(a32 *tile.Matrix32, b tile.Tile, dst *tile.Matrix32) {
+	if bd, ok := b.(*tile.DenseF32); ok {
+		tile.Gemm32(true, -1, a32, bd.D, dst)
+		return
+	}
+	b32 := to32Pooled(b)
+	tile.Gemm32(true, -1, a32, b32, dst)
+	tile.PutMat32(b32)
 }
 
 // gemmIntoDense64 accumulates dst −= A·Bᵀ in double precision, using the
@@ -285,25 +316,61 @@ func gemmIntoDense64(a, b tile.Tile, dst *linalg.Matrix) {
 		if la.Rank() == 0 {
 			return
 		}
-		bd := as64(b)
-		// A·Bᵀ = U_a·(B·V_a)ᵀ
-		w := getMat(bd.Rows, la.Rank())
-		linalg.Gemm(false, false, 1, bd, la.V, 0, w)
-		linalg.Gemm(false, true, -1, la.U, w, 1, dst)
-		putMat(w)
+		if bd, ok := b.(*tile.DenseF64); ok {
+			gemmLRxDense64(la, bd.D, dst)
+		} else {
+			bd := to64Pooled(b)
+			gemmLRxDense64(la, bd, dst)
+			putMat(bd)
+		}
 	case bIsLR:
 		if lb.Rank() == 0 {
 			return
 		}
-		ad := as64(a)
-		// A·Bᵀ = (A·V_b)·U_bᵀ
-		w := getMat(ad.Rows, lb.Rank())
-		linalg.Gemm(false, false, 1, ad, lb.V, 0, w)
-		linalg.Gemm(false, true, -1, w, lb.U, 1, dst)
-		putMat(w)
+		if ad, ok := a.(*tile.DenseF64); ok {
+			gemmDense64xLR(ad.D, lb, dst)
+		} else {
+			ad := to64Pooled(a)
+			gemmDense64xLR(ad, lb, dst)
+			putMat(ad)
+		}
 	default:
-		linalg.Gemm(false, true, -1, as64(a), as64(b), 1, dst)
+		if ad, ok := a.(*tile.DenseF64); ok {
+			gemmDense64RightOf(ad.D, b, dst)
+		} else {
+			ad := to64Pooled(a)
+			gemmDense64RightOf(ad, b, dst)
+			putMat(ad)
+		}
 	}
+}
+
+// gemmLRxDense64 applies dst −= U_a·(B·V_a)ᵀ for low-rank A, dense B.
+func gemmLRxDense64(la *tile.LowRank, bd, dst *linalg.Matrix) {
+	w := getMat(bd.Rows, la.Rank())
+	linalg.Gemm(false, false, 1, bd, la.V, 0, w)
+	linalg.Gemm(false, true, -1, la.U, w, 1, dst)
+	putMat(w)
+}
+
+// gemmDense64xLR applies dst −= (A·V_b)·U_bᵀ for dense A, low-rank B.
+func gemmDense64xLR(ad *linalg.Matrix, lb *tile.LowRank, dst *linalg.Matrix) {
+	w := getMat(ad.Rows, lb.Rank())
+	linalg.Gemm(false, false, 1, ad, lb.V, 0, w)
+	linalg.Gemm(false, true, -1, w, lb.U, 1, dst)
+	putMat(w)
+}
+
+// gemmDense64RightOf finishes dst −= A·Bᵀ once the left operand is already
+// dense float64, adapting the right operand.
+func gemmDense64RightOf(ad *linalg.Matrix, b tile.Tile, dst *linalg.Matrix) {
+	if bd, ok := b.(*tile.DenseF64); ok {
+		linalg.Gemm(false, true, -1, ad, bd.D, 1, dst)
+		return
+	}
+	bd := to64Pooled(b)
+	linalg.Gemm(false, true, -1, ad, bd, 1, dst)
+	putMat(bd)
 }
 
 // gemmIntoLowRank accumulates the Schur update into a low-rank destination
@@ -329,62 +396,143 @@ func gemmIntoLowRank(a, b tile.Tile, c *tile.LowRank, cfg Config) {
 		if la.Rank() == 0 {
 			return
 		}
-		bd := as64(b)
-		// A·Bᵀ = U_a·(B·V_a)ᵀ: rank-k_a update.
-		w := getMat(bd.Rows, la.Rank())
-		linalg.Gemm(false, false, 1, bd, la.V, 0, w)
-		c.AddLowRank(-1, la.U, w, cfg.Tol, cfg.MaxRank)
-		putMat(w)
+		if bd, ok := b.(*tile.DenseF64); ok {
+			gemmLRxDenseIntoLR(la, bd.D, c, cfg)
+		} else {
+			bd := to64Pooled(b)
+			gemmLRxDenseIntoLR(la, bd, c, cfg)
+			putMat(bd)
+		}
 	case bIsLR:
 		if lb.Rank() == 0 {
 			return
 		}
-		ad := as64(a)
-		// A·Bᵀ = (A·V_b)·U_bᵀ: rank-k_b update.
-		w := getMat(ad.Rows, lb.Rank())
-		linalg.Gemm(false, false, 1, ad, lb.V, 0, w)
-		c.AddLowRank(-1, w, lb.U, cfg.Tol, cfg.MaxRank)
-		putMat(w)
+		if ad, ok := a.(*tile.DenseF64); ok {
+			gemmDensexLRIntoLR(ad.D, lb, c, cfg)
+		} else {
+			ad := to64Pooled(a)
+			gemmDensexLRIntoLR(ad, lb, c, cfg)
+			putMat(ad)
+		}
 	default:
-		// Two dense operands: form the product, compress it, then fold the
-		// factors in.
-		ad, bd := as64(a), as64(b)
-		p := getMat(ad.Rows, bd.Rows)
-		linalg.Gemm(false, true, 1, ad, bd, 0, p)
-		lp := tile.Compress(p, cfg.Tol, cfg.MaxRank)
-		putMat(p)
-		if lp.Rank() > 0 {
-			c.AddLowRank(-1, lp.U, lp.V, cfg.Tol, cfg.MaxRank)
-			putMat(lp.U)
-			putMat(lp.V)
+		if ad, ok := a.(*tile.DenseF64); ok {
+			gemmDenseDenseIntoLR(ad.D, b, c, cfg)
+		} else {
+			ad := to64Pooled(a)
+			gemmDenseDenseIntoLR(ad, b, c, cfg)
+			putMat(ad)
 		}
 	}
 }
 
-// as64 returns a double-precision view of a dense tile (converting float32
-// on the fly, exactly as the banded mixed-precision update did).
-func as64(t tile.Tile) *linalg.Matrix {
-	switch t := t.(type) {
-	case *tile.DenseF64:
-		return t.D
-	case *tile.DenseF32:
-		return t.D.ToDouble()
-	case *tile.LowRank:
-		return t.Dense()
-	}
-	panic("engine: unknown tile representation")
+// gemmLRxDenseIntoLR folds the rank-k_a update U_a·(B·V_a)ᵀ into c.
+func gemmLRxDenseIntoLR(la *tile.LowRank, bd *linalg.Matrix, c *tile.LowRank, cfg Config) {
+	w := getMat(bd.Rows, la.Rank())
+	linalg.Gemm(false, false, 1, bd, la.V, 0, w)
+	c.AddLowRank(-1, la.U, w, cfg.Tol, cfg.MaxRank)
+	putMat(w)
 }
 
-// as32 returns a single-precision view of a tile (converting float64 on the
-// fly, exactly as the banded mixed-precision update did).
-func as32(t tile.Tile) *tile.Matrix32 {
+// gemmDensexLRIntoLR folds the rank-k_b update (A·V_b)·U_bᵀ into c.
+func gemmDensexLRIntoLR(ad *linalg.Matrix, lb *tile.LowRank, c *tile.LowRank, cfg Config) {
+	w := getMat(ad.Rows, lb.Rank())
+	linalg.Gemm(false, false, 1, ad, lb.V, 0, w)
+	c.AddLowRank(-1, w, lb.U, cfg.Tol, cfg.MaxRank)
+	putMat(w)
+}
+
+// gemmDenseDenseIntoLR finishes the two-dense-operand case once the left
+// operand is dense float64, adapting the right operand.
+func gemmDenseDenseIntoLR(ad *linalg.Matrix, b tile.Tile, c *tile.LowRank, cfg Config) {
+	if bd, ok := b.(*tile.DenseF64); ok {
+		gemmDense2IntoLR(ad, bd.D, c, cfg)
+		return
+	}
+	bd := to64Pooled(b)
+	gemmDense2IntoLR(ad, bd, c, cfg)
+	putMat(bd)
+}
+
+// gemmDense2IntoLR forms the dense product, compresses it, then folds the
+// factors into c.
+func gemmDense2IntoLR(ad, bd *linalg.Matrix, c *tile.LowRank, cfg Config) {
+	p := getMat(ad.Rows, bd.Rows)
+	linalg.Gemm(false, true, 1, ad, bd, 0, p)
+	lp := tile.Compress(p, cfg.Tol, cfg.MaxRank)
+	putMat(p)
+	if lp.Rank() > 0 {
+		c.AddLowRank(-1, lp.U, lp.V, cfg.Tol, cfg.MaxRank)
+		putMat(lp.U)
+		putMat(lp.V)
+	}
+}
+
+// to64Pooled converts a float32 or low-rank tile into a pooled dense float64
+// matrix; the caller must putMat it. Dense float64 tiles never route here —
+// they pass their matrix through directly, so the hot dense path copies
+// nothing.
+//repro:returns-pooled mat
+func to64Pooled(t tile.Tile) *linalg.Matrix {
 	switch t := t.(type) {
 	case *tile.DenseF32:
-		return t.D
-	case *tile.DenseF64:
-		return tile.ToSingle(t.D)
+		w := getMat(t.D.Rows, t.D.Cols)
+		t.D.ToDoubleInto(w)
+		return w
 	case *tile.LowRank:
-		return tile.ToSingle(t.Dense())
+		w := getMat(t.M, t.N)
+		t.DenseInto(w)
+		return w
 	}
-	panic("engine: unknown tile representation")
+	panic("engine: to64Pooled on a dense float64 tile")
+}
+
+// to32Pooled converts a float64 or low-rank tile into a pooled dense float32
+// matrix; the caller must tile.PutMat32 it. Dense float32 tiles never route
+// here.
+//repro:returns-pooled mat32
+func to32Pooled(t tile.Tile) *tile.Matrix32 {
+	switch t := t.(type) {
+	case *tile.DenseF64:
+		w := tile.GetMat32(t.D.Rows, t.D.Cols)
+		tile.ToSingleInto(t.D, w)
+		return w
+	case *tile.LowRank:
+		d := getMat(t.M, t.N)
+		t.DenseInto(d)
+		w := tile.GetMat32(t.M, t.N)
+		tile.ToSingleInto(d, w)
+		putMat(d)
+		return w
+	}
+	panic("engine: to32Pooled on a dense float32 tile")
+}
+
+// evictTile compresses the dense float64 trailing tile (i,j) to low rank at
+// the configured tolerance. It runs as the "evict" task, ordered by the
+// tile's handle after its last Schur update and before the panel that
+// consumes it. Compression is kept only when it shrinks the tile; on grids
+// the engine assembled itself the densified buffer returns to the pool.
+func (g *Grid) evictTile(i, j int, cfg Config) {
+	t, ok := g.tiles[i][j].(*tile.DenseF64)
+	if !ok {
+		return
+	}
+	d := t.D
+	m, n := d.Rows, d.Cols
+	lr := tile.Compress(d, cfg.Tol, cfg.MaxRank)
+	if r := lr.Rank(); r > 0 && r*(m+n) >= m*n {
+		// The tile does not compress at this tolerance: keep it dense.
+		putMat(lr.U)
+		putMat(lr.V)
+		return
+	}
+	g.tiles[i][j] = lr
+	freed := 8 * (int64(m)*int64(n) - int64(lr.Rank())*int64(m+n))
+	if g.owned {
+		putMat(d)
+	}
+	g.evictMu.Lock()
+	g.evicted++
+	g.evictFreed += freed
+	g.evictMu.Unlock()
 }

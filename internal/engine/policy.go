@@ -179,6 +179,48 @@ func AssembleAdaptiveEntry(sub taskrt.Submitter, n, ts int, entry func(i, j int)
 	return g
 }
 
+// EntryAssembler returns a streaming assembler applying the adaptive policy
+// per tile, for PotrfStream: band tiles dense float64, off-band tiles probed
+// by ACA with the dense f32/f64 fallback — the same choices
+// AssembleAdaptiveEntry makes, but each tile built by its own task only when
+// the factorization graph first touches it. DiagFirst routes the diagonal
+// Frobenius norms (anchoring the f32 test) through the engine's norm
+// handles, so off-band tiles always observe assembled, unfactored diagonals.
+// Dense tiles draw from the workspace pool (the grid becomes engine-owned).
+func (p Policy) EntryAssembler(g *Grid, entry func(i, j int) float64) *Assembler {
+	p = p.WithDefaults()
+	ts := g.TS
+	diagNorm := make([]float64, g.NT)
+	return &Assembler{
+		DiagFirst: true,
+		Tile: func(i, j int) tile.Tile {
+			ri, rj := g.TileRows(i), g.TileRows(j)
+			row0, col0 := i*ts, j*ts
+			if i == j {
+				d := denseBlockPooled(ri, ri, row0, row0, entry)
+				diagNorm[i] = d.FrobNorm()
+				return &tile.DenseF64{D: d}
+			}
+			if i-j <= p.Band {
+				return &tile.DenseF64{D: denseBlockPooled(ri, rj, row0, col0, entry)}
+			}
+			sub := func(r, c int) float64 { return entry(row0+r, col0+c) }
+			if lr, ok := p.probe(ri, rj, sub); ok {
+				return lr
+			}
+			blk := denseBlockPooled(ri, rj, row0, col0, entry)
+			scale := math.Sqrt(diagNorm[i] * diagNorm[j])
+			if scale > 0 && blk.FrobNorm() <= p.F32Norm*scale {
+				w := tile.GetMat32(ri, rj)
+				tile.ToSingleInto(blk, w)
+				putMat(blk)
+				return &tile.DenseF32{D: w}
+			}
+			return &tile.DenseF64{D: blk}
+		},
+	}
+}
+
 // denseBlock materializes the r×c block at (row0,col0) of the entry
 // evaluator.
 func denseBlock(r, c, row0, col0 int, entry func(i, j int) float64) *linalg.Matrix {

@@ -1,0 +1,299 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/linalg"
+	"repro/internal/taskrt"
+	"repro/internal/tile"
+)
+
+// Assembler builds tiles on demand for the streaming factorization. Tile
+// must return a valid tile for (i,j), j ≤ i, with every diagonal tile dense
+// float64 (the engine's pivot representation); it runs on worker goroutines
+// as "assemble" tasks fused into the factorization graph, so it must be
+// safe for concurrent calls on distinct (i,j).
+type Assembler struct {
+	Tile func(i, j int) tile.Tile
+	// DiagFirst orders every off-diagonal assembly after its two diagonal
+	// blocks' assemblies (for policies that read diagonal norms, like the
+	// adaptive f32 test). The ordering runs through dedicated norm handles,
+	// not the tile handles, so it observes the assembled — never the
+	// factored — diagonal.
+	DiagFirst bool
+}
+
+// PotrfStream factorizes the SPD matrix defined by the assembler without
+// ever materializing it up front: each tile is built by its own task,
+// ordered by a Write dependency before the graph first reads it, directly
+// in the representation the assembler chooses. Combined with cfg.Evict and
+// cfg.Window the live footprint is O(n·ts) dense band + the compressed
+// factor + O(Window·NT²) task descriptors — the out-of-core shape that
+// carries n ≥ 25k. The grid must be empty (NewGrid) and is owned by the
+// engine afterwards: its dense tiles draw from the workspace pool.
+func PotrfStream(rt taskrt.Submitter, g *Grid, cfg Config, asm *Assembler) error {
+	if asm == nil || asm.Tile == nil {
+		return fmt.Errorf("engine: PotrfStream requires an assembler")
+	}
+	return potrf(rt, g, cfg, asm)
+}
+
+// potrf is the single task-graph builder behind Potrf (asm == nil,
+// materialized grid) and PotrfStream (tiles assembled on demand). Kernel
+// dispatch happens at execution time — closures read the grid when they
+// run — because assembly and eviction change tile representations after
+// submission; the handle dependencies make those reads race-free.
+func potrf(rt taskrt.Submitter, g *Grid, cfg Config, asm *Assembler) error {
+	nt := g.NT
+	if nt > maxTileRows {
+		return &SizeError{N: g.N, TS: g.TS, NT: nt}
+	}
+	if asm == nil {
+		for k := 0; k < nt; k++ {
+			for j := 0; j <= k; j++ {
+				if g.tiles[k][j] == nil {
+					return fmt.Errorf("engine: tile (%d,%d) unassigned", k, j)
+				}
+			}
+			if _, ok := g.tiles[k][k].(*tile.DenseF64); !ok {
+				return fmt.Errorf("engine: diagonal tile %d must be dense float64, got %s", k, g.tiles[k][k].Kind())
+			}
+		}
+	} else {
+		g.owned = true
+	}
+
+	// Windowed submission: bound the in-flight graph to ~Window panels of
+	// tasks. The master blocks in Submit until tasks retire; STF dependencies
+	// only point backward in submission order, so the in-flight prefix can
+	// always run to completion and the throttle cannot deadlock.
+	sub := rt
+	if cfg.Window > 0 {
+		limit := cfg.Window * nt * nt
+		if limit < minWindowTasks {
+			limit = minWindowTasks
+		}
+		sub = taskrt.NewThrottle(rt, limit)
+	}
+
+	h := make([][]*taskrt.Handle, nt)
+	for i := 0; i < nt; i++ {
+		h[i] = make([]*taskrt.Handle, i+1)
+		for j := 0; j <= i; j++ {
+			h[i][j] = sub.NewHandle("T(%d,%d)", i, j)
+		}
+	}
+
+	// Streaming assembly bookkeeping: ensure(i,j) submits the tile's
+	// assemble task exactly once, before the first factorization task that
+	// touches it. Norm handles (nh) order adaptive off-diagonal assembly
+	// after the diagonal norms without entangling the pivot handles.
+	var assembled [][]bool
+	var nh []*taskrt.Handle
+	var ensure func(i, j int)
+	if asm != nil {
+		assembled = make([][]bool, nt)
+		for i := range assembled {
+			assembled[i] = make([]bool, i+1)
+		}
+		if asm.DiagFirst {
+			nh = make([]*taskrt.Handle, nt)
+			for i := range nh {
+				nh[i] = sub.NewHandle("N(%d)", i)
+			}
+		}
+		ensure = func(i, j int) {
+			if assembled[i][j] {
+				return
+			}
+			assembled[i][j] = true
+			if asm.DiagFirst {
+				if i == j {
+					sub.Submit("assemble", 3*nt+2, func() {
+						g.Set(i, i, asm.Tile(i, i))
+					}, taskrt.Write(h[i][i]), taskrt.Write(nh[i]))
+					return
+				}
+				ensure(i, i)
+				ensure(j, j)
+				sub.Submit("assemble", 3*nt+1, func() {
+					g.Set(i, j, asm.Tile(i, j))
+				}, taskrt.Write(h[i][j]), taskrt.Read(nh[i]), taskrt.Read(nh[j]))
+				return
+			}
+			sub.Submit("assemble", 3*nt+2, func() {
+				g.Set(i, j, asm.Tile(i, j))
+			}, taskrt.Write(h[i][j]))
+		}
+	}
+
+	band := cfg.Band
+	if band <= 0 {
+		band = 1
+	}
+
+	for k := 0; k < nt; k++ {
+		k := k
+		if asm != nil {
+			ensure(k, k)
+		}
+		sub.SubmitErr("potrf", 3*nt-3*k, func() error {
+			dk := g.Diag(k)
+			// Large diagonal tiles run the blocked in-tile Cholesky so the
+			// bulk of the pivot work is level-3 on the packed kernels.
+			var err error
+			if dk.Rows > 48 {
+				err = linalg.PotrfBlocked(dk, 32)
+			} else {
+				err = linalg.PotrfUnblocked(dk)
+			}
+			if err != nil {
+				return fmt.Errorf("engine: diagonal tile (%d,%d): %w", k, k, err)
+			}
+			return nil
+		}, taskrt.ReadWrite(h[k][k]))
+
+		// Single-precision panel tiles solve against a float32 copy of the
+		// factored diagonal, materialized lazily at execution time by the
+		// first solve that needs it: under streaming assembly the
+		// representation of a panel tile is decided on the workers, so
+		// submission time cannot know whether the copy will be needed.
+		l32 := &lazy32{}
+		needFree := false
+		if asm != nil {
+			needFree = k+1 < nt
+		} else {
+			for i := k + 1; i < nt; i++ {
+				if g.tiles[i][k].Kind() == tile.KindDenseF32 {
+					needFree = true
+					break
+				}
+			}
+		}
+		for i := k + 1; i < nt; i++ {
+			i := i
+			if asm != nil {
+				ensure(i, k)
+			}
+			sub.Submit("trsm", 3*nt-3*k-1, func() {
+				trsmPanel(g, k, i, l32)
+			}, taskrt.Read(h[k][k]), taskrt.ReadWrite(h[i][k]))
+		}
+		if needFree {
+			// Runs after every panel solve (they read h[k][k]); recycles the
+			// f32 diagonal copy, or no-ops if none was materialized.
+			sub.Submit("free32", 3*nt-3*k-1, l32.free, taskrt.ReadWrite(h[k][k]))
+		}
+		for i := k + 1; i < nt; i++ {
+			i := i
+			if asm != nil {
+				ensure(i, i)
+			}
+			sub.Submit("syrk", 3*nt-3*k-2, func() {
+				syrkInto(g.tiles[i][k], g.Diag(i))
+			}, taskrt.Read(h[i][k]), taskrt.ReadWrite(h[i][i]))
+			for j := k + 1; j < i; j++ {
+				j := j
+				if asm != nil {
+					ensure(i, j)
+				}
+				sub.Submit("gemm", 3*nt-3*k-2, func() {
+					gemmInto(g.tiles[i][k], g.tiles[j][k], g.tiles[i][j], cfg)
+				}, taskrt.Read(h[i][k]), taskrt.Read(h[j][k]), taskrt.ReadWrite(h[i][j]))
+			}
+		}
+		// Right-looking eviction: column k+1 received its last Schur update
+		// in this panel (GEMM(i,k+1,k)), so each of its off-band tiles can
+		// compress before panel k+1 consumes it. The ReadWrite dependency
+		// orders the eviction after the tile's last update and before its
+		// panel solve.
+		if cfg.Evict && k+1 < nt {
+			j := k + 1
+			for i := j + 1; i < nt; i++ {
+				if i-j <= band {
+					continue
+				}
+				i := i
+				sub.Submit("evict", 3*nt-3*k-2, func() {
+					g.evictTile(i, j, cfg)
+				}, taskrt.ReadWrite(h[i][j]))
+			}
+		}
+	}
+	sub.Wait()
+	if err := sub.Err(); err != nil {
+		return err
+	}
+	for k := 0; k < nt; k++ {
+		g.Diag(k).LowerFromFull()
+	}
+	return nil
+}
+
+// trsmPanel solves panel tile (i,k) against the factored diagonal k in the
+// tile's representation at execution time.
+func trsmPanel(g *Grid, k, i int, l32 *lazy32) {
+	dk := g.Diag(k)
+	switch t := g.tiles[i][k].(type) {
+	case *tile.DenseF64:
+		linalg.TrsmLower(linalg.Right, true, 1, dk, t.D)
+	case *tile.LowRank:
+		if t.Rank() > 0 {
+			linalg.TrsmLower(linalg.Left, false, 1, dk, t.V)
+		}
+	case *tile.DenseF32:
+		tile.TrsmRightLowerTrans32(l32.get(dk), t.D)
+	}
+}
+
+// lazy32 is the per-panel float32 copy of the factored diagonal, built by
+// the first single-precision solve that needs it (sync.Once makes the
+// concurrent first touches safe) and recycled by the panel's free32 task,
+// which the handle graph orders after every solve.
+type lazy32 struct {
+	once sync.Once
+	d    *tile.Matrix32
+}
+
+func (l *lazy32) get(dk *linalg.Matrix) *tile.Matrix32 {
+	l.once.Do(func() {
+		w := tile.GetMat32(dk.Rows, dk.Cols)
+		tile.ToSingleInto(dk, w)
+		l.d = w
+	})
+	return l.d
+}
+
+func (l *lazy32) free() {
+	if l.d != nil {
+		tile.PutMat32(l.d)
+		l.d = nil
+	}
+}
+
+// DenseEntryAssembler streams every tile of the entry evaluator densely in
+// float64 — the streaming analogue of the dense layout constructor. The
+// grid must be the one passed to PotrfStream.
+func DenseEntryAssembler(g *Grid, entry func(i, j int) float64) *Assembler {
+	ts := g.TS
+	return &Assembler{
+		Tile: func(i, j int) tile.Tile {
+			return &tile.DenseF64{D: denseBlockPooled(g.TileRows(i), g.TileRows(j), i*ts, j*ts, entry)}
+		},
+	}
+}
+
+// denseBlockPooled materializes the r×c block at (row0,col0) of the entry
+// evaluator into a pooled matrix.
+//repro:returns-pooled mat
+func denseBlockPooled(r, c, row0, col0 int, entry func(i, j int) float64) *linalg.Matrix {
+	d := getMat(r, c)
+	for j := 0; j < c; j++ {
+		col := d.Col(j)
+		for i := 0; i < r; i++ {
+			col[i] = entry(row0+i, col0+j)
+		}
+	}
+	return d
+}

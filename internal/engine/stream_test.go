@@ -1,0 +1,226 @@
+package engine_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/cov"
+	"repro/internal/engine"
+	"repro/internal/geo"
+	"repro/internal/linalg"
+	"repro/internal/taskrt"
+	"repro/internal/tile"
+	"repro/internal/tlr"
+)
+
+// densifyFactor reassembles the grid's lower-triangular factor densely,
+// whatever each tile's representation.
+func densifyFactor(g *engine.Grid) *linalg.Matrix {
+	l := linalg.NewMatrix(g.N, g.N)
+	for i := 0; i < g.NT; i++ {
+		for j := 0; j <= i; j++ {
+			var d *linalg.Matrix
+			switch t := g.At(i, j).(type) {
+			case *tile.DenseF64:
+				d = t.D
+			case *tile.DenseF32:
+				d = t.D.ToDouble()
+			case *tile.LowRank:
+				d = t.Dense()
+			}
+			l.View(i*g.TS, j*g.TS, d.Rows, d.Cols).CopyFrom(d)
+		}
+	}
+	return l
+}
+
+// materialize assembles every tile of the grid up front by calling the
+// assembler serially — diagonals first, matching the DiagFirst ordering the
+// streaming graph enforces, so norm-dependent policies make the same choices.
+func materialize(g *engine.Grid, asm *engine.Assembler) {
+	for i := 0; i < g.NT; i++ {
+		g.Set(i, i, asm.Tile(i, i))
+	}
+	for i := 0; i < g.NT; i++ {
+		for j := 0; j < i; j++ {
+			g.Set(i, j, asm.Tile(i, j))
+		}
+	}
+}
+
+// streamFactor runs PotrfStream on a fresh grid with a fresh assembler.
+func streamFactor(t *testing.T, n, ts int, cfg engine.Config, mk func(*engine.Grid) *engine.Assembler) *engine.Grid {
+	t.Helper()
+	g := engine.NewGrid(n, ts)
+	rt := taskrt.New(4)
+	defer rt.Shutdown()
+	if err := engine.PotrfStream(rt, g, cfg, mk(g)); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestPotrfStreamingMatchesMaterialized is the streaming-assembly property
+// test: for each assembler family (dense, TLR/ACA, adaptive policy) the
+// factor produced by PotrfStream — tiles built by tasks fused into the
+// factorization graph — must match the factor of the same grid assembled up
+// front and run through the non-streaming Potrf. Assembly is deterministic
+// (ACA and the compression sketches are seeded per shape), so without
+// eviction both paths see identical tile representations and the engine
+// performs the identical per-tile kernel sequence; the comparison holds to
+// kernel roundoff, with and without windowed submission, including a ragged
+// last tile.
+func TestPotrfStreamingMatchesMaterialized(t *testing.T) {
+	geom := geo.RegularGrid(12, 12) // n = 144
+	kern := &cov.Exponential{Sigma2: 1, Range: 0.15}
+	entry := func(i, j int) float64 {
+		if i == j {
+			return kern.Cov(0)
+		}
+		return kern.Cov(geom.Dist(i, j))
+	}
+	const tol = 1e-4
+	n := geom.Len()
+
+	builders := []struct {
+		name string
+		mk   func(*engine.Grid) *engine.Assembler
+	}{
+		{"dense", func(g *engine.Grid) *engine.Assembler {
+			return engine.DenseEntryAssembler(g, entry)
+		}},
+		{"tlr", func(g *engine.Grid) *engine.Assembler {
+			return tlr.KernelAssembler(g, geom, kern, tol, 0)
+		}},
+		{"adaptive", func(g *engine.Grid) *engine.Assembler {
+			p := engine.Policy{Band: 1, Tol: tol, RankFrac: 0.5, F32Norm: 0.5}
+			return p.EntryAssembler(g, entry)
+		}},
+	}
+	for _, b := range builders {
+		for _, ts := range []int{24, 20} { // ts=20 leaves a ragged 4-row last tile
+			ref := engine.NewGrid(n, ts)
+			materialize(ref, b.mk(ref))
+			rt := taskrt.New(4)
+			err := engine.Potrf(rt, ref, engine.Config{Tol: tol})
+			rt.Shutdown()
+			if err != nil {
+				t.Fatalf("%s ts=%d: materialized Potrf: %v", b.name, ts, err)
+			}
+			want := densifyFactor(ref)
+
+			for _, window := range []int{0, 1} {
+				got := streamFactor(t, n, ts, engine.Config{Tol: tol, Window: window}, b.mk)
+				if d := relMaxDiff(densifyFactor(got), want); d > engineRefTol {
+					t.Errorf("%s ts=%d window=%d: streaming factor differs from materialized by %v",
+						b.name, ts, window, d)
+				}
+			}
+		}
+	}
+}
+
+// TestPotrfStreamingEvictionCompresses checks right-looking eviction: on a
+// smooth kernel assembled densely, trailing tiles must actually be compressed
+// to low rank during the factorization, the byte accounting must balance
+// (current bytes + freed bytes = the fully dense assembly), and the evicted
+// factor must still reconstruct the matrix to the compression accuracy.
+func TestPotrfStreamingEvictionCompresses(t *testing.T) {
+	geom := geo.RegularGrid(16, 16) // n = 256
+	kern := &cov.Nugget{Kernel: cov.NewMatern(1, 0.3, 2.5), Tau2: 0.05}
+	entry := func(i, j int) float64 {
+		if i == j {
+			return kern.Cov(0)
+		}
+		return kern.Cov(geom.Dist(i, j))
+	}
+	const tol, ts = 1e-4, 32 // nt = 8: 15 off-band eviction candidates
+	n := geom.Len()
+
+	mk := func(g *engine.Grid) *engine.Assembler { return engine.DenseEntryAssembler(g, entry) }
+	g := streamFactor(t, n, ts, engine.Config{Tol: tol, Band: 1, Evict: true, Window: 2}, mk)
+
+	evicted, freed := g.EvictStats()
+	if evicted == 0 || freed <= 0 {
+		t.Fatalf("no tiles evicted (evicted=%d freed=%d): right-looking eviction inert", evicted, freed)
+	}
+	mix := g.Mix()
+	if mix.LowRank < evicted {
+		t.Errorf("mix %+v reports fewer low-rank tiles than the %d evictions", mix, evicted)
+	}
+	if mix.Dense64 < g.NT {
+		t.Errorf("diagonal tiles must stay dense float64: %+v", mix)
+	}
+	// Eviction happens after a tile's last Schur update, so its rank is final:
+	// the freed bytes plus the surviving representation must equal the dense
+	// assembly exactly.
+	var denseLower int64
+	for i := 0; i < g.NT; i++ {
+		for j := 0; j <= i; j++ {
+			denseLower += 8 * int64(g.TileRows(i)) * int64(g.TileRows(j))
+		}
+	}
+	if got := g.Bytes() + freed; got != denseLower {
+		t.Errorf("byte accounting: Bytes()+freed = %d, dense assembly = %d", got, denseLower)
+	}
+
+	// The compressed factor still factorizes the matrix: L·Lᵀ ≈ Σ at the
+	// eviction tolerance (the bound is loose — each eviction perturbs a tile
+	// by ~tol·‖tile‖ mid-factorization and the error propagates).
+	l := densifyFactor(g)
+	rec := linalg.NewMatrix(n, n)
+	linalg.Gemm(false, true, 1, l, l, 0, rec)
+	rec.SymmetrizeFromLower()
+	full := cov.Matrix(geom, kern)
+	full.SymmetrizeFromLower()
+	if d := rec.MaxAbsDiff(full); d > 5e-3 {
+		t.Errorf("evicted-factor LLᵀ residual %v", d)
+	}
+}
+
+// TestGridSizeGuard pins the tile-count overflow guard: oversized grids are
+// refused with the typed *SizeError — never a panic or an allocation attempt
+// — by the constructor and by both factorization entry points.
+func TestGridSizeGuard(t *testing.T) {
+	if _, err := engine.NewGridChecked(8, 0); err == nil {
+		t.Error("want error for tile size 0")
+	}
+	if _, err := engine.NewGridChecked(-1, 4); err == nil {
+		t.Error("want error for negative dimension")
+	}
+	var se *engine.SizeError
+	_, err := engine.NewGridChecked(math.MaxInt/2, 1)
+	if !errors.As(err, &se) {
+		t.Fatalf("want *SizeError, got %v", err)
+	}
+	if se.TS != 1 || se.NT != math.MaxInt/2 {
+		t.Errorf("SizeError fields n=%d ts=%d nt=%d", se.N, se.TS, se.NT)
+	}
+	if se.Error() == "" {
+		t.Error("SizeError must describe itself")
+	}
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("NewGrid must panic where NewGridChecked errors")
+			}
+		}()
+		engine.NewGrid(math.MaxInt/2, 1)
+	}()
+
+	rt := taskrt.New(1)
+	defer rt.Shutdown()
+	big := engine.NewGridOversized()
+	if err := engine.Potrf(rt, big, engine.Config{}); !errors.As(err, &se) {
+		t.Errorf("Potrf on oversized grid: want *SizeError, got %v", err)
+	}
+	asm := &engine.Assembler{Tile: func(i, j int) tile.Tile { return nil }}
+	if err := engine.PotrfStream(rt, big, engine.Config{}, asm); !errors.As(err, &se) {
+		t.Errorf("PotrfStream on oversized grid: want *SizeError, got %v", err)
+	}
+	if err := engine.PotrfStream(rt, engine.NewGrid(8, 4), engine.Config{}, nil); err == nil {
+		t.Error("PotrfStream must reject a nil assembler")
+	}
+}

@@ -2,48 +2,69 @@ package linalg
 
 import (
 	"fmt"
+	"math/bits"
 	"sync"
 )
 
 // The workspace pool recycles float64 scratch buffers across the hot kernel
 // paths: GEMM packing panels, low-rank recompression intermediates, QR tau
-// vectors, SVD work matrices. sync.Pool's per-P caches make this an
-// effectively per-worker workspace — a worker churning through factorization
-// or recompression tasks reuses its own buffers instead of allocating on
-// every task, which is what keeps the steady-state hot loops allocation-free.
-var pool sync.Pool // holds *[]float64 boxes with data
+// vectors, SVD work matrices. Buffers are segregated into power-of-two size
+// classes — a single mixed pool thrashes under the factorization's blend of
+// tile-sized, panel-sized and rank-sized requests (a small buffer popped for
+// a large request is dropped and reallocated), and that churn is what drove
+// the streamed factorization's peak heap. Within a class, sync.Pool's per-P
+// caches make this an effectively per-worker workspace: a worker churning
+// through factorization or recompression tasks reuses its own buffers
+// instead of allocating on every task, which is what keeps the steady-state
+// hot loops allocation-free.
+var vecPools [vecClasses]sync.Pool // class c holds *[]float64 with cap ≥ 1<<c
+
+// vecClasses bounds the size classes at 2^30 floats (8 GiB); larger requests
+// are never sensible scratch.
+const vecClasses = 31
 
 // boxPool recycles the empty *[]float64 header boxes themselves, so the
 // Get/Put cycle allocates nothing at steady state (a bare
 // sync.Pool.Put(&v) would heap-allocate the box on every call).
 var boxPool = sync.Pool{New: func() any { return new([]float64) }}
 
+// vecClass returns the smallest class whose buffers hold n floats.
+func vecClass(n int) int { return bits.Len(uint(n - 1)) }
+
 // GetVec returns a pooled float64 slice of length n with UNDEFINED contents;
 // the caller's first operation must fully overwrite it. Return it with
 // PutVec when no longer referenced.
 func GetVec(n int) []float64 {
-	var buf []float64
-	if p, _ := pool.Get().(*[]float64); p != nil {
-		buf = *p
-		*p = nil
-		boxPool.Put(p)
+	if n <= 0 {
+		return nil
 	}
-	if cap(buf) < n {
-		// Round up so one long-lived buffer serves many nearby sizes.
-		buf = make([]float64, roundUpPow2(n))
+	c := vecClass(n)
+	if c < vecClasses {
+		if p, _ := vecPools[c].Get().(*[]float64); p != nil {
+			buf := *p
+			*p = nil
+			boxPool.Put(p)
+			return buf[:n]
+		}
 	}
-	return buf[:n]
+	return make([]float64, 1<<c)[:n]
 }
 
 // PutVec recycles a slice obtained from GetVec (or any slice whose backing
-// array the caller owns outright — never a view into shared storage).
+// array the caller owns outright — never a view into shared storage). The
+// buffer is filed under the largest class its capacity fully covers, so a
+// later Get from that class always fits.
 func PutVec(v []float64) {
 	if cap(v) == 0 {
 		return
 	}
+	c := bits.Len(uint(cap(v))) - 1 // floor log2
+	if c >= vecClasses {
+		c = vecClasses - 1
+	}
 	p := boxPool.Get().(*[]float64)
 	*p = v[:cap(v)]
-	pool.Put(p)
+	vecPools[c].Put(p)
 }
 
 // GetVecZero returns a pooled zeroed slice of length n.

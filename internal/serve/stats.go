@@ -82,6 +82,12 @@ type Stats struct {
 	LatencyCount  uint64  `json:"latency_count"`
 	LatencyMeanMs float64 `json:"latency_mean_ms"`
 	LatencyMaxMs  float64 `json:"latency_max_ms"`
+
+	// SchedPeakInflight is the largest in-flight task-descriptor count any
+	// pooled session's runtime reached (the windowed-submission bound);
+	// SchedStolen sums the tasks executed by work stealing across sessions.
+	SchedPeakInflight int `json:"sched_peak_inflight"`
+	SchedStolen       int `json:"sched_stolen"`
 }
 
 // Snapshot assembles the current statistics.
@@ -115,6 +121,11 @@ func (s *Server) Snapshot() Stats {
 			st.CacheMisses += m
 			st.CachedFactors += sess.Cache().Len()
 			st.Sessions++
+			sched := sess.SchedulerStats()
+			if sched.PeakInflight > st.SchedPeakInflight {
+				st.SchedPeakInflight = sched.PeakInflight
+			}
+			st.SchedStolen += sched.Stolen
 		}
 		sh.mu.Unlock()
 	}

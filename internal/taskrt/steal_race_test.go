@@ -1,0 +1,72 @@
+//go:build race
+
+package taskrt
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// The work-stealing stress test runs under the race detector only: its value
+// is the detector sweeping the scheduler's queue handoff, owner-affinity
+// recording and steal path under heavy contention while failures propagate.
+
+// runStealWorkload drives a serial read-write chain (pinned to its owner's
+// queue by the affinity router) interleaved with independent filler tasks
+// that keep every worker busy, through a throttled submitter with an
+// injected failure. It returns the steal count, tasks executed and the
+// scope's recorded error.
+func runStealWorkload(sentinel error) (stolen int, ran int64, err error) {
+	rt := New(4)
+	defer rt.Shutdown()
+	th := NewThrottle(rt, 64)
+	chain := th.NewHandle("chain")
+	var count atomic.Int64
+	const total = 2000
+	for i := 0; i < total; i++ {
+		i := i
+		if i%5 == 0 {
+			// Fillers occupy whichever worker owns the chain's queue, so
+			// ready chain tasks back up there and idle workers raid them.
+			th.Submit("filler", 1, func() {
+				count.Add(1)
+				time.Sleep(20 * time.Microsecond)
+			})
+			continue
+		}
+		th.SubmitErr("chain", 0, func() error {
+			count.Add(1)
+			if i == 777 {
+				return sentinel
+			}
+			return nil
+		}, ReadWrite(chain))
+	}
+	th.Wait()
+	return rt.Snapshot().Stolen, count.Load(), th.Err()
+}
+
+// TestStealStressWithFailureInjection checks, under contention, that the
+// serial chain loses no updates, the injected failure surfaces exactly once
+// through the throttled scope, and that work stealing actually fires (the
+// owner's queue is raided while it runs fillers). Steals are timing-
+// dependent, so the workload retries a few times before declaring the
+// stealing path dead.
+func TestStealStressWithFailureInjection(t *testing.T) {
+	sentinel := errors.New("injected failure")
+	for attempt := 0; attempt < 5; attempt++ {
+		stolen, ran, err := runStealWorkload(sentinel)
+		if ran != 2000 {
+			t.Fatalf("attempt %d: ran %d tasks, want 2000 (lost chain updates)", attempt, ran)
+		}
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("attempt %d: scope error = %v, want the injected failure", attempt, err)
+		}
+		if stolen > 0 {
+			return
+		}
+	}
+	t.Error("no steals observed across 5 contended runs")
+}

@@ -3,7 +3,12 @@
 // it accesses named data handles (read, write or read-write), and the
 // runtime infers the dependency DAG from those declarations — the
 // "sequential task flow" model. Ready tasks are executed by a pool of worker
-// goroutines, highest priority first.
+// goroutines through per-worker priority queues with owner-computes
+// affinity: a ready task is enqueued on the worker that last wrote the data
+// it writes (its output tile is warm in that worker's cache), idle workers
+// steal the best-priority task from the busiest-looking peer, and within a
+// queue the original priority semantics (higher first, submission order as
+// tie-break) are preserved.
 //
 // This is the substrate on which the tiled Cholesky factorization and the
 // tiled PMVN integration (Algorithms 1–3 of the paper, red boxes (a)–(d))
@@ -30,12 +35,15 @@ const (
 
 // Handle identifies a piece of data (typically one tile) whose access
 // sequence defines task dependencies. Handles are created by
-// Runtime.NewHandle and are only mutated during task submission, which is
-// single-threaded by the STF contract.
+// Runtime.NewHandle; the dependency fields are only mutated during task
+// submission, which is single-threaded by the STF contract, while owner (the
+// worker that last completed a writer task — the locality hint) is guarded
+// by the runtime scheduler lock.
 type Handle struct {
 	name       string
 	lastWriter *task
 	readers    []*task
+	owner      int // worker that last wrote the data; -1 = unwritten
 }
 
 // String returns the debug name of the handle.
@@ -63,6 +71,9 @@ type task struct {
 	seq      int64  // submission order, tie-breaker for determinism
 	onDone   func() // completion callback (group bookkeeping), may be nil
 
+	writes []*Handle // handles this task writes; writes[0] is the affinity key
+	queue  int       // worker queue the ready task was placed on
+
 	mu         sync.Mutex
 	remaining  int
 	done       bool
@@ -82,12 +93,23 @@ func (t *task) addSuccessor(succ *task) bool {
 }
 
 // Stats aggregates per-task-kind execution counts and busy time, plus the
-// peak depth the ready queue reached (how far ahead of the workers the
-// submitted graph ran — a scheduler-behavior signal the CLI can report).
+// scheduler-behavior signals the CLI and the serving layer report: the peak
+// depth of the ready queues (how far ahead of the workers the submitted
+// graph ran), the peak number of live task descriptors (how much graph a
+// windowed submission actually kept in flight) and how many ready tasks were
+// stolen off their affinity owner's queue.
 type Stats struct {
-	Tasks     map[string]int
-	BusyTime  map[string]time.Duration
+	Tasks    map[string]int
+	BusyTime map[string]time.Duration
+	// PeakReady is the deepest the ready queues have been (summed).
 	PeakReady int
+	// PeakInflight is the most task descriptors alive at once — submitted
+	// but not yet finished, whether waiting on dependencies, ready or
+	// running. Windowed submission bounds exactly this number.
+	PeakInflight int
+	// Stolen counts ready tasks executed by a worker other than the one
+	// their owner-computes affinity placed them on.
+	Stolen int
 }
 
 // Total returns the number of tasks executed across all kinds.
@@ -160,14 +182,16 @@ func (e *errScope) take() error {
 type Runtime struct {
 	workers int
 
-	mu        sync.Mutex
-	cond      *sync.Cond // workers: ready-queue not empty / closed
-	idle      *sync.Cond // waiters: inflight dropped to zero
-	ready     taskHeap
-	closed    bool
-	seq       int64
-	inflight  int // tasks submitted but not yet finished
-	peakReady int // deepest the ready queue has been
+	mu           sync.Mutex
+	cond         *sync.Cond // workers: some ready queue not empty / closed
+	idle         *sync.Cond // waiters: inflight dropped to zero
+	queues       []taskHeap // one priority queue per worker
+	readyCount   int        // tasks across all queues
+	closed       bool
+	seq          int64
+	inflight     int // tasks submitted but not yet finished
+	peakReady    int // deepest the ready queues have been (summed)
+	peakInflight int // most task descriptors alive at once
 
 	statsMu sync.Mutex
 	stats   Stats
@@ -185,6 +209,7 @@ func New(workers int) *Runtime {
 	}
 	r := &Runtime{
 		workers: workers,
+		queues:  make([]taskHeap, workers),
 		stats:   Stats{Tasks: map[string]int{}, BusyTime: map[string]time.Duration{}},
 	}
 	r.cond = sync.NewCond(&r.mu)
@@ -201,7 +226,7 @@ func (r *Runtime) Workers() int { return r.workers }
 
 // NewHandle registers a named data handle.
 func (r *Runtime) NewHandle(format string, args ...any) *Handle {
-	return &Handle{name: fmt.Sprintf(format, args...)}
+	return &Handle{name: fmt.Sprintf(format, args...), owner: -1}
 }
 
 // Submit enqueues a task. The runtime derives its dependencies from how
@@ -235,6 +260,9 @@ func (r *Runtime) submit(name string, priority int, fn func(), onDone func(), de
 	t := &task{name: name, fn: fn, priority: priority, onDone: onDone}
 	r.mu.Lock()
 	r.inflight++
+	if r.inflight > r.peakInflight {
+		r.peakInflight = r.inflight
+	}
 	r.mu.Unlock()
 
 	// Collect unique predecessor tasks.
@@ -257,6 +285,7 @@ func (r *Runtime) submit(name string, priority int, fn func(), onDone func(), de
 			}
 			d.H.lastWriter = t
 			d.H.readers = nil
+			t.writes = append(t.writes, d.H)
 		default:
 			panic("taskrt: invalid access mode")
 		}
@@ -276,29 +305,70 @@ func (r *Runtime) submit(name string, priority int, fn func(), onDone func(), de
 	}
 }
 
+// push places a ready task on a worker queue: the one that last wrote the
+// task's output handle when known (owner-computes affinity — the data the
+// task is about to touch is warm in that worker's cache), otherwise spread
+// round-robin by submission sequence.
 func (r *Runtime) push(t *task) {
 	r.mu.Lock()
 	t.seq = r.seq
 	r.seq++
-	heap.Push(&r.ready, t)
-	if len(r.ready) > r.peakReady {
-		r.peakReady = len(r.ready)
+	q := -1
+	if len(t.writes) > 0 {
+		q = t.writes[0].owner
+	}
+	if q < 0 {
+		q = int(t.seq) % len(r.queues)
+	}
+	t.queue = q
+	heap.Push(&r.queues[q], t)
+	r.readyCount++
+	if r.readyCount > r.peakReady {
+		r.peakReady = r.readyCount
 	}
 	r.mu.Unlock()
 	r.cond.Signal()
 }
 
+// take pops the next task for worker id under r.mu: its own queue first
+// (affinity), otherwise it steals the best-priority ready task among the
+// other queues' tops, so the global priority semantics still decide what an
+// idle worker picks up.
+func (r *Runtime) take(id int) *task {
+	if len(r.queues[id]) > 0 {
+		r.readyCount--
+		return heap.Pop(&r.queues[id]).(*task)
+	}
+	victim := -1
+	for q := range r.queues {
+		if q == id || len(r.queues[q]) == 0 {
+			continue
+		}
+		if victim < 0 || taskBefore(r.queues[q][0], r.queues[victim][0]) {
+			victim = q
+		}
+	}
+	if victim < 0 {
+		return nil
+	}
+	r.readyCount--
+	return heap.Pop(&r.queues[victim]).(*task)
+}
+
 func (r *Runtime) worker(id int) {
 	for {
 		r.mu.Lock()
-		for len(r.ready) == 0 && !r.closed {
+		var t *task
+		for {
+			if t = r.take(id); t != nil || r.closed {
+				break
+			}
 			r.cond.Wait()
 		}
-		if r.closed && len(r.ready) == 0 {
+		if t == nil {
 			r.mu.Unlock()
 			return
 		}
-		t := heap.Pop(&r.ready).(*task)
 		r.mu.Unlock()
 
 		start := time.Now()
@@ -309,7 +379,21 @@ func (r *Runtime) worker(id int) {
 		r.statsMu.Lock()
 		r.stats.Tasks[t.name]++
 		r.stats.BusyTime[t.name] += elapsed
+		if t.queue != id {
+			r.stats.Stolen++
+		}
 		r.statsMu.Unlock()
+
+		// Record ownership of the written data before any successor can
+		// become ready: a successor pushed after this point reads the
+		// owner under the same scheduler lock.
+		if len(t.writes) > 0 {
+			r.mu.Lock()
+			for _, h := range t.writes {
+				h.owner = id
+			}
+			r.mu.Unlock()
+		}
 
 		t.mu.Lock()
 		t.done = true
@@ -404,6 +488,83 @@ func (g *Group) Err() error { return g.errs.take() }
 // Wait blocks until every task submitted through this group has completed.
 func (g *Group) Wait() { g.wg.Wait() }
 
+// Throttle is a Submitter decorator that bounds the number of
+// submitted-but-unfinished tasks: Submit blocks the STF master while the
+// bound is reached and resumes as tasks complete. This is the windowed
+// ("lookahead") submission used by the streamed factorization — task
+// descriptors for an nt-tile Cholesky number O(nt³), so submitting the whole
+// graph eagerly costs more memory than the matrix; the throttle keeps only a
+// scheduling window alive.
+//
+// Blocking the master is deadlock-free under the STF contract: a submitted
+// task can only depend on earlier-submitted tasks, so the tasks already in
+// flight always make progress without the master.
+type Throttle struct {
+	sub      Submitter
+	mu       sync.Mutex
+	cond     *sync.Cond
+	limit    int
+	inflight int
+}
+
+// NewThrottle wraps sub with an in-flight task bound of limit (at least 1).
+func NewThrottle(sub Submitter, limit int) *Throttle {
+	if limit < 1 {
+		limit = 1
+	}
+	t := &Throttle{sub: sub, limit: limit}
+	t.cond = sync.NewCond(&t.mu)
+	return t
+}
+
+// NewHandle registers a named data handle on the underlying scope.
+func (th *Throttle) NewHandle(format string, args ...any) *Handle {
+	return th.sub.NewHandle(format, args...)
+}
+
+func (th *Throttle) acquire() {
+	th.mu.Lock()
+	for th.inflight >= th.limit {
+		th.cond.Wait()
+	}
+	th.inflight++
+	th.mu.Unlock()
+}
+
+func (th *Throttle) release() {
+	th.mu.Lock()
+	th.inflight--
+	th.mu.Unlock()
+	th.cond.Signal()
+}
+
+// Submit enqueues a task, blocking while the in-flight bound is reached.
+func (th *Throttle) Submit(name string, priority int, fn func(), deps ...Dep) {
+	th.acquire()
+	th.sub.Submit(name, priority, func() {
+		fn()
+		th.release()
+	}, deps...)
+}
+
+// SubmitErr enqueues a fallible task, blocking while the in-flight bound is
+// reached; errors propagate to the underlying scope.
+func (th *Throttle) SubmitErr(name string, priority int, fn func() error, deps ...Dep) {
+	th.acquire()
+	th.sub.SubmitErr(name, priority, func() error {
+		err := fn()
+		th.release()
+		return err
+	}, deps...)
+}
+
+// Err reports the underlying scope's first recorded failure.
+func (th *Throttle) Err() error { return th.sub.Err() }
+
+// Wait blocks until every task submitted through the underlying scope has
+// completed.
+func (th *Throttle) Wait() { th.sub.Wait() }
+
 // Scatter adapts an optional Submitter to a fan-out of independent tasks:
 // run executes fn inline when sub is nil, or submits it under name
 // (priority 0, no dependencies) otherwise; wait blocks until every
@@ -444,10 +605,14 @@ func ForEachLimit(n, limit int, fn func(int)) {
 func (r *Runtime) Snapshot() Stats {
 	r.mu.Lock()
 	peak := r.peakReady
+	peakIn := r.peakInflight
 	r.mu.Unlock()
 	r.statsMu.Lock()
 	defer r.statsMu.Unlock()
-	s := Stats{Tasks: map[string]int{}, BusyTime: map[string]time.Duration{}, PeakReady: peak}
+	s := Stats{
+		Tasks: map[string]int{}, BusyTime: map[string]time.Duration{},
+		PeakReady: peak, PeakInflight: peakIn, Stolen: r.stats.Stolen,
+	}
 	for k, v := range r.stats.Tasks {
 		s.Tasks[k] = v
 	}
@@ -457,18 +622,22 @@ func (r *Runtime) Snapshot() Stats {
 	return s
 }
 
+// taskBefore reports whether a should run before b: higher priority first,
+// earlier submission as tie-break.
+func taskBefore(a, b *task) bool {
+	if a.priority != b.priority {
+		return a.priority > b.priority
+	}
+	return a.seq < b.seq
+}
+
 // taskHeap is a max-heap on (priority, earlier submission wins ties).
 type taskHeap []*task
 
-func (h taskHeap) Len() int { return len(h) }
-func (h taskHeap) Less(i, j int) bool {
-	if h[i].priority != h[j].priority {
-		return h[i].priority > h[j].priority
-	}
-	return h[i].seq < h[j].seq
-}
-func (h taskHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *taskHeap) Push(x any)   { *h = append(*h, x.(*task)) }
+func (h taskHeap) Len() int           { return len(h) }
+func (h taskHeap) Less(i, j int) bool { return taskBefore(h[i], h[j]) }
+func (h taskHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *taskHeap) Push(x any)        { *h = append(*h, x.(*task)) }
 func (h *taskHeap) Pop() any {
 	old := *h
 	n := len(old)

@@ -1,6 +1,7 @@
 package tlr
 
 import (
+	"repro/internal/engine"
 	"repro/internal/linalg"
 	"repro/internal/taskrt"
 	"repro/internal/tile"
@@ -31,43 +32,73 @@ func BuildFromKernelACA(sub taskrt.Submitter, g geomLike, k kernelLike, ts int, 
 		a.Low[i] = make([]*LRTile, i)
 		run(func() {
 			d := linalg.NewMatrix(ri, ri)
-			for c := 0; c < ri; c++ {
-				for r := 0; r < ri; r++ {
-					d.Set(r, c, covAt(g, k, i*ts+r, i*ts+c))
-				}
-			}
+			fillKernelDiag(d, g, k, ts, i)
 			a.Diag[i] = d
 		})
 		for j := 0; j < i; j++ {
 			j := j
 			run(func() {
-				rj := a.TileRows(j)
-				row0, col0 := i*ts, j*ts
-				entry := func(r, c int) float64 {
-					return covAt(g, k, row0+r, col0+c)
-				}
-				lt, ok := tile.CompressACAConv(ri, rj, entry, tol, maxRank)
-				if !ok {
-					// The cross iteration ran out of rank budget (typical
-					// for near-diagonal tiles of smooth kernels): a capped
-					// ACA has uncontrolled error, so densify and take the
-					// optimal truncation instead.
-					d := linalg.GetMat(ri, rj)
-					for c := 0; c < rj; c++ {
-						col := d.Col(c)
-						for r := 0; r < ri; r++ {
-							col[r] = entry(r, c)
-						}
-					}
-					lt = tile.Compress(d, tol, maxRank)
-					linalg.PutMat(d)
-				}
-				a.Low[i][j] = lt
+				a.Low[i][j] = acaOffTile(g, k, ts, tol, maxRank, i, j, ri, a.TileRows(j))
 			})
 		}
 	}
 	wait()
 	return a
+}
+
+// fillKernelDiag evaluates diagonal tile i of the kernel into d (ri×ri).
+func fillKernelDiag(d *linalg.Matrix, g geomLike, k kernelLike, ts, i int) {
+	for c := 0; c < d.Cols; c++ {
+		col := d.Col(c)
+		for r := range col {
+			col[r] = covAt(g, k, i*ts+r, i*ts+c)
+		}
+	}
+}
+
+// acaOffTile builds off-diagonal tile (i,j) by ACA, densifying for the
+// optimal truncation when the cross iteration runs out of rank budget
+// (typical for near-diagonal tiles of smooth kernels, where a capped ACA
+// has uncontrolled error).
+func acaOffTile(g geomLike, k kernelLike, ts int, tol float64, maxRank, i, j, ri, rj int) *LRTile {
+	row0, col0 := i*ts, j*ts
+	entry := func(r, c int) float64 {
+		return covAt(g, k, row0+r, col0+c)
+	}
+	lt, ok := tile.CompressACAConv(ri, rj, entry, tol, maxRank)
+	if !ok {
+		d := linalg.GetMat(ri, rj)
+		for c := 0; c < rj; c++ {
+			col := d.Col(c)
+			for r := 0; r < ri; r++ {
+				col[r] = entry(r, c)
+			}
+		}
+		lt = tile.Compress(d, tol, maxRank)
+		linalg.PutMat(d)
+	}
+	return lt
+}
+
+// KernelAssembler returns a streaming assembler producing the TLR layout —
+// dense float64 diagonal, ACA low-rank off-diagonal, exactly the tiles
+// BuildFromKernelACA materializes — directly inside the factorization graph,
+// for engine.PotrfStream on grid. Diagonal tiles draw from the workspace
+// pool (the grid becomes engine-owned); the covariance matrix as a whole is
+// never materialized.
+func KernelAssembler(grid *engine.Grid, g geomLike, k kernelLike, tol float64, maxRank int) *engine.Assembler {
+	ts := grid.TS
+	return &engine.Assembler{
+		Tile: func(i, j int) tile.Tile {
+			ri := grid.TileRows(i)
+			if i == j {
+				d := linalg.GetMat(ri, ri)
+				fillKernelDiag(d, g, k, ts, i)
+				return &tile.DenseF64{D: d}
+			}
+			return acaOffTile(g, k, ts, tol, maxRank, i, j, ri, grid.TileRows(j))
+		},
+	}
 }
 
 // geomLike and kernelLike are the minimal interfaces ACA assembly needs;
