@@ -20,10 +20,12 @@
 package parmvn
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"repro/internal/stats"
 	"runtime"
+	"time"
 
 	"repro/internal/cov"
 	"repro/internal/engine"
@@ -288,14 +290,73 @@ func (c Config) withDefaults() Config {
 }
 
 // Result is a probability estimate with its randomized-QMC standard error
-// (zero unless Replicates ≥ 2).
+// (zero unless Replicates ≥ 2 or the query set an accuracy/latency budget).
 type Result struct {
 	Prob   float64
 	StdErr float64
+	// RelErr is the achieved relative-error estimate StdErr/|Prob| (0 when
+	// no replicate spread was computed, +Inf for a zero estimate with
+	// nonzero spread).
+	RelErr float64
+	// Samples is the total number of QMC samples evaluated across all
+	// replicates — under early stopping, the cost actually paid.
+	Samples int
+	// Converged reports that early stopping met the requested MaxRelErr; a
+	// false value on a budgeted query means the estimate was capped by the
+	// sample budget, the deadline or cancellation.
+	Converged bool
+	// Canceled reports that the query's context was canceled
+	// mid-integration; Prob/StdErr still hold the partial estimate from the
+	// waves that completed.
+	Canceled bool
 	// Stats, populated only when Config.CollectStats is set, is a snapshot
 	// of the session runtime's cumulative scheduler statistics taken when
 	// the query's batch completed (shared across the batch's results).
 	Stats *taskrt.Stats
+}
+
+// QueryOpts are per-query accuracy/latency budgets. The zero value means
+// unconstrained: the query runs the session's fixed QMCSize integration,
+// bit-identical to the path without opts. Setting any budget routes the
+// query through the wave-structured early-stopping integration (see
+// internal/mvn): samples accrue in incremental replicate-stratified waves
+// and the query stops at the first wave boundary where the accuracy target
+// is met or a budget is exhausted, reporting the achieved error and the
+// samples actually paid.
+type QueryOpts struct {
+	// MaxRelErr > 0 stops the integration once the streaming relative-error
+	// estimate drops to this target. Config.QMCSize becomes the TOTAL
+	// sample budget across replicates, so an unreachable target never costs
+	// more than the unconstrained query.
+	MaxRelErr float64
+	// Budget caps the query's wall clock, measured from when its
+	// integration starts. At least one wave always runs, so a blown budget
+	// still yields an estimate with an error bar.
+	Budget time.Duration
+	// Deadline is an absolute wall-clock cap; when set it takes precedence
+	// over Budget. Serving layers that admit a request at one time and
+	// start integrating later use this form.
+	Deadline time.Time
+	// WaveSize is the number of samples appended per replicate per wave
+	// (rounded up to whole lane blocks). Default: one lane block.
+	WaveSize int
+	// Ctx, when non-nil, is checked between waves: on cancellation the
+	// query returns the partial estimate with its error bar and the
+	// Canceled flag.
+	Ctx context.Context
+}
+
+// apply resolves the per-query budgets onto the session's base options.
+//repro:noalloc
+func (q QueryOpts) apply(o mvn.Options) mvn.Options {
+	o.MaxRelErr = q.MaxRelErr
+	o.WaveSize = q.WaveSize
+	o.Ctx = q.Ctx
+	o.Deadline = q.Deadline
+	if o.Deadline.IsZero() && q.Budget > 0 {
+		o.Deadline = time.Now().Add(q.Budget)
+	}
+	return o
 }
 
 // Session owns a task-runtime worker pool, a configuration and a factor
@@ -488,7 +549,17 @@ func (s *Session) mvnOpts() mvn.Options {
 // parallelizes across queries. Results are identical either way.
 //repro:noalloc
 func (s *Session) MVNProb(locs []Point, kernel KernelSpec, a, b []float64) (Result, error) {
-	return s.prob(locs, kernel, 0, a, b)
+	return s.prob(locs, kernel, 0, a, b, QueryOpts{})
+}
+
+// MVNProbOpts is MVNProb with per-query accuracy/latency budgets: with any
+// budget set the integration runs as incremental waves and stops at the
+// first wave boundary where the target is met or the budget is exhausted
+// (see QueryOpts). A zero opts value is exactly MVNProb. A warm budgeted
+// query still runs allocation-free end to end — the wave state is pooled.
+//repro:noalloc
+func (s *Session) MVNProbOpts(locs []Point, kernel KernelSpec, a, b []float64, opts QueryOpts) (Result, error) {
+	return s.prob(locs, kernel, 0, a, b, opts)
 }
 
 // prob is the shared direct-query path behind MVNProb (nu = 0) and MVTProb
@@ -496,7 +567,7 @@ func (s *Session) MVNProb(locs []Point, kernel KernelSpec, a, b []float64) (Resu
 // the batch entry points, and an empty box (some a[i] ≥ b[i]) returns
 // probability 0 without assembling or factorizing anything.
 //repro:noalloc
-func (s *Session) prob(locs []Point, kernel KernelSpec, nu float64, a, b []float64) (Result, error) {
+func (s *Session) prob(locs []Point, kernel KernelSpec, nu float64, a, b []float64, q QueryOpts) (Result, error) {
 	empty, err := validateQuery(len(locs), a, b)
 	if err != nil {
 		return Result{}, err
@@ -516,7 +587,7 @@ func (s *Session) prob(locs []Point, kernel KernelSpec, nu float64, a, b []float
 	if err != nil {
 		return Result{}, err
 	}
-	res := s.query(f, a, b, nu, s.mvnOpts())
+	res := s.query(f, a, b, nu, q.apply(s.mvnOpts()))
 	s.attachStats(&res)
 	return res, nil
 }
@@ -540,7 +611,17 @@ func (s *Session) MVTProb(locs []Point, kernel KernelSpec, nu float64, a, b []fl
 	if err := validateNu(nu); err != nil {
 		return Result{}, err
 	}
-	return s.prob(locs, kernel, nu, a, b)
+	return s.prob(locs, kernel, nu, a, b, QueryOpts{})
+}
+
+// MVTProbOpts is MVTProb with per-query accuracy/latency budgets (see
+// QueryOpts and MVNProbOpts).
+//repro:noalloc
+func (s *Session) MVTProbOpts(locs []Point, kernel KernelSpec, nu float64, a, b []float64, opts QueryOpts) (Result, error) {
+	if err := validateNu(nu); err != nil {
+		return Result{}, err
+	}
+	return s.prob(locs, kernel, nu, a, b, opts)
 }
 
 // attachStats snapshots the runtime scheduler statistics onto a result when

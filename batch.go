@@ -1,6 +1,8 @@
 package parmvn
 
 import (
+	"fmt"
+
 	"repro/internal/mvn"
 	"repro/internal/taskrt"
 )
@@ -10,6 +12,30 @@ type Bounds struct {
 	A, B []float64
 }
 
+// optAt resolves the per-query opts of a batch: nil means every query is
+// unconstrained, a single element is shared by all queries, and a
+// len(queries) slice assigns opts query by query (validated up front).
+//repro:noalloc
+func optAt(opts []QueryOpts, i int) QueryOpts {
+	switch len(opts) {
+	case 0:
+		return QueryOpts{}
+	case 1:
+		return opts[0]
+	default:
+		return opts[i]
+	}
+}
+
+//repro:noalloc
+func validateBatchOpts(opts []QueryOpts, nq int) error {
+	if len(opts) > 1 && len(opts) != nq {
+		//repro:alloc-ok rejection path
+		return fmt.Errorf("parmvn: %d opts for %d queries (want 0, 1 or %d)", len(opts), nq, nq)
+	}
+	return nil
+}
+
 // MVNProbBatch computes Φn(a,b;0,Σ) for every query against the single
 // covariance assembled from the kernel at locs. Σ is factorized once — from
 // the session factor cache when warm — and the independent queries fan out
@@ -17,7 +43,16 @@ type Bounds struct {
 // parallel integrations. With a fixed configuration the results are
 // identical to len(queries) sequential MVNProb calls.
 func (s *Session) MVNProbBatch(locs []Point, kernel KernelSpec, queries []Bounds) ([]Result, error) {
-	return s.probBatch(locs, kernel, 0, queries)
+	return s.probBatch(locs, kernel, 0, queries, nil)
+}
+
+// MVNProbBatchOpts is MVNProbBatch with per-query accuracy/latency budgets:
+// opts may be nil (all unconstrained), a single element (shared by every
+// query) or one element per query. Budgeted queries run the wave-structured
+// early-stopping integration; unconstrained ones are bit-identical to
+// MVNProbBatch.
+func (s *Session) MVNProbBatchOpts(locs []Point, kernel KernelSpec, queries []Bounds, opts []QueryOpts) ([]Result, error) {
+	return s.probBatch(locs, kernel, 0, queries, opts)
 }
 
 // MVTProbBatch is MVNProbBatch for the multivariate Student-t probability
@@ -29,14 +64,26 @@ func (s *Session) MVTProbBatch(locs []Point, kernel KernelSpec, nu float64, quer
 	if err := validateNu(nu); err != nil {
 		return nil, err
 	}
-	return s.probBatch(locs, kernel, nu, queries)
+	return s.probBatch(locs, kernel, nu, queries, nil)
+}
+
+// MVTProbBatchOpts is MVTProbBatch with per-query accuracy/latency budgets
+// (see MVNProbBatchOpts for the opts conventions).
+func (s *Session) MVTProbBatchOpts(locs []Point, kernel KernelSpec, nu float64, queries []Bounds, opts []QueryOpts) ([]Result, error) {
+	if err := validateNu(nu); err != nil {
+		return nil, err
+	}
+	return s.probBatch(locs, kernel, nu, queries, opts)
 }
 
 // probBatch is the shared kernel-covariance batch path (nu = 0 → MVN,
 // nu > 0 → MVT).
-func (s *Session) probBatch(locs []Point, kernel KernelSpec, nu float64, queries []Bounds) ([]Result, error) {
+func (s *Session) probBatch(locs []Point, kernel KernelSpec, nu float64, queries []Bounds, opts []QueryOpts) ([]Result, error) {
 	empty, anyLive, err := validateQueries(len(locs), queries)
 	if err != nil {
+		return nil, err
+	}
+	if err := validateBatchOpts(opts, len(queries)); err != nil {
 		return nil, err
 	}
 	if err := s.validateTileSize(len(locs)); err != nil {
@@ -54,7 +101,7 @@ func (s *Session) probBatch(locs []Point, kernel KernelSpec, nu float64, queries
 	if err != nil {
 		return nil, err
 	}
-	return s.evalBatch(f, queries, empty, nu)
+	return s.evalBatch(f, queries, empty, nu, opts)
 }
 
 // MVNProbCovBatch is MVNProbBatch for an explicit covariance matrix given as
@@ -78,7 +125,7 @@ func (s *Session) MVNProbCovBatch(sigma [][]float64, queries []Bounds) ([]Result
 	if err != nil {
 		return nil, err
 	}
-	return s.evalBatch(f, queries, empty, 0)
+	return s.evalBatch(f, queries, empty, 0, nil)
 }
 
 // query evaluates one pre-validated box against the factor (nu = 0 → MVN).
@@ -90,7 +137,10 @@ func (s *Session) query(f mvn.Factor, a, b []float64, nu float64, opts mvn.Optio
 	} else {
 		r = mvn.PMVN(s.rt, f, a, b, opts)
 	}
-	return Result{Prob: r.Prob, StdErr: r.StdErr}
+	return Result{
+		Prob: r.Prob, StdErr: r.StdErr, RelErr: r.RelErr,
+		Samples: r.Samples, Converged: r.Converged, Canceled: r.Canceled,
+	}
 }
 
 // evalBatch runs the pre-validated queries against one shared factor. Each
@@ -98,14 +148,14 @@ func (s *Session) query(f mvn.Factor, a, b []float64, nu float64, opts mvn.Optio
 // Rng), so result i is bit-identical to a standalone MVNProb/MVTProb with
 // the same inputs regardless of batching or execution order. Empty boxes
 // short-circuit to probability 0 without integrating.
-func (s *Session) evalBatch(f mvn.Factor, queries []Bounds, empty []bool, nu float64) ([]Result, error) {
+func (s *Session) evalBatch(f mvn.Factor, queries []Bounds, empty []bool, nu float64, qopts []QueryOpts) ([]Result, error) {
 	out := make([]Result, len(queries))
 	if s.cfg.SequentialBatch || len(queries) <= 1 {
 		for i, q := range queries {
 			if empty[i] {
 				continue
 			}
-			out[i] = s.query(f, q.A, q.B, nu, s.mvnOpts())
+			out[i] = s.query(f, q.A, q.B, nu, optAt(qopts, i).apply(s.mvnOpts()))
 		}
 		return s.finishBatch(out), nil
 	}
@@ -120,7 +170,7 @@ func (s *Session) evalBatch(f mvn.Factor, queries []Bounds, empty []bool, nu flo
 		if empty[i] {
 			return
 		}
-		out[i] = s.query(f, queries[i].A, queries[i].B, nu, opts)
+		out[i] = s.query(f, queries[i].A, queries[i].B, nu, optAt(qopts, i).apply(opts))
 	})
 	return s.finishBatch(out), nil
 }

@@ -53,7 +53,7 @@ func queryBenchLimits(n int) map[string][2][]float64 {
 	}
 }
 
-func benchWarmQuery(b *testing.B, method Method, side int, regime string, sweepF32 bool) {
+func benchWarmQuery(b *testing.B, method Method, side int, regime string, sweepF32 bool, maxRelErr float64) {
 	locs := Grid(side, side)
 	n := len(locs)
 	kernel := KernelSpec{Family: "matern", Range: 0.2, Nu: 2.5, Nugget: 0.05}
@@ -63,14 +63,15 @@ func benchWarmQuery(b *testing.B, method Method, side int, regime string, sweepF
 		AdaptiveF32Norm: 0.5, SweepF32: sweepF32,
 	})
 	defer s.Close()
+	opts := QueryOpts{MaxRelErr: maxRelErr}
 	// Warm the factor cache: iterations measure only the integration.
-	if _, err := s.MVNProb(locs, kernel, lim[0], lim[1]); err != nil {
+	if _, err := s.MVNProbOpts(locs, kernel, lim[0], lim[1], opts); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.MVNProb(locs, kernel, lim[0], lim[1]); err != nil {
+		if _, err := s.MVNProbOpts(locs, kernel, lim[0], lim[1], opts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -78,7 +79,12 @@ func benchWarmQuery(b *testing.B, method Method, side int, regime string, sweepF
 
 // BenchmarkQuery: warm-factor MVN queries (N=1000 chains) across methods,
 // sizes, limit regimes and sweep precisions (the default f64 sweep, and the
-// opt-in f32 conditioning sweep recorded as the sweep=f32 rows).
+// opt-in f32 conditioning sweep recorded as the sweep=f32 rows). The
+// earlystop rows run the same query with a 1e-3 relative-error target: the
+// wave path stops as soon as the streaming error estimate meets it, with the
+// same N=1000 as its TOTAL budget — so a cell that cannot converge (hard
+// regimes) pays at most the fixed-N cost, and an easy cell (wide, prob ≈ 1)
+// stops after the first wave.
 func BenchmarkQuery(b *testing.B) {
 	for _, m := range []Method{Dense, TLR, MethodAdaptive} {
 		for _, side := range []int{24, 40} { // n = 576, 1600
@@ -87,9 +93,14 @@ func BenchmarkQuery(b *testing.B) {
 					m, side, regime, sweep := m, side, regime, sweep
 					name := m.String() + "/n=" + itoa(side*side) + "/" + regime + "/sweep=" + sweep
 					b.Run(name, func(b *testing.B) {
-						benchWarmQuery(b, m, side, regime, sweep == "f32")
+						benchWarmQuery(b, m, side, regime, sweep == "f32", 0)
 					})
 				}
+				m, side, regime := m, side, regime
+				name := m.String() + "/n=" + itoa(side*side) + "/" + regime + "/earlystop=1e-3"
+				b.Run(name, func(b *testing.B) {
+					benchWarmQuery(b, m, side, regime, false, 1e-3)
+				})
 			}
 		}
 	}

@@ -37,6 +37,19 @@ import (
 	"repro/internal/serve"
 )
 
+// stopTag names how a budgeted query stopped: converged on its error
+// target, canceled, or capped by the sample/deadline budget.
+func stopTag(r parmvn.Result) string {
+	switch {
+	case r.Converged:
+		return "  (converged)"
+	case r.Canceled:
+		return "  (canceled)"
+	default:
+		return "  (budget-capped)"
+	}
+}
+
 // printStats reports the scheduler behavior of the run when the session
 // collected statistics (the -stats flag).
 func printStats(res parmvn.Result) {
@@ -80,6 +93,8 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile (taken after the run) to this file")
 	serveAddr := flag.String("serve", "", "serve HTTP/JSON queries on this address (same engine configuration) instead of computing one query")
 	sweep := flag.String("sweep", "f64", "QMC sweep precision: f64, or f32 for a float32 conditioning sweep (faster, accuracy within the QMC error bar)")
+	maxRelErr := flag.Float64("maxrelerr", 0, "early-stop relative-error target: the integration runs incremental waves and stops once the streaming error estimate meets it (0 = fixed -qmc samples)")
+	deadline := flag.Duration("deadline", 0, "wall-clock budget per query (e.g. 50ms); the running estimate is returned when it expires (0 = none)")
 	scalePath := flag.String("scale", "", "run the out-of-core scaling benchmark (streaming TLR factorize + warm query per size) and write JSON rows to this file")
 	scaleSizes := flag.String("scale-sizes", "10000,25000,50000", "comma-separated target dimensions for -scale (each rounded to a square grid)")
 	scaleTile := flag.Int("scale-tile", 512, "tile size for -scale runs")
@@ -191,6 +206,11 @@ func main() {
 		fmt.Printf("sweep          f32\n")
 	}
 	fmt.Printf("QMC            N=%d, %d replicates\n", *qmc, *reps)
+	qopts := parmvn.QueryOpts{MaxRelErr: *maxRelErr, Budget: *deadline}
+	budgeted := *maxRelErr > 0 || *deadline > 0
+	if budgeted {
+		fmt.Printf("early stop     target rel err %g, deadline %v (N is the total sample budget)\n", *maxRelErr, *deadline)
+	}
 	if *batch > 1 {
 		queries := make([]parmvn.Bounds, *batch)
 		for q := range queries {
@@ -204,14 +224,23 @@ func main() {
 			queries[q] = parmvn.Bounds{A: a, B: b}
 		}
 		start := time.Now()
-		results, err := s.MVNProbBatch(locs, kernel, queries)
+		var batchOpts []parmvn.QueryOpts
+		if budgeted {
+			batchOpts = []parmvn.QueryOpts{qopts} // shared by every query
+		}
+		results, err := s.MVNProbBatchOpts(locs, kernel, queries, batchOpts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mvnprob:", err)
 			os.Exit(1)
 		}
 		for q, r := range results {
-			fmt.Printf("  lower %+.4f  probability %.8g  stderr %.2e\n",
-				queries[q].A[0], r.Prob, r.StdErr)
+			if budgeted {
+				fmt.Printf("  lower %+.4f  probability %.8g  stderr %.2e  relerr %.2e  samples %d%s\n",
+					queries[q].A[0], r.Prob, r.StdErr, r.RelErr, r.Samples, stopTag(r))
+			} else {
+				fmt.Printf("  lower %+.4f  probability %.8g  stderr %.2e\n",
+					queries[q].A[0], r.Prob, r.StdErr)
+			}
 		}
 		hits, misses := s.Cache().Stats()
 		fmt.Printf("batch          %d queries, 1 factorization (cache %d hit / %d miss)\n",
@@ -226,13 +255,16 @@ func main() {
 			b[i] = *upper
 		}
 		start := time.Now()
-		res, err := s.MVNProb(locs, kernel, a, b)
+		res, err := s.MVNProbOpts(locs, kernel, a, b, qopts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mvnprob:", err)
 			os.Exit(1)
 		}
 		fmt.Printf("probability    %.8g\n", res.Prob)
 		fmt.Printf("std error      %.2e\n", res.StdErr)
+		if budgeted {
+			fmt.Printf("achieved       rel err %.3e with %d samples%s\n", res.RelErr, res.Samples, stopTag(res))
+		}
 		fmt.Printf("elapsed        %.3fs\n", time.Since(start).Seconds())
 		printStats(res)
 	}

@@ -53,6 +53,8 @@ func main() {
 	factorQueue := flag.Int("factor-queue", 0, "cold keys that may wait for a factorization slot (0 = default 8, negative = none)")
 	maxInflight := flag.Int("max-inflight", 0, "admitted requests before fast-fail (0 = default 1024)")
 	maxDim := flag.Int("max-dim", 0, "maximum problem dimension (0 = default 16384)")
+	degradeAt := flag.Float64("degrade-at", 0, "in-flight load fraction beyond which error budgets are loosened (0 = default 0.75, >=1 disables)")
+	maxErrFloor := flag.Float64("max-error-floor", 0, "loosest relative-error budget degradation may impose at full load (0 = default 0.01)")
 	flag.Parse()
 
 	m := parmvn.Dense
@@ -79,6 +81,8 @@ func main() {
 		FactorQueueDepth:  *factorQueue,
 		MaxInFlight:       *maxInflight,
 		MaxDim:            *maxDim,
+		DegradeAt:         *degradeAt,
+		MaxErrorFloor:     *maxErrFloor,
 	})
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}

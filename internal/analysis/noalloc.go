@@ -72,6 +72,17 @@ var noallocFuncs = map[string]bool{
 	"sync/atomic.(Bool).Store": true,
 	"sync/atomic.(Int64).Load": true,
 	"sync/atomic.(Int64).Add":  true,
+	// sync.Pool itself follows the same amortized-zero contract as the typed
+	// pool accessors above: Get allocates only via New on a cold miss.
+	"sync.(Pool).Get": true,
+	"sync.(Pool).Put": true,
+	// Wave-boundary budget checks: monotonic clock reads and pure Time value
+	// arithmetic, plus the lock-free ctx.Err poll — none allocate.
+	"time.Now":              true,
+	"time.(Time).IsZero":    true,
+	"time.(Time).Add":       true,
+	"time.(Time).Before":    true,
+	"context.(Context).Err": true,
 }
 
 // allowedBuiltins never allocate. panic is permitted because it terminates

@@ -1,10 +1,12 @@
 package mvn
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"sync"
+	"time"
 
 	"repro/internal/linalg"
 	"repro/internal/qmc"
@@ -43,6 +45,37 @@ type Options struct {
 	// by well under the QMC error bar. Ignored (f64 sweep) for a custom
 	// Factor that does not implement F32Sweeper.
 	SweepF32 bool
+	// MaxRelErr > 0 enables wave-structured early stopping: the integration
+	// runs replicate-stratified incremental sample waves (see wave.go) and
+	// stops as soon as the streaming relative-error estimate — the replicate
+	// spread across the waves seen so far, relative to the running estimate —
+	// drops to MaxRelErr. With early stopping active, N is the TOTAL sample
+	// budget across replicates (so an unreachable target never costs more
+	// than the fixed-N path), and Replicates below 2 is raised to a small
+	// default (the error estimate needs a spread).
+	MaxRelErr float64
+	// Deadline, when nonzero, caps the wall clock of the integration: the
+	// budget is checked between waves and the running estimate is returned
+	// (Converged false) once it expires. At least one wave always runs, so a
+	// blown deadline still yields an estimate with an error bar. Setting
+	// Deadline alone (MaxRelErr 0) routes the query through the wave path.
+	Deadline time.Time
+	// WaveSize is the number of samples appended to each replicate per wave,
+	// rounded up to whole lane blocks (SampleTile). Default: one lane block.
+	WaveSize int
+	// Ctx, when non-nil, is checked between waves: on cancellation the
+	// integration stops and returns the partial estimate with its error bar
+	// and the Canceled flag, instead of discarding the completed waves. Like
+	// Deadline, a non-nil Ctx routes the query through the wave path.
+	Ctx context.Context
+}
+
+// earlyStop reports whether the wave-structured path serves this query: any
+// accuracy target, latency budget or cancelable context engages it. With all
+// three unset the fixed-N path runs unchanged (bit-identical results).
+//repro:noalloc
+func (o Options) earlyStop() bool {
+	return o.MaxRelErr > 0 || !o.Deadline.IsZero() || o.Ctx != nil
 }
 
 //repro:noalloc
@@ -67,6 +100,20 @@ func (o Options) withDefaults(ts int) Options {
 type Result struct {
 	Prob   float64
 	StdErr float64
+	// RelErr is the achieved relative-error estimate StdErr/|Prob| (0 when
+	// the spread is exactly zero, +Inf for a zero estimate with nonzero
+	// spread, and 0 when no replicate spread was computed at all).
+	RelErr float64
+	// Samples is the total number of QMC samples evaluated across all
+	// replicates — under early stopping, the cost actually paid.
+	Samples int
+	// Converged reports that early stopping met the requested MaxRelErr; a
+	// false value on a budgeted query means the estimate was capped by the
+	// sample budget, the deadline or cancellation.
+	Converged bool
+	// Canceled reports that Options.Ctx was canceled mid-integration; Prob
+	// and StdErr still hold the estimate from the waves that completed.
+	Canceled bool
 }
 
 // PMVN evaluates Φn(a,b;0,Σ) = E[Π factors] given a Cholesky factor of Σ
@@ -95,6 +142,12 @@ func integrate(rt *taskrt.Runtime, f Factor, a, b []float64, o Options, nu float
 	}
 	inline := o.Inline || rt == nil || rt.Workers() == 1
 
+	// Accuracy/latency-budgeted queries run the incremental wave path; the
+	// unconstrained paths below are untouched (bit-identical results).
+	if o.earlyStop() {
+		return integrateWaves(rt, f, a, b, o, nu, genDim, inline)
+	}
+
 	// Warm fast path: one replicate, default generator — a pooled lattice
 	// and pooled workspaces end to end, so a cached-factor query allocates
 	// nothing.
@@ -102,7 +155,7 @@ func integrate(rt *taskrt.Runtime, f Factor, a, b []float64, o Options, nu float
 		g := qmc.GetRichtmyer(genDim, nil)
 		p := runReplicate(rt, f, a, b, g, o, nu, inline)
 		qmc.PutRichtmyer(g)
-		return Result{Prob: clampProb(p)}
+		return Result{Prob: clampProb(p), Samples: o.N}
 	}
 	//repro:alloc-ok replicated/custom-generator queries build one generator per replicate
 	return integrateReplicated(rt, f, a, b, o, nu, genDim, inline)
@@ -135,7 +188,7 @@ func integrateReplicated(rt *taskrt.Runtime, f Factor, a, b []float64, o Options
 		for rep, gen := range gens {
 			probs[rep] = runReplicate(rt, f, a, b, gen, o, nu, inline)
 		}
-		return reduceReplicates(probs)
+		return reduceReplicates(probs, o.N)
 	}
 	var wg sync.WaitGroup
 	for rep := range gens {
@@ -147,7 +200,7 @@ func integrateReplicated(rt *taskrt.Runtime, f Factor, a, b []float64, o Options
 		}()
 	}
 	wg.Wait()
-	return reduceReplicates(probs)
+	return reduceReplicates(probs, o.N)
 }
 
 // runReplicate evaluates one replicate: the sample-tile columns are
@@ -222,20 +275,22 @@ func genDimFor(f Factor, nu float64) int {
 }
 
 // reduceReplicates averages the replicate estimates and, with ≥2 replicates,
-// attaches the randomized-QMC standard error.
-func reduceReplicates(probs []float64) Result {
+// attaches the randomized-QMC standard error; n is the per-replicate sample
+// count (the total cost is len(probs)·n).
+func reduceReplicates(probs []float64, n int) Result {
 	mean := 0.0
 	for _, p := range probs {
 		mean += p
 	}
 	mean /= float64(len(probs))
-	res := Result{Prob: clampProb(mean)}
+	res := Result{Prob: clampProb(mean), Samples: len(probs) * n}
 	if len(probs) >= 2 {
 		ss := 0.0
 		for _, p := range probs {
 			ss += (p - mean) * (p - mean)
 		}
 		res.StdErr = math.Sqrt(ss / float64(len(probs)-1) / float64(len(probs)))
+		res.RelErr = relErrOf(mean, res.StdErr)
 	}
 	return res
 }

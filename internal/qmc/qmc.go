@@ -514,3 +514,24 @@ func FillShift(dst []float64, rng *rand.Rand) {
 		dst[i] = rng.Float64()
 	}
 }
+
+// FillShiftSeeded fills dst with a Cranley–Patterson shift derived from seed
+// by the splitmix64 recurrence — the allocation-free deterministic
+// counterpart of FillShift for paths that cannot afford a math/rand source
+// (the early-stopping wave integration draws one pooled shifted generator
+// per replicate on the warm serving path). Identical seeds produce identical
+// shifts on every platform.
+//repro:noalloc
+func FillShiftSeeded(dst []float64, seed uint64) {
+	x := seed
+	for i := range dst {
+		x += 0x9E3779B97F4A7C15
+		z := x
+		z ^= z >> 30
+		z *= 0xBF58476D1CE4E5B9
+		z ^= z >> 27
+		z *= 0x94D049BB133111EB
+		z ^= z >> 31
+		dst[i] = float64(z>>11) / (1 << 53)
+	}
+}

@@ -47,6 +47,18 @@ type Request struct {
 	// or "" the default double-precision sweep. The cached factor is shared
 	// across both.
 	Sweep string
+	// MaxError > 0 is the requested relative-error budget: the integration
+	// runs incremental sample waves and stops as soon as its streaming
+	// error estimate meets the budget. Under queue pressure the server may
+	// degrade (loosen) this budget up to Config.MaxErrorFloor instead of
+	// rejecting the request; the response reports the budget actually
+	// applied. 0 = fixed-size integration.
+	MaxError float64
+	// DeadlineMs > 0 caps the query's integration wall clock in
+	// milliseconds, measured from admission. A blown deadline still returns
+	// the running estimate with its error bar (converged=false) rather than
+	// an error. 0 = no deadline.
+	DeadlineMs float64
 }
 
 // Response is the wire result of one query.
@@ -58,6 +70,26 @@ type Response struct {
 	// Sweep echoes the sweep precision the query ran with ("f32"; omitted
 	// for the default f64 sweep).
 	Sweep string `json:"sweep,omitempty"`
+	// RelErr is the achieved relative-error estimate StdErr/|Prob| (omitted
+	// when no replicate spread was computed, or when the estimate is zero
+	// with nonzero spread — a relative error would be infinite).
+	RelErr float64 `json:"rel_err,omitempty"`
+	// Samples is the number of QMC samples the query actually paid, across
+	// all replicates; under a budget this is where the waves stopped.
+	Samples int `json:"samples,omitempty"`
+	// Converged reports that the integration met the applied max_error
+	// before exhausting its sample, deadline or context budget.
+	Converged bool `json:"converged,omitempty"`
+	// Canceled reports that the request context was canceled
+	// mid-integration; prob/stderr hold the partial estimate.
+	Canceled bool `json:"canceled,omitempty"`
+	// MaxError is the relative-error budget the query actually ran with —
+	// the requested max_error, or the degraded (loosened) budget admission
+	// control applied under load.
+	MaxError float64 `json:"max_error,omitempty"`
+	// Degraded reports that admission control loosened the error budget
+	// under queue pressure (max_error > the requested budget).
+	Degraded bool `json:"degraded,omitempty"`
 	// Coalesced reports that this request joined an in-flight
 	// factorization or batch instead of starting its own.
 	Coalesced bool    `json:"coalesced,omitempty"`
@@ -104,19 +136,23 @@ type wireGrid struct {
 //	  "lower": -0.5, "upper": 1.0,      // or broadcast scalars instead of a/b
 //	  "nu": 7,                          // mvtprob only: degrees of freedom
 //	  "method": "tlr",                  // optional: dense | tlr | adaptive
-//	  "sweep": "f32"                    // optional: f64 (default) | f32
+//	  "sweep": "f32",                   // optional: f64 (default) | f32
+//	  "max_error": 1e-3,                // optional: relative-error budget (early stop)
+//	  "deadline_ms": 50                 // optional: integration wall-clock cap
 //	}
 type wireRequest struct {
-	Locs   [][]float64 `json:"locs"`
-	Grid   *wireGrid   `json:"grid"`
-	Kernel *wireKernel `json:"kernel"`
-	A      []*float64  `json:"a"`
-	B      []*float64  `json:"b"`
-	Lower  *float64    `json:"lower"`
-	Upper  *float64    `json:"upper"`
-	Nu     float64     `json:"nu"`
-	Method string      `json:"method"`
-	Sweep  string      `json:"sweep"`
+	Locs       [][]float64 `json:"locs"`
+	Grid       *wireGrid   `json:"grid"`
+	Kernel     *wireKernel `json:"kernel"`
+	A          []*float64  `json:"a"`
+	B          []*float64  `json:"b"`
+	Lower      *float64    `json:"lower"`
+	Upper      *float64    `json:"upper"`
+	Nu         float64     `json:"nu"`
+	Method     string      `json:"method"`
+	Sweep      string      `json:"sweep"`
+	MaxError   float64     `json:"max_error"`
+	DeadlineMs float64     `json:"deadline_ms"`
 }
 
 // DecodeRequest parses and structurally validates one JSON request body.
@@ -138,8 +174,14 @@ func DecodeRequest(data []byte, lim Limits) (*Request, error) {
 		return nil, badReq("body", "%v", err)
 	}
 
-	req := &Request{Nu: w.Nu, Method: w.Method, Sweep: w.Sweep}
+	req := &Request{
+		Nu: w.Nu, Method: w.Method, Sweep: w.Sweep,
+		MaxError: w.MaxError, DeadlineMs: w.DeadlineMs,
+	}
 	if err := validSweep(req.Sweep); err != nil {
+		return nil, err
+	}
+	if err := validBudgets(req.MaxError, req.DeadlineMs); err != nil {
 		return nil, err
 	}
 	switch {
@@ -243,4 +285,19 @@ func validSweep(s string) error {
 		return nil
 	}
 	return badReq("sweep", "unknown sweep %q (want f64 or f32)", s)
+}
+
+// validBudgets accepts the per-request accuracy/latency budgets: both
+// optional (0 = unset), both finite and non-negative, max_error below 1 (a
+// relative-error budget of 1 or more stops after the first wave regardless
+// of the estimate — certainly a client mistake). Shared by DecodeRequest and
+// Server.do.
+func validBudgets(maxError, deadlineMs float64) error {
+	if math.IsNaN(maxError) || maxError < 0 || maxError >= 1 {
+		return badReq("max_error", "relative-error budget %g must be in [0,1)", maxError)
+	}
+	if math.IsNaN(deadlineMs) || math.IsInf(deadlineMs, 0) || deadlineMs < 0 {
+		return badReq("deadline_ms", "deadline %g must be finite and non-negative", deadlineMs)
+	}
+	return nil
 }

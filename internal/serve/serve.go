@@ -70,6 +70,17 @@ type Config struct {
 	MaxDim int
 	// MaxBodyBytes caps an HTTP request body. Default 8 MiB.
 	MaxBodyBytes int64
+	// DegradeAt is the in-flight load fraction (of MaxInFlight) beyond
+	// which admission control starts degrading: instead of letting the
+	// queue walk toward the 503 cliff at full accuracy, queries get their
+	// relative-error budget loosened — linearly with the excess load, up to
+	// MaxErrorFloor at the cap — so easy queries early-stop and shed
+	// compute. Default 0.75; ≥ 1 disables degradation.
+	DegradeAt float64
+	// MaxErrorFloor is the loosest relative-error budget degradation may
+	// impose; a request's own max_error is never tightened, only loosened
+	// toward (never past) this floor. Default 0.01.
+	MaxErrorFloor float64
 }
 
 func (c Config) withDefaults() Config {
@@ -98,6 +109,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 8 << 20
+	}
+	if c.DegradeAt <= 0 {
+		c.DegradeAt = 0.75
+	}
+	if c.MaxErrorFloor <= 0 {
+		c.MaxErrorFloor = 0.01
 	}
 	return c
 }
@@ -260,6 +277,7 @@ func (s *Server) Do(ctx context.Context, req *Request) (*Response, error) {
 	case err == nil:
 		resp.ElapsedMs = float64(time.Since(start).Microseconds()) / 1000
 		s.ctr.observeLatency(time.Since(start))
+		s.ctr.observeQuery(resp, req.MaxError > 0 || req.DeadlineMs > 0 || resp.MaxError > 0)
 	case errors.As(err, new(*RequestError)):
 		s.ctr.badRequests.Add(1)
 	case errors.Is(err, ErrOverloaded):
@@ -311,13 +329,18 @@ func (s *Server) do(ctx context.Context, req *Request) (*Response, error) {
 		return resp, nil
 	}
 
+	if err := validBudgets(req.MaxError, req.DeadlineMs); err != nil {
+		return nil, err
+	}
+	opt, degraded := s.queryOpts(ctx, req)
+
 	cfg := s.sessionConfig(method, n, sweepF32)
 	pk, err := cfg.ProblemKey(req.Locs, req.Kernel)
 	if err != nil {
 		return nil, badReq("kernel", "%v", err)
 	}
 	sh := s.shards[pk.Hash()%uint64(len(s.shards))]
-	ch, coalesced := sh.enqueue(flightKey{pk: pk, nu: req.Nu, f32: sweepF32}, pk, cfg, req)
+	ch, coalesced := sh.enqueue(flightKey{pk: pk, nu: req.Nu, f32: sweepF32}, pk, cfg, req, opt)
 	if coalesced {
 		s.ctr.coalesced.Add(1)
 	}
@@ -328,7 +351,15 @@ func (s *Server) do(ctx context.Context, req *Request) (*Response, error) {
 		}
 		resp := &Response{
 			Prob: r.res.Prob, StdErr: r.res.StdErr,
-			N: n, Method: method.String(), Coalesced: coalesced,
+			Samples: r.res.Samples, Converged: r.res.Converged,
+			Canceled: r.res.Canceled, MaxError: opt.MaxRelErr,
+			Degraded: degraded,
+			N:        n, Method: method.String(), Coalesced: coalesced,
+		}
+		// An infinite relative error (zero estimate, nonzero spread) has no
+		// JSON encoding; the omitted field plus prob/stderr says the same.
+		if !math.IsInf(r.res.RelErr, 0) {
+			resp.RelErr = r.res.RelErr
 		}
 		if sweepF32 {
 			resp.Sweep = "f32"
@@ -339,6 +370,51 @@ func (s *Server) do(ctx context.Context, req *Request) (*Response, error) {
 		// only this caller stops waiting.
 		return nil, ctx.Err()
 	}
+}
+
+// queryOpts resolves a request's accuracy/latency budgets into engine
+// QueryOpts: the deadline becomes absolute at admission (queue and
+// factorization wait count against it), the request context is honored
+// inside the integration whenever the query is budgeted, and under queue
+// pressure the relative-error budget is degraded (loosened, never past
+// MaxErrorFloor) so load sheds compute instead of walking into 503s.
+func (s *Server) queryOpts(ctx context.Context, req *Request) (parmvn.QueryOpts, bool) {
+	q := parmvn.QueryOpts{MaxRelErr: req.MaxError}
+	if req.DeadlineMs > 0 {
+		q.Deadline = time.Now().Add(time.Duration(req.DeadlineMs * float64(time.Millisecond)))
+	}
+	degraded := false
+	if t := s.loadPressure(); t > 0 {
+		if budget := s.cfg.MaxErrorFloor * t; budget > q.MaxRelErr {
+			q.MaxRelErr = budget
+			degraded = true
+			s.ctr.degraded.Add(1)
+		}
+	}
+	if q.MaxRelErr > 0 || !q.Deadline.IsZero() {
+		// Budgeted queries are cancelable mid-integration; unconstrained
+		// ones keep the exact fixed-N path (Ctx would reroute them).
+		q.Ctx = ctx
+	}
+	return q, degraded
+}
+
+// loadPressure maps the in-flight gauge to the degradation ramp: 0 at or
+// below DegradeAt·MaxInFlight, rising linearly to 1 at the cap.
+func (s *Server) loadPressure() float64 {
+	at := s.cfg.DegradeAt
+	if at >= 1 {
+		return 0
+	}
+	load := float64(s.ctr.inFlight.Load()) / float64(s.cfg.MaxInFlight)
+	t := (load - at) / (1 - at)
+	if t <= 0 {
+		return 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	return t
 }
 
 // result is what a flight delivers to each of its waiters, exactly once.
@@ -364,18 +440,19 @@ type flight struct {
 	full    chan struct{}
 	closed  bool
 	queries []parmvn.Bounds
+	opts    []parmvn.QueryOpts
 	waiters []chan result
 }
 
 // enqueue joins the open flight for fk, or creates one. The returned channel
 // receives this request's result exactly once; coalesced reports whether an
 // existing flight was joined.
-func (sh *shard) enqueue(fk flightKey, pk parmvn.ProblemKey, cfg parmvn.Config, req *Request) (<-chan result, bool) {
+func (sh *shard) enqueue(fk flightKey, pk parmvn.ProblemKey, cfg parmvn.Config, req *Request, opt parmvn.QueryOpts) (<-chan result, bool) {
 	ch := make(chan result, 1)
 	q := parmvn.Bounds{A: req.A, B: req.B}
 	sh.mu.Lock()
 	if f, ok := sh.flights[fk]; ok && !f.closed {
-		f.join(q, ch)
+		f.join(q, opt, ch)
 		sh.mu.Unlock()
 		return ch, true
 	}
@@ -385,13 +462,15 @@ func (sh *shard) enqueue(fk flightKey, pk parmvn.ProblemKey, cfg parmvn.Config, 
 		sh: sh, key: fk, pk: pk, sess: sess,
 		locs: req.Locs, kernel: req.Kernel,
 		full:    make(chan struct{}),
-		queries: []parmvn.Bounds{q}, waiters: []chan result{ch},
+		queries: []parmvn.Bounds{q},
+		opts:    []parmvn.QueryOpts{opt},
+		waiters: []chan result{ch},
 	}
 	sh.mu.Lock()
 	if cur, ok := sh.flights[fk]; ok && !cur.closed {
 		// Lost a race with another creator while the session was resolved:
 		// join theirs instead.
-		cur.join(q, ch)
+		cur.join(q, opt, ch)
 		sh.mu.Unlock()
 		return ch, true
 	}
@@ -405,8 +484,9 @@ func (sh *shard) enqueue(fk flightKey, pk parmvn.ProblemKey, cfg parmvn.Config, 
 // join adds one query to an open flight; at MaxBatch the flight stops
 // accepting (the next arrival starts a fresh one) and is woken for an early
 // flush. Called with the shard mutex held on an open (not closed) flight.
-func (f *flight) join(q parmvn.Bounds, ch chan result) {
+func (f *flight) join(q parmvn.Bounds, opt parmvn.QueryOpts, ch chan result) {
 	f.queries = append(f.queries, q)
+	f.opts = append(f.opts, opt)
 	f.waiters = append(f.waiters, ch)
 	if len(f.queries) >= f.sh.srv.cfg.MaxBatch {
 		f.closed = true
@@ -463,13 +543,13 @@ func (f *flight) run() {
 		srv.ctr.factorizations.Add(1)
 		defer func() { <-srv.factorSem }()
 	}
-	qs, ws := f.take()
+	qs, qo, ws := f.take()
 	var out []parmvn.Result
 	var err error
 	if f.key.nu > 0 {
-		out, err = f.sess.MVTProbBatch(f.locs, f.kernel, f.key.nu, qs)
+		out, err = f.sess.MVTProbBatchOpts(f.locs, f.kernel, f.key.nu, qs, qo)
 	} else {
-		out, err = f.sess.MVNProbBatch(f.locs, f.kernel, qs)
+		out, err = f.sess.MVNProbBatchOpts(f.locs, f.kernel, qs, qo)
 	}
 	srv.ctr.batches.Add(1)
 	srv.ctr.batchedQueries.Add(uint64(len(qs)))
@@ -483,23 +563,23 @@ func (f *flight) run() {
 }
 
 // take closes the flight to joiners and claims its gathered queries.
-func (f *flight) take() ([]parmvn.Bounds, []chan result) {
+func (f *flight) take() ([]parmvn.Bounds, []parmvn.QueryOpts, []chan result) {
 	sh := f.sh
 	sh.mu.Lock()
 	f.closed = true
 	if cur, ok := sh.flights[f.key]; ok && cur == f {
 		delete(sh.flights, f.key)
 	}
-	qs, ws := f.queries, f.waiters
+	qs, qo, ws := f.queries, f.opts, f.waiters
 	sh.mu.Unlock()
-	return qs, ws
+	return qs, qo, ws
 }
 
 // deliverErr fails every waiter gathered so far with err. Backpressure
 // rejections are counted here, per shed request — a failed slot acquisition
 // rejects the whole flight, not just its leader.
 func (f *flight) deliverErr(err error) {
-	_, ws := f.take()
+	_, _, ws := f.take()
 	if errors.Is(err, ErrOverloaded) {
 		f.sh.srv.ctr.rejected.Add(uint64(len(ws)))
 	}

@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -24,21 +26,99 @@ type counters struct {
 	openFlights atomic.Int64
 	factorQueue atomic.Int64
 
+	degraded        atomic.Uint64
+	budgeted        atomic.Uint64
+	budgetCapped    atomic.Uint64
+	canceledQueries atomic.Uint64
+
 	latCount atomic.Uint64
 	latTotal atomic.Int64 // microseconds
 	latMax   atomic.Int64 // microseconds
+
+	latRes     reservoir // latency, milliseconds
+	relErrRes  reservoir // achieved relative error, budgeted queries
+	samplesRes reservoir // samples paid per query
 }
 
 func (c *counters) observeLatency(d time.Duration) {
 	us := d.Microseconds()
 	c.latCount.Add(1)
 	c.latTotal.Add(us)
+	c.latRes.add(float64(us) / 1000)
 	for {
 		cur := c.latMax.Load()
 		if us <= cur || c.latMax.CompareAndSwap(cur, us) {
 			return
 		}
 	}
+}
+
+// observeQuery records a successful response's accuracy/cost tail metrics
+// and the budgeted-query outcome counters. budgeted is computed from the
+// request (an error budget, a deadline, or a degradation-imposed budget) —
+// the response alone cannot distinguish a deadline-capped query that met its
+// deadline from an unconstrained one.
+func (c *counters) observeQuery(resp *Response, budgeted bool) {
+	if resp.Samples > 0 {
+		c.samplesRes.add(float64(resp.Samples))
+	}
+	if resp.Canceled {
+		c.canceledQueries.Add(1)
+	}
+	if !budgeted {
+		return
+	}
+	c.budgeted.Add(1)
+	if resp.RelErr > 0 {
+		c.relErrRes.add(resp.RelErr)
+	}
+	if !resp.Converged && !resp.Canceled {
+		c.budgetCapped.Add(1)
+	}
+}
+
+// reservoirSize is the ring capacity of the percentile reservoirs: large
+// enough for stable p99 estimates, small enough that a snapshot sort is
+// trivial. The ring keeps the most recent observations, so percentiles track
+// current load rather than all-time history.
+const reservoirSize = 1024
+
+// reservoir is a fixed-size ring of float64 observations with mutex-guarded
+// writes — one short critical section per served request, only on the
+// response path (never inside the integration).
+type reservoir struct {
+	mu  sync.Mutex
+	buf [reservoirSize]float64
+	n   uint64
+}
+
+func (r *reservoir) add(v float64) {
+	r.mu.Lock()
+	r.buf[r.n%reservoirSize] = v
+	r.n++
+	r.mu.Unlock()
+}
+
+// percentiles returns the p50/p90/p99 of the retained observations (zeros
+// when empty).
+func (r *reservoir) percentiles() (p50, p90, p99 float64) {
+	r.mu.Lock()
+	n := r.n
+	if n > reservoirSize {
+		n = reservoirSize
+	}
+	vals := make([]float64, n)
+	copy(vals, r.buf[:n])
+	r.mu.Unlock()
+	if len(vals) == 0 {
+		return 0, 0, 0
+	}
+	sort.Float64s(vals)
+	at := func(p float64) float64 {
+		i := int(p * float64(len(vals)-1))
+		return vals[i]
+	}
+	return at(0.50), at(0.90), at(0.99)
 }
 
 // Stats is the /stats snapshot: cumulative counters since start plus the
@@ -83,6 +163,34 @@ type Stats struct {
 	LatencyMeanMs float64 `json:"latency_mean_ms"`
 	LatencyMaxMs  float64 `json:"latency_max_ms"`
 
+	// Latency percentiles over the most recent served requests (ring
+	// reservoir), in milliseconds.
+	LatencyP50Ms float64 `json:"latency_p50_ms"`
+	LatencyP90Ms float64 `json:"latency_p90_ms"`
+	LatencyP99Ms float64 `json:"latency_p99_ms"`
+
+	// BudgetedQueries counts served queries that ran with a relative-error
+	// budget (requested or degraded-imposed). Degraded counts queries whose
+	// budget admission control loosened under queue pressure; BudgetCapped
+	// counts budgeted queries that exhausted their sample/deadline budget
+	// before converging; CanceledQueries counts integrations stopped by
+	// context cancellation (partial estimates served).
+	BudgetedQueries uint64 `json:"budgeted_queries"`
+	Degraded        uint64 `json:"degraded"`
+	BudgetCapped    uint64 `json:"budget_capped"`
+	CanceledQueries uint64 `json:"canceled_queries"`
+
+	// Achieved relative-error percentiles over recent budgeted queries.
+	RelErrP50 float64 `json:"rel_err_p50"`
+	RelErrP90 float64 `json:"rel_err_p90"`
+	RelErrP99 float64 `json:"rel_err_p99"`
+
+	// QMC samples paid per query (all queries; under early stopping this is
+	// where the waves stopped).
+	SamplesP50 float64 `json:"samples_p50"`
+	SamplesP90 float64 `json:"samples_p90"`
+	SamplesP99 float64 `json:"samples_p99"`
+
 	// SchedPeakInflight is the largest in-flight task-descriptor count any
 	// pooled session's runtime reached (the windowed-submission bound);
 	// SchedStolen sums the tasks executed by work stealing across sessions.
@@ -108,11 +216,18 @@ func (s *Server) Snapshot() Stats {
 		OpenFlights:      s.ctr.openFlights.Load(),
 		FactorQueueDepth: s.ctr.factorQueue.Load(),
 		LatencyCount:     s.ctr.latCount.Load(),
+		BudgetedQueries:  s.ctr.budgeted.Load(),
+		Degraded:         s.ctr.degraded.Load(),
+		BudgetCapped:     s.ctr.budgetCapped.Load(),
+		CanceledQueries:  s.ctr.canceledQueries.Load(),
 	}
 	if st.LatencyCount > 0 {
 		st.LatencyMeanMs = float64(s.ctr.latTotal.Load()) / float64(st.LatencyCount) / 1000
 	}
 	st.LatencyMaxMs = float64(s.ctr.latMax.Load()) / 1000
+	st.LatencyP50Ms, st.LatencyP90Ms, st.LatencyP99Ms = s.ctr.latRes.percentiles()
+	st.RelErrP50, st.RelErrP90, st.RelErrP99 = s.ctr.relErrRes.percentiles()
+	st.SamplesP50, st.SamplesP90, st.SamplesP99 = s.ctr.samplesRes.percentiles()
 	for _, sh := range s.shards {
 		sh.mu.Lock()
 		for _, sess := range sh.sessions {

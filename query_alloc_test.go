@@ -5,6 +5,7 @@ import (
 	"math"
 	"runtime/debug"
 	"testing"
+	"time"
 )
 
 // TestWarmQueryZeroAllocs pins the warm serving path: once the factor cache
@@ -38,6 +39,39 @@ func TestWarmQueryZeroAllocs(t *testing.T) {
 	defer debug.SetGCPercent(debug.SetGCPercent(-1))
 	if allocs := testing.AllocsPerRun(20, warm); allocs != 0 {
 		t.Errorf("warm MVNProb allocated %.1f times per query, want 0", allocs)
+	}
+}
+
+// TestWarmQueryZeroAllocsEarlyStop: a warm budgeted query — accuracy target
+// plus deadline, routed through the wave-structured early-stopping
+// integration — must also be allocation-free: the wave state, the pooled
+// shifted generators and the replicate accumulators all come from pools.
+func TestWarmQueryZeroAllocsEarlyStop(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops puts under the race detector")
+	}
+	s := NewSession(Config{Workers: 1, TileSize: 16, QMCSize: 200})
+	defer s.Close()
+	locs := Grid(8, 8)
+	n := len(locs)
+	kernel := KernelSpec{Family: "exponential", Range: 0.2}
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i] = -1
+		b[i] = math.Inf(1)
+	}
+	opts := QueryOpts{MaxRelErr: 1e-2, Budget: time.Second}
+	warm := func() {
+		if _, err := s.MVNProbOpts(locs, kernel, a, b, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	warm() // factorize once; later calls hit the cache
+	warm() // settle the workspace and wave-state pools
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	if allocs := testing.AllocsPerRun(20, warm); allocs != 0 {
+		t.Errorf("warm budgeted MVNProbOpts allocated %.1f times per query, want 0", allocs)
 	}
 }
 

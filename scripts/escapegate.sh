@@ -29,7 +29,7 @@ GOLDEN=scripts/golden/escape.golden
 # functions with their vector backends, the f32 tile kernels and the QMC
 # block generators. (The scalar fallbacks in sov.go ride along: chainStep is
 # the sweep's sparse path.)
-GATED='^internal/(mvn/(sweep|sweep32|sov|pmvn)|linalg/(blocked|blas|kern_amd64)|stats/(batch|spec_amd64|phinv|stats)|tile/(f32|pool32)|qmc/qmc)\.go'
+GATED='^internal/(mvn/(sweep|sweep32|sov|pmvn|wave)|linalg/(blocked|blas|kern_amd64)|stats/(batch|spec_amd64|phinv|stats)|tile/(f32|pool32)|qmc/qmc)\.go'
 
 current() {
     go build -gcflags=-m ./internal/mvn ./internal/linalg ./internal/stats ./internal/tile ./internal/qmc 2>&1 |
