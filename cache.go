@@ -114,6 +114,32 @@ func (c *FactorCache) getOrBuild(key factorKey, build func() (mvn.Factor, error)
 	return e.f, e.err
 }
 
+// install inserts an already-built factor — deserialized from a persistent
+// store — as a done entry, opening the warm-query fast path for its key
+// without any factorization. An existing entry (built, building or failed)
+// is left untouched: the cache's exactly-once build discipline must not be
+// upset by a concurrent warm load. Reports whether the factor was
+// installed. Counted as neither hit nor miss; the serving layer counts
+// store loads separately.
+func (c *FactorCache) install(key factorKey, f mvn.Factor) bool {
+	e := &cacheEntry{ready: make(chan struct{}), f: f}
+	e.once.Do(func() {}) // consume the build slot: f is already set
+	e.done.Store(true)
+	close(e.ready)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		return false
+	}
+	c.entries[key] = e
+	c.tick++
+	e.lastUse = c.tick
+	if c.cap > 0 && len(c.entries) > c.cap {
+		c.evictOldest(key)
+	}
+	return true
+}
+
 // state reports whether key's factor is absent, mid-build or built; while a
 // build is in flight it also returns the channel closed at its completion.
 func (c *FactorCache) state(key factorKey) (FactorStatus, <-chan struct{}) {
@@ -130,17 +156,34 @@ func (c *FactorCache) state(key factorKey) (FactorStatus, <-chan struct{}) {
 	}
 }
 
-// evictOldest removes the least-recently-used entry other than keep. A
-// build still running on an evicted entry completes normally for its
-// waiters; the entry is simply no longer findable. Called with mu held.
+// evictOldest removes the least-recently-used done entry other than keep.
+// Entries whose build is still in flight are victims of last resort:
+// evicting a Building entry makes a concurrent FactorState report
+// FactorAbsent while the build it would have coalesced onto is still
+// running, so the serving layer burns a second factorization admission
+// slot for nothing. Only when every other entry is mid-build does the LRU
+// fall back to evicting one (the cache cap is a hard bound); a build still
+// running on an evicted entry completes normally for its waiters — the
+// entry is simply no longer findable. Called with mu held.
 func (c *FactorCache) evictOldest(keep factorKey) {
 	var victim factorKey
 	var vAge int64 = math.MaxInt64
-	found := false
+	found, victimDone := false, false
 	for k, e := range c.entries {
-		if k != keep && e.lastUse < vAge {
-			victim, vAge, found = k, e.lastUse, true
+		if k == keep {
+			continue
 		}
+		done := e.done.Load()
+		// A done entry always beats a building one; within a class, oldest
+		// last use wins.
+		if done != victimDone {
+			if !done {
+				continue
+			}
+		} else if e.lastUse >= vAge {
+			continue
+		}
+		victim, vAge, found, victimDone = k, e.lastUse, true, done
 	}
 	if found {
 		delete(c.entries, victim)

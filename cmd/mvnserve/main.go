@@ -11,7 +11,18 @@
 //	POST /v1/mvtprob   one MVT probability query (requires "nu")
 //	GET  /healthz      liveness
 //	GET  /stats        counters: cache hits/misses, coalesces, rejections,
-//	                   queue depth, latency
+//	                   queue depth, latency, store hits/saves
+//
+// With -store DIR the server persists every factor it builds into DIR
+// (versioned, checksummed container files) and installs stored factors on
+// cold keys, so a restarted server — or a new replica sharing the
+// directory — serves its first query for a stored key warm, with zero
+// factorizations.
+//
+// With -route URL1,URL2,... the process runs as a thin router instead:
+// requests are placed on backends by consistent hashing on their
+// ProblemKey, backends are health-checked, failed proxies retry the next
+// replica, and membership changes hand off only the affected keys.
 //
 // Example:
 //
@@ -30,6 +41,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -55,6 +67,9 @@ func main() {
 	maxDim := flag.Int("max-dim", 0, "maximum problem dimension (0 = default 16384)")
 	degradeAt := flag.Float64("degrade-at", 0, "in-flight load fraction beyond which error budgets are loosened (0 = default 0.75, >=1 disables)")
 	maxErrFloor := flag.Float64("max-error-floor", 0, "loosest relative-error budget degradation may impose at full load (0 = default 0.01)")
+	storeDir := flag.String("store", "", "persistent factor store directory (load cold keys from it, write built factors through to it)")
+	route := flag.String("route", "", "comma-separated backend URLs: run as a consistent-hash router over them instead of serving locally")
+	healthEvery := flag.Duration("health-interval", 0, "router backend health-check period (0 = default 1s)")
 	flag.Parse()
 
 	m := parmvn.Dense
@@ -68,27 +83,63 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mvnserve: unknown method %q\n", *method)
 		os.Exit(2)
 	}
-	srv := serve.New(serve.Config{
-		Session: parmvn.Config{
-			Method: m, TileSize: *tile, TLRTol: *tol,
-			QMCSize: *qmc, Replicates: *reps, Workers: *workers,
-			FactorCacheCap: *cacheCap,
-		},
-		Shards:            *shards,
-		BatchWindow:       *batchWindow,
-		MaxBatch:          *maxBatch,
-		MaxInflightFactor: *maxFactor,
-		FactorQueueDepth:  *factorQueue,
-		MaxInFlight:       *maxInflight,
-		MaxDim:            *maxDim,
-		DegradeAt:         *degradeAt,
-		MaxErrorFloor:     *maxErrFloor,
-	})
+	session := parmvn.Config{
+		Method: m, TileSize: *tile, TLRTol: *tol,
+		QMCSize: *qmc, Replicates: *reps, Workers: *workers,
+		FactorCacheCap: *cacheCap,
+	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	var handler http.Handler
+	var closeFn func()
+	if *route != "" {
+		backends := strings.Split(*route, ",")
+		for i := range backends {
+			backends[i] = strings.TrimSpace(backends[i])
+		}
+		router, err := serve.NewRouter(serve.RouterConfig{
+			Backends:       backends,
+			Session:        session,
+			HealthInterval: *healthEvery,
+			MaxDim:         *maxDim,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mvnserve:", err)
+			os.Exit(2)
+		}
+		handler = router.Handler()
+		closeFn = router.Close
+		fmt.Printf("mvnserve: routing on %s across %d backends\n", *addr, len(backends))
+	} else {
+		var store *parmvn.FactorStore
+		if *storeDir != "" {
+			var err error
+			store, err = parmvn.OpenFactorStore(*storeDir)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mvnserve:", err)
+				os.Exit(2)
+			}
+		}
+		srv := serve.New(serve.Config{
+			Session:           session,
+			Shards:            *shards,
+			BatchWindow:       *batchWindow,
+			MaxBatch:          *maxBatch,
+			MaxInflightFactor: *maxFactor,
+			FactorQueueDepth:  *factorQueue,
+			MaxInFlight:       *maxInflight,
+			MaxDim:            *maxDim,
+			DegradeAt:         *degradeAt,
+			MaxErrorFloor:     *maxErrFloor,
+			Store:             store,
+		})
+		handler = srv.Handler()
+		closeFn = srv.Close
+		fmt.Printf("mvnserve: listening on %s (method %s, qmc %d)\n", *addr, *method, *qmc)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	done := make(chan error, 1)
 	go func() { done <- httpSrv.ListenAndServe() }()
-	fmt.Printf("mvnserve: listening on %s (method %s, qmc %d)\n", *addr, *method, *qmc)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -101,6 +152,6 @@ func main() {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		httpSrv.Shutdown(ctx)
 		cancel()
-		srv.Close()
+		closeFn()
 	}
 }

@@ -1,0 +1,377 @@
+// Package factorio is the persistent serialization format for Cholesky
+// factors: a versioned, feature-gated container of checksummed sections
+// holding a factor's tiles (in whatever per-tile representations the
+// factorization chose) plus an opaque caller key blob identifying the
+// problem the factor solves.
+//
+// Layout (all integers little endian):
+//
+//	magic   [8]byte  "PMVNFAC1"
+//	version u32      container version (currently 1)
+//	features u64     feature bitmask; decoders reject unknown bits
+//	nsect   u32      section count
+//	nsect × sections:
+//	    id      u32
+//	    length  u64   payload bytes
+//	    payload [length]byte
+//	    crc     u32   CRC-32C (Castagnoli) of the payload
+//
+// Every section carries its own checksum, so a flipped byte anywhere in a
+// payload is a typed ErrChecksum, not a garbage factor; truncation anywhere
+// is a typed ErrFormat; a future container version or an unknown feature
+// bit is refused up front (ErrVersion/ErrFeature) instead of misparsed.
+// Decode never panics on any input and never allocates more than the input
+// length can justify.
+//
+// The format stores the factor exactly: float payloads are raw IEEE-754
+// bit patterns, so a decoded factor answers queries bit-identically to the
+// factor that was encoded.
+package factorio
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"repro/internal/engine"
+	"repro/internal/linalg"
+	"repro/internal/mvn"
+	"repro/internal/tile"
+	"repro/internal/tlr"
+)
+
+// Magic identifies a factor container file.
+var Magic = [8]byte{'P', 'M', 'V', 'N', 'F', 'A', 'C', '1'}
+
+// Version is the current container version. Decoders accept only versions
+// they know; bumping it is the escape hatch for incompatible layout
+// changes, while compatible additions use feature bits.
+const Version = 1
+
+// Typed decode failures, distinguishable with errors.Is.
+var (
+	// ErrFormat: structurally malformed input — bad magic, truncation,
+	// impossible lengths, malformed tile payloads.
+	ErrFormat = errors.New("factorio: malformed factor file")
+	// ErrChecksum: a section's CRC does not match its payload.
+	ErrChecksum = errors.New("factorio: section checksum mismatch")
+	// ErrVersion: the container version is newer than this decoder.
+	ErrVersion = errors.New("factorio: unsupported container version")
+	// ErrFeature: the container uses feature bits this decoder lacks.
+	ErrFeature = errors.New("factorio: unsupported feature flags")
+)
+
+func formatErr(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrFormat, fmt.Sprintf(format, args...))
+}
+
+// Section ids. Persistent format values — append only.
+const (
+	sectionKey   = uint32(1) // opaque caller key blob
+	sectionMeta  = uint32(2) // factor kind + structural header
+	sectionTiles = uint32(3) // tile payloads, order fixed per kind
+)
+
+// Factor kind tags inside sectionMeta. Persistent format values.
+const (
+	kindDense = byte(1) // mvn.DenseFactor (full tiled dense factor)
+	kindTLR   = byte(2) // mvn.TLRFactor (dense diagonal + low-rank lower)
+	kindGrid  = byte(3) // mvn.GridFactor (adaptive per-tile representations)
+)
+
+// maxSectionBytes bounds a single section so a corrupt length cannot drive
+// a monster allocation before its checksum is ever verified.
+const maxSectionBytes = 1 << 32
+
+// castagnoli is the CRC-32C table (hardware-accelerated on amd64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Encode writes f and its identifying keyBlob as one container to w.
+// Factors must be one of the engine's three concrete types; anything else
+// is an error (no partial output discipline is the caller's job — the
+// store writes to a temp file and renames).
+func Encode(w io.Writer, keyBlob []byte, f mvn.Factor) error {
+	meta, tiles, err := encodeFactor(f)
+	if err != nil {
+		return err
+	}
+	var hdr []byte
+	hdr = append(hdr, Magic[:]...)
+	hdr = binary.LittleEndian.AppendUint32(hdr, Version)
+	hdr = binary.LittleEndian.AppendUint64(hdr, 0) // no feature bits yet
+	hdr = binary.LittleEndian.AppendUint32(hdr, 3) // section count
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	for _, s := range []struct {
+		id      uint32
+		payload []byte
+	}{{sectionKey, keyBlob}, {sectionMeta, meta}, {sectionTiles, tiles}} {
+		var sh []byte
+		sh = binary.LittleEndian.AppendUint32(sh, s.id)
+		sh = binary.LittleEndian.AppendUint64(sh, uint64(len(s.payload)))
+		if _, err := w.Write(sh); err != nil {
+			return err
+		}
+		if _, err := w.Write(s.payload); err != nil {
+			return err
+		}
+		var crc []byte
+		crc = binary.LittleEndian.AppendUint32(crc, crc32.Checksum(s.payload, castagnoli))
+		if _, err := w.Write(crc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Decode reads one container and reconstructs the factor and its key blob.
+// All failures are typed: ErrVersion/ErrFeature for gated-out files,
+// ErrChecksum for corrupted payloads, ErrFormat for everything structural.
+func Decode(r io.Reader) (keyBlob []byte, f mvn.Factor, err error) {
+	hdr := make([]byte, 8+4+8+4)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, nil, formatErr("truncated header: %v", err)
+	}
+	if [8]byte(hdr[:8]) != Magic {
+		return nil, nil, formatErr("bad magic %q", hdr[:8])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:]); v != Version {
+		return nil, nil, fmt.Errorf("%w: file version %d, decoder version %d", ErrVersion, v, Version)
+	}
+	if feats := binary.LittleEndian.Uint64(hdr[12:]); feats != 0 {
+		return nil, nil, fmt.Errorf("%w: unknown feature bits %#x", ErrFeature, feats)
+	}
+	nsect := binary.LittleEndian.Uint32(hdr[20:])
+	if nsect > 64 {
+		return nil, nil, formatErr("implausible section count %d", nsect)
+	}
+	sections := map[uint32][]byte{}
+	var sh [12]byte
+	for i := uint32(0); i < nsect; i++ {
+		if _, err := io.ReadFull(r, sh[:]); err != nil {
+			return nil, nil, formatErr("truncated section header: %v", err)
+		}
+		id := binary.LittleEndian.Uint32(sh[:])
+		length := binary.LittleEndian.Uint64(sh[4:])
+		if length > maxSectionBytes {
+			return nil, nil, formatErr("section %d length %d exceeds the format bound", id, length)
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return nil, nil, formatErr("truncated section %d payload: %v", id, err)
+		}
+		var crcb [4]byte
+		if _, err := io.ReadFull(r, crcb[:]); err != nil {
+			return nil, nil, formatErr("truncated section %d checksum: %v", id, err)
+		}
+		want := binary.LittleEndian.Uint32(crcb[:])
+		if got := crc32.Checksum(payload, castagnoli); got != want {
+			return nil, nil, fmt.Errorf("%w: section %d crc %#x, want %#x", ErrChecksum, id, got, want)
+		}
+		if id < sectionKey || id > sectionTiles {
+			// Unknown sections are structural corruption, not forward
+			// compatibility: compatible additions are signaled by feature
+			// bits (checked above), incompatible ones by a version bump.
+			return nil, nil, formatErr("unknown section id %d", id)
+		}
+		if _, dup := sections[id]; dup {
+			return nil, nil, formatErr("duplicate section %d", id)
+		}
+		sections[id] = payload
+	}
+	for _, id := range []uint32{sectionKey, sectionMeta, sectionTiles} {
+		if _, ok := sections[id]; !ok {
+			return nil, nil, formatErr("missing section %d", id)
+		}
+	}
+	meta, tiles := sections[sectionMeta], sections[sectionTiles]
+	f, err = decodeFactor(meta, tiles)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sections[sectionKey], f, nil
+}
+
+// metaHeader is the fixed prefix of sectionMeta: kind, n, ts, plus the TLR
+// truncation parameters (zero for the other kinds).
+func appendMeta(kind byte, n, ts int, tol float64, maxRank int) []byte {
+	var b []byte
+	b = append(b, kind)
+	b = binary.LittleEndian.AppendUint32(b, uint32(n))
+	b = binary.LittleEndian.AppendUint32(b, uint32(ts))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(tol))
+	b = binary.LittleEndian.AppendUint32(b, uint32(maxRank))
+	return b
+}
+
+// encodeFactor flattens one of the three concrete factor types into its
+// meta header and tile payload.
+func encodeFactor(f mvn.Factor) (meta, tiles []byte, err error) {
+	switch ff := f.(type) {
+	case *mvn.DenseFactor:
+		meta = appendMeta(kindDense, ff.L.M, ff.L.TS, 0, 0)
+		// Lower triangle only: the SOV integration reads Diag(k) and the
+		// strictly-lower tiles; the upper triangle of a factored tile.Matrix
+		// is dead storage and decodes as zeros.
+		for i := 0; i < ff.L.MT; i++ {
+			for j := 0; j <= i && j < ff.L.NT; j++ {
+				tiles = tile.AppendMatrix(tiles, ff.L.Tile(i, j))
+			}
+		}
+		return meta, tiles, nil
+	case *mvn.TLRFactor:
+		meta = appendMeta(kindTLR, ff.L.N, ff.L.TS, ff.L.Tol, ff.L.MaxRank)
+		for k := 0; k < ff.L.NT; k++ {
+			tiles = tile.AppendMatrix(tiles, ff.L.Diag[k])
+		}
+		for i := 1; i < ff.L.NT; i++ {
+			for j := 0; j < i; j++ {
+				if tiles, err = tile.AppendTile(tiles, ff.L.Low[i][j]); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+		return meta, tiles, nil
+	case *mvn.GridFactor:
+		g := ff.G
+		meta = appendMeta(kindGrid, g.N, g.TS, 0, 0)
+		for i := 0; i < g.NT; i++ {
+			for j := 0; j <= i; j++ {
+				t := g.At(i, j)
+				if t == nil {
+					return nil, nil, fmt.Errorf("factorio: grid tile (%d,%d) unassigned", i, j)
+				}
+				if tiles, err = tile.AppendTile(tiles, t); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+		return meta, tiles, nil
+	default:
+		return nil, nil, fmt.Errorf("factorio: unencodable factor type %T", f)
+	}
+}
+
+// decodeFactor reconstructs the factor from its meta header and tile
+// payload, validating every structural fact the payload claims against the
+// header before installing a tile.
+func decodeFactor(meta, tiles []byte) (mvn.Factor, error) {
+	if len(meta) < 1+4+4+8+4 {
+		return nil, formatErr("meta section too short (%d bytes)", len(meta))
+	}
+	kind := meta[0]
+	n := int(binary.LittleEndian.Uint32(meta[1:]))
+	ts := int(binary.LittleEndian.Uint32(meta[5:]))
+	tol := math.Float64frombits(binary.LittleEndian.Uint64(meta[9:]))
+	maxRank := int(binary.LittleEndian.Uint32(meta[17:]))
+	if n <= 0 || ts <= 0 || ts > n {
+		return nil, formatErr("impossible factor shape n=%d ts=%d", n, ts)
+	}
+	nt := (n + ts - 1) / ts
+	tileDims := func(i int) int {
+		if i == nt-1 {
+			if r := n - i*ts; r > 0 {
+				return r
+			}
+		}
+		return ts
+	}
+	wantShape := func(m *linalg.Matrix, r, c int, what string) error {
+		if m.Rows != r || m.Cols != c {
+			return formatErr("%s is %dx%d, want %dx%d", what, m.Rows, m.Cols, r, c)
+		}
+		return nil
+	}
+	switch kind {
+	case kindDense:
+		l := tile.New(n, n, ts)
+		for i := 0; i < nt; i++ {
+			for j := 0; j <= i; j++ {
+				m, rest, err := tile.DecodeMatrix(tiles)
+				if err != nil {
+					return nil, err
+				}
+				if err := wantShape(m, tileDims(i), tileDims(j), fmt.Sprintf("dense tile (%d,%d)", i, j)); err != nil {
+					return nil, err
+				}
+				l.SetTile(i, j, m)
+				tiles = rest
+			}
+		}
+		if len(tiles) != 0 {
+			return nil, formatErr("%d trailing bytes after dense tiles", len(tiles))
+		}
+		return mvn.NewDenseFactor(l), nil
+	case kindTLR:
+		a := &tlr.Matrix{N: n, TS: ts, NT: nt, Tol: tol, MaxRank: maxRank}
+		a.Diag = make([]*linalg.Matrix, nt)
+		for k := 0; k < nt; k++ {
+			m, rest, err := tile.DecodeMatrix(tiles)
+			if err != nil {
+				return nil, err
+			}
+			if err := wantShape(m, tileDims(k), tileDims(k), fmt.Sprintf("diagonal tile %d", k)); err != nil {
+				return nil, err
+			}
+			a.Diag[k] = m
+			tiles = rest
+		}
+		a.Low = make([][]*tlr.LRTile, nt)
+		for i := 1; i < nt; i++ {
+			a.Low[i] = make([]*tlr.LRTile, i)
+			for j := 0; j < i; j++ {
+				t, rest, err := tile.DecodeTile(tiles)
+				if err != nil {
+					return nil, err
+				}
+				lr, ok := t.(*tile.LowRank)
+				if !ok {
+					return nil, formatErr("TLR tile (%d,%d) decoded as %T, want low rank", i, j, t)
+				}
+				if lr.M != tileDims(i) || lr.N != tileDims(j) {
+					return nil, formatErr("TLR tile (%d,%d) is %dx%d, want %dx%d", i, j, lr.M, lr.N, tileDims(i), tileDims(j))
+				}
+				a.Low[i][j] = lr
+				tiles = rest
+			}
+		}
+		if len(tiles) != 0 {
+			return nil, formatErr("%d trailing bytes after TLR tiles", len(tiles))
+		}
+		return mvn.NewTLRFactor(a), nil
+	case kindGrid:
+		g, err := engine.NewGridChecked(n, ts)
+		if err != nil {
+			return nil, formatErr("%v", err)
+		}
+		for i := 0; i < nt; i++ {
+			for j := 0; j <= i; j++ {
+				t, rest, err := tile.DecodeTile(tiles)
+				if err != nil {
+					return nil, err
+				}
+				r, c := t.Dims()
+				if r != tileDims(i) || c != tileDims(j) {
+					return nil, formatErr("grid tile (%d,%d) is %dx%d, want %dx%d", i, j, r, c, tileDims(i), tileDims(j))
+				}
+				if i == j {
+					if _, ok := t.(*tile.DenseF64); !ok {
+						return nil, formatErr("grid diagonal tile %d decoded as %s, want dense64", i, t.Kind())
+					}
+				}
+				g.Set(i, j, t)
+				tiles = rest
+			}
+		}
+		if len(tiles) != 0 {
+			return nil, formatErr("%d trailing bytes after grid tiles", len(tiles))
+		}
+		return mvn.NewGridFactor(g), nil
+	default:
+		return nil, formatErr("unknown factor kind %d", kind)
+	}
+}

@@ -1,0 +1,253 @@
+package factorio
+
+import (
+	"bytes"
+	"errors"
+	"hash/crc32"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/linalg"
+	"repro/internal/mvn"
+	"repro/internal/tile"
+	"repro/internal/tlr"
+)
+
+// mat fills a deterministic pseudo-random matrix (xorshift over the seed),
+// so every test factor has distinctive, reproducible bit patterns.
+func mat(r, c int, seed uint64) *linalg.Matrix {
+	m := linalg.NewMatrix(r, c)
+	x := seed*2654435761 + 1
+	for i := range m.Data {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		m.Data[i] = float64(x%100000)/99991 + 0.5
+	}
+	return m
+}
+
+func mat32(r, c int, seed uint64) *tile.Matrix32 {
+	m := tile.NewMatrix32(r, c)
+	src := mat(r, c, seed)
+	for i := range m.Data {
+		m.Data[i] = float32(src.Data[i])
+	}
+	return m
+}
+
+// testFactors builds one hand-assembled factor of each concrete type over
+// n=10, ts=4 (tile dims 4,4,2 — a ragged edge on purpose).
+func testFactors(t *testing.T) map[string]mvn.Factor {
+	t.Helper()
+	const n, ts = 10, 4
+	dims := func(i int) int {
+		if i == 2 {
+			return 2
+		}
+		return 4
+	}
+
+	dl := tile.New(n, n, ts)
+	for i := 0; i < dl.MT; i++ {
+		for j := 0; j <= i; j++ {
+			dl.SetTile(i, j, mat(dims(i), dims(j), uint64(10*i+j)))
+		}
+	}
+
+	tl := &tlr.Matrix{N: n, TS: ts, NT: 3, Tol: 1e-5, MaxRank: 2}
+	tl.Diag = make([]*linalg.Matrix, 3)
+	tl.Low = make([][]*tlr.LRTile, 3)
+	for i := 0; i < 3; i++ {
+		tl.Diag[i] = mat(dims(i), dims(i), uint64(100+i))
+		tl.Low[i] = make([]*tlr.LRTile, i)
+		for j := 0; j < i; j++ {
+			lr := &tile.LowRank{M: dims(i), N: dims(j)}
+			if i != 2 || j != 0 { // leave one rank-0 tile to cover K=0
+				lr.U = mat(dims(i), 1, uint64(200+10*i+j))
+				lr.V = mat(dims(j), 1, uint64(300+10*i+j))
+			}
+			tl.Low[i][j] = lr
+		}
+	}
+
+	g, err := engine.NewGridChecked(n, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		g.Set(i, i, &tile.DenseF64{D: mat(dims(i), dims(i), uint64(400+i))})
+	}
+	// Off-diagonal representation mix: every wire kind in one factor.
+	g.Set(1, 0, &tile.DenseF32{D: mat32(dims(1), dims(0), 500)})
+	g.Set(2, 0, &tile.LowRank{M: dims(2), N: dims(0),
+		U: mat(dims(2), 2, 501), V: mat(dims(0), 2, 502)})
+	g.Set(2, 1, &tile.DenseF64{D: mat(dims(2), dims(1), 503)})
+
+	return map[string]mvn.Factor{
+		"dense": mvn.NewDenseFactor(dl),
+		"tlr":   mvn.NewTLRFactor(tl),
+		"grid":  mvn.NewGridFactor(g),
+	}
+}
+
+func encode(t *testing.T, keyBlob []byte, f mvn.Factor) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Encode(&buf, keyBlob, f); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestRoundTripBitIdentical checks encode→decode→encode fixpoint for every
+// factor kind: the re-encoded container is byte-for-byte the original, so
+// the decoded factor carries exactly the bits that were stored.
+func TestRoundTripBitIdentical(t *testing.T) {
+	key := []byte("problem-key-blob")
+	for name, f := range testFactors(t) {
+		t.Run(name, func(t *testing.T) {
+			enc := encode(t, key, f)
+			gotKey, dec, err := Decode(bytes.NewReader(enc))
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if !bytes.Equal(gotKey, key) {
+				t.Errorf("key blob %q, want %q", gotKey, key)
+			}
+			if dec.N() != f.N() || dec.TS() != f.TS() || dec.NT() != f.NT() {
+				t.Fatalf("decoded shape %d/%d/%d, want %d/%d/%d",
+					dec.N(), dec.TS(), dec.NT(), f.N(), f.TS(), f.NT())
+			}
+			if re := encode(t, key, dec); !bytes.Equal(re, enc) {
+				t.Errorf("re-encoded container differs from the original (%d vs %d bytes)", len(re), len(enc))
+			}
+		})
+	}
+}
+
+// TestDecodeTruncation feeds every proper prefix of a valid container to
+// Decode: each must fail with a typed error, never panic, never succeed.
+func TestDecodeTruncation(t *testing.T) {
+	enc := encode(t, []byte("k"), testFactors(t)["grid"])
+	for i := 0; i < len(enc); i++ {
+		_, _, err := Decode(bytes.NewReader(enc[:i]))
+		if err == nil {
+			t.Fatalf("truncation to %d/%d bytes decoded successfully", i, len(enc))
+		}
+		if !errors.Is(err, ErrFormat) {
+			t.Fatalf("truncation to %d bytes: error %v, want ErrFormat", i, err)
+		}
+	}
+}
+
+// TestDecodeCorruption flips every byte of a valid container in turn: each
+// flip must surface as a typed error (a payload flip as ErrChecksum), and
+// none may panic or decode.
+func TestDecodeCorruption(t *testing.T) {
+	enc := encode(t, []byte("key-blob"), testFactors(t)["tlr"])
+	checksum := 0
+	for i := 0; i < len(enc); i++ {
+		mut := make([]byte, len(enc))
+		copy(mut, enc)
+		mut[i] ^= 0x40
+		_, _, err := Decode(bytes.NewReader(mut))
+		if err == nil {
+			t.Fatalf("flipped byte %d decoded successfully", i)
+		}
+		ok := errors.Is(err, ErrFormat) || errors.Is(err, ErrChecksum) ||
+			errors.Is(err, ErrVersion) || errors.Is(err, ErrFeature)
+		if !ok {
+			t.Fatalf("flipped byte %d: untyped error %v", i, err)
+		}
+		if errors.Is(err, ErrChecksum) {
+			checksum++
+		}
+	}
+	// The overwhelming share of the file is section payload, where a flip
+	// must be caught by the section CRC specifically.
+	if checksum < len(enc)/2 {
+		t.Errorf("only %d/%d flips surfaced as ErrChecksum", checksum, len(enc))
+	}
+}
+
+// TestDecodeGates checks the version/feature gates and the magic check.
+func TestDecodeGates(t *testing.T) {
+	enc := encode(t, nil, testFactors(t)["dense"])
+
+	future := make([]byte, len(enc))
+	copy(future, enc)
+	future[8] = Version + 1 // container version field
+	if _, _, err := Decode(bytes.NewReader(future)); !errors.Is(err, ErrVersion) {
+		t.Errorf("future version: error %v, want ErrVersion", err)
+	}
+
+	feat := make([]byte, len(enc))
+	copy(feat, enc)
+	feat[12] |= 0x01 // feature bitmask
+	if _, _, err := Decode(bytes.NewReader(feat)); !errors.Is(err, ErrFeature) {
+		t.Errorf("unknown feature bit: error %v, want ErrFeature", err)
+	}
+
+	magic := make([]byte, len(enc))
+	copy(magic, enc)
+	magic[0] ^= 0xFF
+	if _, _, err := Decode(bytes.NewReader(magic)); !errors.Is(err, ErrFormat) {
+		t.Errorf("bad magic: error %v, want ErrFormat", err)
+	}
+}
+
+// TestEncodeRejectsUnknownFactor pins the encoder's closed type set.
+func TestEncodeRejectsUnknownFactor(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, nil, nil); err == nil {
+		t.Error("encoding a nil factor succeeded")
+	}
+}
+
+// TestDecodeRejectsShapeLies corrupts structural facts that individual
+// section CRCs cannot catch (the lie is checksummed too): a tile payload
+// whose shape disagrees with the meta header must be refused after the CRC
+// is recomputed to match.
+func TestDecodeRejectsShapeLies(t *testing.T) {
+	// A dense factor whose meta says n=10 but whose tiles are for n=6.
+	small := tile.New(6, 6, 4)
+	for i := 0; i < small.MT; i++ {
+		for j := 0; j <= i; j++ {
+			r, c := 4, 4
+			if i == small.MT-1 {
+				r = 2
+			}
+			if j == small.NT-1 {
+				c = 2
+			}
+			small.SetTile(i, j, mat(r, c, uint64(i*10+j)))
+		}
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, nil, mvn.NewDenseFactor(small)); err != nil {
+		t.Fatal(err)
+	}
+	enc := buf.Bytes()
+	// Patch n in the meta section from 6 to 10 and fix up its CRC. Layout:
+	// 24-byte header, then sections (id u32, len u64, payload, crc u32);
+	// sectionKey payload is empty, so meta's payload starts at 24+16.
+	metaOff := 24 + 16 + 12
+	if enc[metaOff] != kindDense || enc[metaOff+1] != 6 {
+		t.Fatalf("meta starts %d/%d, want kind %d n 6 (layout drifted?)",
+			enc[metaOff], enc[metaOff+1], kindDense)
+	}
+	enc[metaOff+1] = 10
+	payload := enc[metaOff : metaOff+21] // kind + n + ts + tol + maxRank
+	fixCRC(enc[metaOff+21:], payload)
+	if _, _, err := Decode(bytes.NewReader(enc)); !errors.Is(err, ErrFormat) {
+		t.Errorf("shape lie: error %v, want ErrFormat", err)
+	}
+}
+
+// fixCRC recomputes a section CRC in place so a deliberate payload
+// mutation tests structural validation, not the checksum.
+func fixCRC(dst, payload []byte) {
+	c := crc32.Checksum(payload, castagnoli)
+	dst[0], dst[1], dst[2], dst[3] = byte(c), byte(c>>8), byte(c>>16), byte(c>>24)
+}

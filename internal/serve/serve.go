@@ -81,6 +81,13 @@ type Config struct {
 	// impose; a request's own max_error is never tightened, only loosened
 	// toward (never past) this floor. Default 0.01.
 	MaxErrorFloor float64
+	// Store, when non-nil, is the persistent factor store: a flight whose
+	// factor is neither cached nor building first tries to install the
+	// stored factor (no factorization admission slot needed — loading is
+	// I/O-bound, not O(n³)), and every factorization a flight leads is
+	// written through to the store in the background, so restarts and new
+	// replicas sharing the directory start hot.
+	Store *parmvn.FactorStore
 }
 
 func (c Config) withDefaults() Config {
@@ -200,14 +207,6 @@ func (s *Server) Close() {
 	}
 }
 
-// baseTile is the configured large-problem tile size.
-func (s *Server) baseTile() int {
-	if t := s.cfg.Session.TileSize; t > 0 {
-		return t
-	}
-	return 64
-}
-
 // tileFor buckets the session tile size by problem dimension: the
 // configured tile for problems at least that large, otherwise the largest
 // power of two ≤ n. Bucketing (rather than min(tile, n)) bounds the session
@@ -227,9 +226,21 @@ func tileFor(n, base int) int {
 // n) is built from — and therefore also the config whose ProblemKey routes
 // the request, keeping routing and caching definitionally consistent.
 func (s *Server) sessionConfig(method parmvn.Method, n int, sweepF32 bool) parmvn.Config {
-	cfg := s.cfg.Session
+	return sessionConfigFor(s.cfg.Session, method, n, sweepF32)
+}
+
+// sessionConfigFor derives the per-request session configuration from a
+// base config. Shared with the router, which must compute the same
+// ProblemKey for a request as the backend serving it — same base config in,
+// same key out — so one covariance lands on one backend's cache.
+func sessionConfigFor(base parmvn.Config, method parmvn.Method, n int, sweepF32 bool) parmvn.Config {
+	cfg := base
 	cfg.Method = method
-	cfg.TileSize = tileFor(n, s.baseTile())
+	bt := cfg.TileSize
+	if bt <= 0 {
+		bt = 64
+	}
+	cfg.TileSize = tileFor(n, bt)
 	cfg.SweepF32 = sweepF32
 	return cfg
 }
@@ -517,6 +528,11 @@ func (f *flight) run() {
 		// caller) is already factorizing: coalesce onto its build.
 		<-done
 	default: // FactorAbsent — this flight leads the factorization.
+		if srv.storeLoad(f.sess, f.pk) {
+			// Installed from the persistent store: the key is warm without
+			// ever spending a factorization admission slot.
+			break
+		}
 		if err := srv.acquireFactorSlot(); err != nil {
 			f.deliverErr(err)
 			return
@@ -528,6 +544,7 @@ func (f *flight) run() {
 			f.deliverErr(err)
 			return
 		}
+		defer srv.storeSave(f.sess, f.pk, f.locs, f.kernel)
 	}
 	// Re-check before flushing: under hot-set LRU pressure the factor can
 	// be evicted between the state snapshot (or the prefactorization) and
@@ -586,6 +603,45 @@ func (f *flight) deliverErr(err error) {
 	for _, w := range ws {
 		w <- result{err: err}
 	}
+}
+
+// storeLoad tries to install pk's factor from the persistent store into the
+// session cache. A hit makes the key warm with zero factorizations; a miss
+// (or an unreadable file — corruption is counted but never fatal, the
+// flight just factorizes as if the store were empty) falls through to the
+// admission-controlled factorization path.
+func (s *Server) storeLoad(sess *parmvn.Session, pk parmvn.ProblemKey) bool {
+	if s.cfg.Store == nil {
+		return false
+	}
+	switch err := sess.LoadFactor(s.cfg.Store, pk); {
+	case err == nil:
+		s.ctr.storeHits.Add(1)
+		return true
+	case errors.Is(err, parmvn.ErrStoreMiss):
+		s.ctr.storeMisses.Add(1)
+	default:
+		s.ctr.storeMisses.Add(1)
+		s.ctr.storeErrors.Add(1)
+	}
+	return false
+}
+
+// storeSave writes a freshly built factor through to the persistent store
+// (skipped when a file for the key already exists — replicas sharing one
+// directory race benignly, rename is atomic either way). Runs on the
+// flight goroutine after its waiters were delivered, so it never adds
+// latency to the flight's own queries; the openFlights gauge is still held,
+// so Close waits for in-progress saves.
+func (s *Server) storeSave(sess *parmvn.Session, pk parmvn.ProblemKey, locs []parmvn.Point, kernel parmvn.KernelSpec) {
+	if s.cfg.Store == nil || s.cfg.Store.Has(pk) {
+		return
+	}
+	if err := sess.SaveFactor(s.cfg.Store, locs, kernel); err != nil {
+		s.ctr.storeErrors.Add(1)
+		return
+	}
+	s.ctr.storeSaves.Add(1)
 }
 
 // acquireFactorSlot admission-controls factorizations: take a free slot if

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -25,6 +26,11 @@ type counters struct {
 	inFlight    atomic.Int64
 	openFlights atomic.Int64
 	factorQueue atomic.Int64
+
+	storeHits   atomic.Uint64
+	storeMisses atomic.Uint64
+	storeSaves  atomic.Uint64
+	storeErrors atomic.Uint64
 
 	degraded        atomic.Uint64
 	budgeted        atomic.Uint64
@@ -69,7 +75,11 @@ func (c *counters) observeQuery(resp *Response, budgeted bool) {
 		return
 	}
 	c.budgeted.Add(1)
-	if resp.RelErr > 0 {
+	// A zero achieved error is a real observation — exact degenerate-box
+	// answers report RelErr 0 — and dropping it biases the reported
+	// percentiles upward. Only non-finite and negative values (no estimate
+	// was formed) stay out of the reservoir.
+	if resp.RelErr >= 0 && !math.IsNaN(resp.RelErr) && !math.IsInf(resp.RelErr, 0) {
 		c.relErrRes.add(resp.RelErr)
 	}
 	if !resp.Converged && !resp.Canceled {
@@ -115,7 +125,10 @@ func (r *reservoir) percentiles() (p50, p90, p99 float64) {
 	}
 	sort.Float64s(vals)
 	at := func(p float64) float64 {
-		i := int(p * float64(len(vals)-1))
+		// Nearest-rank rounding: truncation systematically under-reports the
+		// upper percentiles at small n (n=10 would map p99 to index 8 — the
+		// p80 value).
+		i := int(math.Round(p * float64(len(vals)-1)))
 		return vals[i]
 	}
 	return at(0.50), at(0.90), at(0.99)
@@ -158,6 +171,16 @@ type Stats struct {
 	InFlight         int64 `json:"in_flight"`
 	OpenFlights      int64 `json:"open_flights"`
 	FactorQueueDepth int64 `json:"factor_queue_depth"`
+
+	// StoreHits counts cold keys served by installing a factor from the
+	// persistent store (zero factorizations spent); StoreMisses counts cold
+	// keys the store did not cover; StoreSaves counts factors written
+	// through after a factorization; StoreErrors counts unreadable or
+	// unwritable store files (corruption, I/O). All zero without a store.
+	StoreHits   uint64 `json:"store_hits"`
+	StoreMisses uint64 `json:"store_misses"`
+	StoreSaves  uint64 `json:"store_saves"`
+	StoreErrors uint64 `json:"store_errors"`
 
 	LatencyCount  uint64  `json:"latency_count"`
 	LatencyMeanMs float64 `json:"latency_mean_ms"`
@@ -215,6 +238,10 @@ func (s *Server) Snapshot() Stats {
 		InFlight:         s.ctr.inFlight.Load(),
 		OpenFlights:      s.ctr.openFlights.Load(),
 		FactorQueueDepth: s.ctr.factorQueue.Load(),
+		StoreHits:        s.ctr.storeHits.Load(),
+		StoreMisses:      s.ctr.storeMisses.Load(),
+		StoreSaves:       s.ctr.storeSaves.Load(),
+		StoreErrors:      s.ctr.storeErrors.Load(),
 		LatencyCount:     s.ctr.latCount.Load(),
 		BudgetedQueries:  s.ctr.budgeted.Load(),
 		Degraded:         s.ctr.degraded.Load(),

@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPercentilesNearestRank pins the percentile index rule: nearest-rank
+// rounding over the retained observations, for small counts and for rings
+// that have wrapped.
+func TestPercentilesNearestRank(t *testing.T) {
+	fill := func(vals ...float64) *reservoir {
+		r := &reservoir{}
+		for _, v := range vals {
+			r.add(v)
+		}
+		return r
+	}
+	seq := func(lo, hi int) []float64 {
+		out := make([]float64, 0, hi-lo+1)
+		for v := lo; v <= hi; v++ {
+			out = append(out, float64(v))
+		}
+		return out
+	}
+	cases := []struct {
+		name          string
+		vals          []float64
+		p50, p90, p99 float64
+	}{
+		{"empty", nil, 0, 0, 0},
+		{"single", []float64{7}, 7, 7, 7},
+		{"two", []float64{1, 2}, 2, 2, 2}, // round(0.5*1)=1 → the larger value
+		// n=10: p50 → round(4.5)=5 → value 6; p90 → round(8.1)=8 → 9;
+		// p99 → round(8.91)=9 → 10. Truncation would report 5/9/9 — the old
+		// bug mapped p99 of ten samples to the p80 value.
+		{"ten", seq(1, 10), 6, 9, 10},
+		// Wrapped ring: 1500 insertions keep the last 1024 (477..1500).
+		// p50 → index round(0.50*1023)=512 → 989; p90 → round(920.7)=921 →
+		// 1398; p99 → round(1012.77)=1013 → 1490.
+		{"wrapped", seq(1, 1500), 989, 1398, 1490},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p50, p90, p99 := fill(tc.vals...).percentiles()
+			if p50 != tc.p50 || p90 != tc.p90 || p99 != tc.p99 {
+				t.Errorf("percentiles = %v/%v/%v, want %v/%v/%v",
+					p50, p90, p99, tc.p50, tc.p90, tc.p99)
+			}
+		})
+	}
+}
+
+// TestObserveQueryRelErrZero pins the serving-stats bugfix: an achieved
+// relative error of exactly zero is a legitimate observation and must enter
+// the reservoir; only non-finite and negative values stay out.
+func TestObserveQueryRelErrZero(t *testing.T) {
+	count := func(c *counters) uint64 {
+		c.relErrRes.mu.Lock()
+		defer c.relErrRes.mu.Unlock()
+		return c.relErrRes.n
+	}
+	var c counters
+	c.observeQuery(&Response{RelErr: 0}, true)
+	if got := count(&c); got != 1 {
+		t.Errorf("zero RelErr recorded %d observations, want 1", got)
+	}
+	c.observeQuery(&Response{RelErr: 2.5e-3}, true)
+	if got := count(&c); got != 2 {
+		t.Errorf("positive RelErr recorded %d observations, want 2", got)
+	}
+	c.observeQuery(&Response{RelErr: math.NaN()}, true)
+	c.observeQuery(&Response{RelErr: math.Inf(1)}, true)
+	c.observeQuery(&Response{RelErr: -1}, true)
+	if got := count(&c); got != 2 {
+		t.Errorf("non-finite/negative RelErr leaked into the reservoir (%d observations)", got)
+	}
+	// Unbudgeted queries contribute nothing regardless of RelErr.
+	c.observeQuery(&Response{RelErr: 0}, false)
+	if got := count(&c); got != 2 {
+		t.Errorf("unbudgeted query recorded an observation (%d)", got)
+	}
+	if got := c.budgeted.Load(); got != 5 {
+		t.Errorf("budgeted count = %d, want 5", got)
+	}
+}

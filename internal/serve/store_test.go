@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro"
+)
+
+// storeConfig is testConfig plus a persistent factor store.
+func storeConfig(t *testing.T, dir string) Config {
+	t.Helper()
+	store, err := parmvn.OpenFactorStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	cfg.Store = store
+	return cfg
+}
+
+// TestServerStoreWarmRestart is the serving-layer restart contract: a
+// server that factorized with a store attached writes the factor through;
+// a second server sharing the directory serves its first query for that
+// key warm — zero factorizations, one store hit.
+func TestServerStoreWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	body := `{"grid":{"nx":4,"ny":4},"kernel":{"family":"exponential","range":0.3},"lower":-1}`
+
+	srv1, ts1 := newTestHTTP(t, storeConfig(t, dir))
+	if status, out := post(t, ts1.URL+"/v1/mvnprob", body); status != http.StatusOK {
+		t.Fatalf("cold query status %d: %v", status, out)
+	}
+	// The write-through runs after the response is delivered; wait for it.
+	waitFor(t, "store write-through", func() bool { return srv1.Snapshot().StoreSaves == 1 })
+	st := srv1.Snapshot()
+	if st.Factorizations != 1 || st.StoreMisses != 1 || st.StoreHits != 0 {
+		t.Fatalf("first server factorizations/misses/hits = %d/%d/%d, want 1/1/0",
+			st.Factorizations, st.StoreMisses, st.StoreHits)
+	}
+
+	// "Restart": a fresh server over the same directory.
+	srv2, ts2 := newTestHTTP(t, storeConfig(t, dir))
+	if status, out := post(t, ts2.URL+"/v1/mvnprob", body); status != http.StatusOK {
+		t.Fatalf("warm query status %d: %v", status, out)
+	}
+	st = srv2.Snapshot()
+	if st.Factorizations != 0 {
+		t.Errorf("restarted server factorized %d times, want 0", st.Factorizations)
+	}
+	if st.StoreHits != 1 || st.StoreSaves != 0 {
+		t.Errorf("restarted server store hits/saves = %d/%d, want 1/0", st.StoreHits, st.StoreSaves)
+	}
+	// MVT over the same covariance shares the stored factor too.
+	if status, _ := post(t, ts2.URL+"/v1/mvtprob",
+		`{"grid":{"nx":4,"ny":4},"kernel":{"family":"exponential","range":0.3},"lower":-1,"nu":7}`); status != http.StatusOK {
+		t.Fatalf("mvt warm query status %d", status)
+	}
+	if st = srv2.Snapshot(); st.Factorizations != 0 {
+		t.Errorf("MVT re-factorized (%d) despite the stored factor", st.Factorizations)
+	}
+}
+
+// TestServerStoreCorruptFile checks the degraded path: an unreadable store
+// file surfaces as a store error, and the server falls back to factorizing
+// — the request still succeeds.
+func TestServerStoreCorruptFile(t *testing.T) {
+	dir := t.TempDir()
+	body := `{"grid":{"nx":4,"ny":4},"kernel":{"family":"exponential","range":0.2},"lower":-1}`
+
+	srv1, ts1 := newTestHTTP(t, storeConfig(t, dir))
+	if status, _ := post(t, ts1.URL+"/v1/mvnprob", body); status != http.StatusOK {
+		t.Fatal("cold query failed")
+	}
+	waitFor(t, "store write-through", func() bool { return srv1.Snapshot().StoreSaves == 1 })
+
+	ents, err := os.ReadDir(dir)
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("store dir: %v entries, err %v", len(ents), err)
+	}
+	path := filepath.Join(dir, ents[0].Name())
+	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2, ts2 := newTestHTTP(t, storeConfig(t, dir))
+	if status, out := post(t, ts2.URL+"/v1/mvnprob", body); status != http.StatusOK {
+		t.Fatalf("query over corrupt store status %d: %v", status, out)
+	}
+	st := srv2.Snapshot()
+	if st.StoreErrors == 0 {
+		t.Error("corrupt store file not counted as a store error")
+	}
+	if st.Factorizations != 1 {
+		t.Errorf("fallback factorizations = %d, want 1", st.Factorizations)
+	}
+}

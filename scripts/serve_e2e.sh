@@ -1,0 +1,112 @@
+#!/usr/bin/env bash
+# serve_e2e.sh — end-to-end smoke of the persistence and routing layer:
+#
+#   1. store restart: factorize once with -store, restart over the same
+#      directory, and assert the first query after restart is served warm
+#      (factorizations 0, store_hits 1);
+#   2. router: run mvnload against one direct backend and against a
+#      2-backend consistent-hash router, recording both runs (plus the
+#      restart-latency probe) into BENCH_serve.json.
+#
+# Needs: go, curl, python3 (JSON assertions). Exits nonzero on any broken
+# invariant; BENCH_serve.json is left in the working directory for upload.
+set -euo pipefail
+
+DUR="${MVNLOAD_DURATION:-2s}"
+QMC=500
+WORK="$(mktemp -d)"
+PIDS=()
+cleanup() {
+  for p in "${PIDS[@]:-}"; do kill "$p" 2>/dev/null || true; done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+go build -o "$WORK/mvnserve" ./cmd/mvnserve
+go build -o "$WORK/mvnload" ./cmd/mvnload
+
+wait_healthy() {
+  for _ in $(seq 1 100); do
+    curl -fsS "$1/healthz" >/dev/null 2>&1 && return 0
+    sleep 0.1
+  done
+  echo "serve_e2e: $1 never became healthy" >&2
+  return 1
+}
+
+stat_field() { # url field
+  curl -fsS "$1/stats" | python3 -c "import json,sys; print(json.load(sys.stdin)[\"$2\"])"
+}
+
+QUERY='{"grid":{"nx":12,"ny":12},"kernel":{"family":"exponential","range":0.1},"lower":-1}'
+
+echo "== store restart: cold run =="
+STORE="$WORK/factors"
+"$WORK/mvnserve" -addr 127.0.0.1:18411 -qmc $QMC -store "$STORE" &
+S1=$!; PIDS+=("$S1")
+wait_healthy http://127.0.0.1:18411
+curl -fsS -X POST http://127.0.0.1:18411/v1/mvnprob -d "$QUERY" | grep -q '"prob"'
+for _ in $(seq 1 50); do
+  [ "$(stat_field http://127.0.0.1:18411 store_saves)" = "1" ] && break
+  sleep 0.1
+done
+[ "$(stat_field http://127.0.0.1:18411 factorizations)" = "1" ] || { echo "cold run: want 1 factorization" >&2; exit 1; }
+[ "$(stat_field http://127.0.0.1:18411 store_saves)" = "1" ] || { echo "cold run: factor never persisted" >&2; exit 1; }
+kill "$S1"; wait "$S1" 2>/dev/null || true
+
+echo "== store restart: warm run =="
+"$WORK/mvnserve" -addr 127.0.0.1:18412 -qmc $QMC -store "$STORE" &
+S2=$!; PIDS+=("$S2")
+wait_healthy http://127.0.0.1:18412
+T0=$(date +%s%N)
+curl -fsS -X POST http://127.0.0.1:18412/v1/mvnprob -d "$QUERY" | grep -q '"prob"'
+T1=$(date +%s%N)
+[ "$(stat_field http://127.0.0.1:18412 factorizations)" = "0" ] || { echo "restart: want 0 factorizations (warm from store)" >&2; exit 1; }
+[ "$(stat_field http://127.0.0.1:18412 store_hits)" = "1" ] || { echo "restart: want 1 store hit" >&2; exit 1; }
+[ "$(stat_field http://127.0.0.1:18412 cache_hits)" = "1" ] || { echo "restart: want 1 cache hit" >&2; exit 1; }
+kill "$S2"; wait "$S2" 2>/dev/null || true
+WARM_MS=$(( (T1 - T0) / 1000000 ))
+echo "restart-warm first query: ${WARM_MS}ms, 0 factorizations"
+python3 - "$WARM_MS" <<'EOF'
+import json, os, sys
+runs = []
+if os.path.exists("BENCH_serve.json"):
+    runs = json.load(open("BENCH_serve.json"))
+runs.append({"label": "store-restart-first-query", "mode": "probe",
+             "requests": 1, "latency_p50_ms": float(sys.argv[1]),
+             "note": "first query after restart with -store; 0 factorizations"})
+json.dump(runs, open("BENCH_serve.json", "w"), indent=2)
+EOF
+
+echo "== load: 1 direct backend =="
+"$WORK/mvnserve" -addr 127.0.0.1:18421 -qmc $QMC &
+B1=$!; PIDS+=("$B1")
+wait_healthy http://127.0.0.1:18421
+"$WORK/mvnload" -target http://127.0.0.1:18421 -duration "$DUR" -warmup 1s \
+  -keys 4 -grid 12 -conc 8 -budget-mix 0.5 -out BENCH_serve.json -label direct-1
+
+echo "== load: 2 backends behind the router =="
+"$WORK/mvnserve" -addr 127.0.0.1:18422 -qmc $QMC &
+B2=$!; PIDS+=("$B2")
+"$WORK/mvnserve" -addr 127.0.0.1:18423 -route http://127.0.0.1:18421,http://127.0.0.1:18422 -health-interval 300ms &
+RT=$!; PIDS+=("$RT")
+wait_healthy http://127.0.0.1:18422
+wait_healthy http://127.0.0.1:18423
+"$WORK/mvnload" -target http://127.0.0.1:18423 -duration "$DUR" -warmup 1s \
+  -keys 4 -grid 12 -conc 8 -budget-mix 0.5 -out BENCH_serve.json -label router-2
+
+# Both backends must have taken traffic and no request may have failed.
+python3 <<'EOF'
+import json, sys, urllib.request
+st = json.load(urllib.request.urlopen("http://127.0.0.1:18423/stats"))
+fw = [b["forwarded"] for b in st["backends"]]
+if min(fw) == 0:
+    sys.exit(f"router never used one backend: forwarded={fw}")
+runs = json.load(open("BENCH_serve.json"))
+bad = [r["label"] for r in runs if r.get("errors", 0)]
+if bad:
+    sys.exit(f"load runs with errors: {bad}")
+print(f"router forwarded {fw}; {len(runs)} runs recorded")
+EOF
+
+echo "serve_e2e: ok"

@@ -1,0 +1,296 @@
+package parmvn
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/factorio"
+	"repro/internal/mvn"
+)
+
+// FactorStore is a directory of persisted Cholesky factors, one file per
+// factorization problem, in the versioned, checksummed internal/factorio
+// container format. It is the restart/replica warm-start mechanism of the
+// serving layer: Prefactorize once, SaveFactor, and every later process —
+// a restarted server, a new replica — installs the deserialized factor
+// straight into its session factor cache instead of paying the O(n³)
+// factorization again. A loaded factor answers queries bit-identically to
+// the factor that was saved.
+//
+// Files are written to a temporary name and renamed into place, so a crash
+// mid-write never leaves a partial file under a live name; every section of
+// the format carries its own CRC, so on-disk corruption surfaces as a typed
+// error on load, never as a wrong factor. Safe for concurrent use by any
+// number of processes sharing the directory.
+type FactorStore struct {
+	dir string
+}
+
+// ErrStoreMiss reports that the store holds no factor for the requested
+// problem (distinguishable from an I/O or corruption failure).
+var ErrStoreMiss = errors.New("parmvn: factor not in store")
+
+// storeExt is the factor file suffix.
+const storeExt = ".fac"
+
+// OpenFactorStore opens (creating if needed) a factor store directory.
+func OpenFactorStore(dir string) (*FactorStore, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("parmvn: empty factor store path")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("parmvn: factor store: %w", err)
+	}
+	return &FactorStore{dir: dir}, nil
+}
+
+// Dir returns the store's directory.
+func (st *FactorStore) Dir() string { return st.dir }
+
+// path is the file a problem key persists under: the key's well-mixed
+// 64-bit hash in hex. Two distinct keys colliding on all 64 bits is
+// astronomically unlikely; the full key is verified on load regardless, so
+// a collision degrades to a store miss, never to a wrong factor.
+func (st *FactorStore) path(pk ProblemKey) string {
+	return filepath.Join(st.dir, fmt.Sprintf("%016x%s", pk.Hash(), storeExt))
+}
+
+// Has reports whether a file for pk's factor exists (without validating
+// it; LoadFactor verifies the full key and every checksum on load).
+func (st *FactorStore) Has(pk ProblemKey) bool {
+	_, err := os.Stat(st.path(pk))
+	return err == nil
+}
+
+// Len counts the factors currently persisted.
+func (st *FactorStore) Len() (int, error) {
+	ents, err := os.ReadDir(st.dir)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), storeExt) {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// keyBlobVersion versions the factorKey serialization inside the container
+// key section (the container itself is versioned separately).
+const keyBlobVersion = 1
+
+// appendString appends a length-prefixed string.
+func appendString(b []byte, s string) []byte {
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+// encodeFactorKey serializes a factorKey deterministically; equal keys
+// produce equal blobs, so key identity on load is a bytes.Equal.
+func encodeFactorKey(k factorKey) []byte {
+	b := make([]byte, 0, 96)
+	b = append(b, keyBlobVersion, k.kind)
+	b = binary.LittleEndian.AppendUint64(b, k.hash[0])
+	b = binary.LittleEndian.AppendUint64(b, k.hash[1])
+	b = binary.LittleEndian.AppendUint64(b, uint64(k.n))
+	b = binary.LittleEndian.AppendUint32(b, uint32(k.method))
+	b = binary.LittleEndian.AppendUint32(b, uint32(k.tile))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(k.tol))
+	b = binary.LittleEndian.AppendUint32(b, uint32(k.maxRank))
+	b = binary.LittleEndian.AppendUint32(b, uint32(k.band))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(k.rankFrac))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(k.f32Cut))
+	b = appendString(b, k.kernel.Family)
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(k.kernel.Sigma2))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(k.kernel.Range))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(k.kernel.Nu))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(k.kernel.Nugget))
+	return b
+}
+
+// decodeFactorKey parses an encodeFactorKey blob.
+func decodeFactorKey(b []byte) (factorKey, error) {
+	var k factorKey
+	const fixed = 2 + 8 + 8 + 8 + 4 + 4 + 8 + 4 + 4 + 8 + 8 + 2
+	if len(b) < fixed {
+		return k, fmt.Errorf("parmvn: factor key blob too short (%d bytes)", len(b))
+	}
+	if b[0] != keyBlobVersion {
+		return k, fmt.Errorf("parmvn: factor key blob version %d, want %d", b[0], keyBlobVersion)
+	}
+	k.kind = b[1]
+	k.hash[0] = binary.LittleEndian.Uint64(b[2:])
+	k.hash[1] = binary.LittleEndian.Uint64(b[10:])
+	k.n = int(binary.LittleEndian.Uint64(b[18:]))
+	k.method = Method(int32(binary.LittleEndian.Uint32(b[26:])))
+	k.tile = int(int32(binary.LittleEndian.Uint32(b[30:])))
+	k.tol = math.Float64frombits(binary.LittleEndian.Uint64(b[34:]))
+	k.maxRank = int(int32(binary.LittleEndian.Uint32(b[42:])))
+	k.band = int(int32(binary.LittleEndian.Uint32(b[46:])))
+	k.rankFrac = math.Float64frombits(binary.LittleEndian.Uint64(b[50:]))
+	k.f32Cut = math.Float64frombits(binary.LittleEndian.Uint64(b[58:]))
+	fl := int(binary.LittleEndian.Uint16(b[66:]))
+	if len(b) < fixed+fl+4*8 {
+		return k, fmt.Errorf("parmvn: factor key blob truncated kernel section")
+	}
+	k.kernel.Family = string(b[68 : 68+fl])
+	rest := b[68+fl:]
+	k.kernel.Sigma2 = math.Float64frombits(binary.LittleEndian.Uint64(rest[0:]))
+	k.kernel.Range = math.Float64frombits(binary.LittleEndian.Uint64(rest[8:]))
+	k.kernel.Nu = math.Float64frombits(binary.LittleEndian.Uint64(rest[16:]))
+	k.kernel.Nugget = math.Float64frombits(binary.LittleEndian.Uint64(rest[24:]))
+	return k, nil
+}
+
+// SaveFactor persists the Cholesky factor for spec's kernel at locs —
+// building and caching it first if the session has not already — into the
+// store, atomically (write temp, fsync, rename). Factorization failures
+// are returned and never persisted.
+func (s *Session) SaveFactor(st *FactorStore, locs []Point, spec KernelSpec) error {
+	if len(locs) == 0 {
+		return fmt.Errorf("parmvn: empty problem (dimension 0)")
+	}
+	if err := s.validateTileSize(len(locs)); err != nil {
+		return err
+	}
+	f, err := s.factorForKernel(locs, spec)
+	if err != nil {
+		return err
+	}
+	key := s.cfg.key('k', hashPoints(locs), len(locs), spec.normalized())
+	return st.write(ProblemKey{key}, encodeFactorKey(key), f)
+}
+
+// write encodes one factor container to a temp file and renames it into
+// place under pk's name.
+func (st *FactorStore) write(pk ProblemKey, keyBlob []byte, f mvn.Factor) error {
+	tmp, err := os.CreateTemp(st.dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("parmvn: factor store: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	w := bufio.NewWriterSize(tmp, 1<<20)
+	encErr := factorio.Encode(w, keyBlob, f)
+	if encErr == nil {
+		encErr = w.Flush()
+	}
+	if encErr == nil {
+		encErr = tmp.Sync()
+	}
+	if cerr := tmp.Close(); encErr == nil {
+		encErr = cerr
+	}
+	if encErr != nil {
+		return fmt.Errorf("parmvn: factor store write: %w", encErr)
+	}
+	if err := os.Rename(tmp.Name(), st.path(pk)); err != nil {
+		return fmt.Errorf("parmvn: factor store: %w", err)
+	}
+	return nil
+}
+
+// LoadFactor installs the stored factor for pk into the session's factor
+// cache, so the next query for that problem runs warm without ever
+// factorizing. It returns ErrStoreMiss when the store has no (matching)
+// factor for pk, and the typed factorio errors (checksum, version,
+// format) for unreadable files. A factor already cached — or being built —
+// is left alone and reported as success.
+//
+// The stored key must match pk exactly — same content hash, method, tile
+// size and tolerances — otherwise the file is treated as a miss; a stored
+// factor can therefore never be installed under a configuration it was not
+// built for.
+func (s *Session) LoadFactor(st *FactorStore, pk ProblemKey) error {
+	if status, _ := s.cache.state(pk.k); status != FactorAbsent {
+		return nil
+	}
+	blob, f, err := st.read(pk)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(blob, encodeFactorKey(pk.k)) {
+		return ErrStoreMiss
+	}
+	s.cache.install(pk.k, f)
+	return nil
+}
+
+// read decodes pk's container from disk.
+func (st *FactorStore) read(pk ProblemKey) ([]byte, mvn.Factor, error) {
+	file, err := os.Open(st.path(pk))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil, ErrStoreMiss
+		}
+		return nil, nil, fmt.Errorf("parmvn: factor store: %w", err)
+	}
+	defer file.Close()
+	blob, f, err := factorio.Decode(bufio.NewReaderSize(file, 1<<20))
+	if err != nil {
+		return nil, nil, err
+	}
+	return blob, f, nil
+}
+
+// WarmFromStore installs every stored factor whose key the session's own
+// configuration would produce — same method, tile size and tolerances —
+// into the factor cache, and reports how many were installed. Factors
+// saved under other configurations are skipped, corrupt or gated-out files
+// are skipped (the store stays usable even with a damaged entry; the
+// first error encountered is returned after the scan so callers can log
+// it). With a bounded cache the LRU eviction still applies: warming more
+// factors than FactorCacheCap keeps only the last ones installed.
+func (s *Session) WarmFromStore(st *FactorStore) (int, error) {
+	ents, err := os.ReadDir(st.dir)
+	if err != nil {
+		return 0, fmt.Errorf("parmvn: factor store: %w", err)
+	}
+	installed := 0
+	var firstErr error
+	for _, ent := range ents {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), storeExt) {
+			continue
+		}
+		file, err := os.Open(filepath.Join(st.dir, ent.Name()))
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		blob, f, err := factorio.Decode(bufio.NewReaderSize(file, 1<<20))
+		file.Close()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s: %w", ent.Name(), err)
+			}
+			continue
+		}
+		key, err := decodeFactorKey(blob)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s: %w", ent.Name(), err)
+			}
+			continue
+		}
+		// The stored key is trusted only if this session would key the same
+		// problem identically: reconstruct the key from the session config
+		// and the stored content identity, and require an exact match.
+		if key != s.cfg.key(key.kind, key.hash, key.n, key.kernel) {
+			continue
+		}
+		if s.cache.install(key, f) {
+			installed++
+		}
+	}
+	return installed, firstErr
+}

@@ -1,0 +1,379 @@
+package parmvn
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/factorio"
+	"repro/internal/mvn"
+)
+
+// TestEvictPrefersDoneOverBuilding pins the eviction policy: when the cache
+// overflows, a built (done) entry is evicted before any entry whose build is
+// still in flight, even when the building entry is older — evicting a
+// building entry would make concurrent FactorState observers see
+// FactorAbsent and burn a second factorization slot on a build already
+// running. Runs with a real blocked build so -race checks the interleaving.
+func TestEvictPrefersDoneOverBuilding(t *testing.T) {
+	c := newFactorCache(2)
+	keyBuilding := factorKey{kind: 'k', n: 1}
+	keyDone := factorKey{kind: 'k', n: 2}
+	keyNew := factorKey{kind: 'k', n: 3}
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		c.getOrBuild(keyBuilding, func() (mvn.Factor, error) {
+			close(entered)
+			<-release
+			return nil, errors.New("stub build")
+		})
+	}()
+	<-entered // keyBuilding is now mid-build with the oldest LRU stamp
+
+	if _, err := c.getOrBuild(keyDone, func() (mvn.Factor, error) { return nil, nil }); err != nil {
+		t.Fatal(err)
+	}
+	// Inserting a third key overflows cap 2. LRU alone would evict
+	// keyBuilding (oldest); the policy must pick keyDone instead.
+	if _, err := c.getOrBuild(keyNew, func() (mvn.Factor, error) { return nil, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := c.state(keyBuilding); st != FactorBuilding {
+		t.Errorf("building entry state = %v, want FactorBuilding (was it evicted?)", st)
+	}
+	if st, _ := c.state(keyDone); st != FactorAbsent {
+		t.Errorf("done entry state = %v, want FactorAbsent (it was the LRU-newer but done victim)", st)
+	}
+	close(release)
+	<-finished
+
+	// Fall-back: when every other entry is mid-build, the cap still holds —
+	// the oldest building entry is evicted as a last resort.
+	c2 := newFactorCache(1)
+	entered2 := make(chan struct{})
+	release2 := make(chan struct{})
+	finished2 := make(chan struct{})
+	go func() {
+		defer close(finished2)
+		c2.getOrBuild(keyBuilding, func() (mvn.Factor, error) {
+			close(entered2)
+			<-release2
+			return nil, nil
+		})
+	}()
+	<-entered2
+	if _, err := c2.getOrBuild(keyNew, func() (mvn.Factor, error) { return nil, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := c2.state(keyBuilding); st != FactorAbsent {
+		t.Errorf("all-building overflow: state = %v, want FactorAbsent (cap is a hard bound)", st)
+	}
+	if got := c2.Len(); got != 1 {
+		t.Errorf("cache len = %d, want cap 1", got)
+	}
+	close(release2)
+	<-finished2
+}
+
+func storeTestProblem() (locs []Point, spec KernelSpec, a, b []float64) {
+	locs = Grid(5, 5)
+	spec = KernelSpec{Family: "exponential", Range: 0.15}
+	n := len(locs)
+	a = make([]float64, n)
+	b = make([]float64, n)
+	for i := range a {
+		a[i] = -1
+		b[i] = 1
+	}
+	return locs, spec, a, b
+}
+
+// TestStoreRoundTripBitIdentical is the store's end-to-end property: for
+// every factorization method, and for MVN and MVT queries alike, a session
+// that loaded its factor from disk answers bit-identically to the session
+// that built and saved it — the factor round-trips exactly, and the loaded
+// session never factorizes.
+func TestStoreRoundTripBitIdentical(t *testing.T) {
+	locs, spec, a, b := storeTestProblem()
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"dense", Config{Method: Dense, TileSize: 8, QMCSize: 256, Replicates: 2, Workers: 1}},
+		{"tlr", Config{Method: TLR, TileSize: 8, TLRTol: 1e-6, QMCSize: 256, Replicates: 2, Workers: 1}},
+		{"adaptive", Config{Method: MethodAdaptive, TileSize: 8, QMCSize: 256, Replicates: 2, Workers: 1}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			st, err := OpenFactorStore(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			s1 := NewSession(tc.cfg)
+			defer s1.Close()
+			if err := s1.SaveFactor(st, locs, spec); err != nil {
+				t.Fatalf("save: %v", err)
+			}
+			pk, err := s1.ProblemKey(locs, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !st.Has(pk) {
+				t.Fatal("store reports no factor after SaveFactor")
+			}
+			mvn1, err := s1.MVNProb(locs, spec, a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mvt1, err := s1.MVTProb(locs, spec, 5, a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			s2 := NewSession(tc.cfg)
+			defer s2.Close()
+			if err := s2.LoadFactor(st, pk); err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			if status, _ := s2.FactorState(pk); status != FactorReady {
+				t.Fatalf("loaded factor state = %v, want FactorReady", status)
+			}
+			mvn2, err := s2.MVNProb(locs, spec, a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mvt2, err := s2.MVTProb(locs, spec, 5, a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mvn1.Prob != mvn2.Prob || mvn1.StdErr != mvn2.StdErr {
+				t.Errorf("MVN not bit-identical: %v/%v vs %v/%v",
+					mvn1.Prob, mvn1.StdErr, mvn2.Prob, mvn2.StdErr)
+			}
+			if mvt1.Prob != mvt2.Prob || mvt1.StdErr != mvt2.StdErr {
+				t.Errorf("MVT not bit-identical: %v/%v vs %v/%v",
+					mvt1.Prob, mvt1.StdErr, mvt2.Prob, mvt2.StdErr)
+			}
+			if _, misses := s2.Cache().Stats(); misses != 0 {
+				t.Errorf("loaded session paid %d factorizations, want 0", misses)
+			}
+			// A second load is a no-op success (entry already resident).
+			if err := s2.LoadFactor(st, pk); err != nil {
+				t.Errorf("re-load over a resident factor: %v", err)
+			}
+		})
+	}
+}
+
+// TestStoreMissAndKeyVerification checks the miss paths: an absent file is
+// ErrStoreMiss, and a file whose embedded key disagrees with the requested
+// problem (here: a stored factor copied under another key's file name) is a
+// miss too — never an installed wrong factor.
+func TestStoreMissAndKeyVerification(t *testing.T) {
+	locs, spec, _, _ := storeTestProblem()
+	cfg := Config{TileSize: 8, QMCSize: 200, Workers: 1}
+	st, err := OpenFactorStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSession(cfg)
+	defer s.Close()
+
+	pk, err := s.ProblemKey(locs, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LoadFactor(st, pk); !errors.Is(err, ErrStoreMiss) {
+		t.Fatalf("load from empty store: %v, want ErrStoreMiss", err)
+	}
+	if err := s.SaveFactor(st, locs, spec); err != nil {
+		t.Fatal(err)
+	}
+
+	// Copy the stored container under the file name of a different problem:
+	// the embedded key must be caught on load.
+	other := KernelSpec{Family: "exponential", Range: 0.33}
+	pkOther, err := s.ProblemKey(locs, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(st.path(pk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(st.path(pkOther), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewSession(cfg)
+	defer s2.Close()
+	if err := s2.LoadFactor(st, pkOther); !errors.Is(err, ErrStoreMiss) {
+		t.Fatalf("load with mismatched embedded key: %v, want ErrStoreMiss", err)
+	}
+	if status, _ := s2.FactorState(pkOther); status != FactorAbsent {
+		t.Error("mismatched factor was installed")
+	}
+}
+
+// TestStoreCorruption truncates and corrupts stored files: loads surface
+// the typed factorio errors and never install a factor.
+func TestStoreCorruption(t *testing.T) {
+	locs, spec, _, _ := storeTestProblem()
+	cfg := Config{TileSize: 8, QMCSize: 200, Workers: 1}
+	st, err := OpenFactorStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSession(cfg)
+	defer s.Close()
+	if err := s.SaveFactor(st, locs, spec); err != nil {
+		t.Fatal(err)
+	}
+	pk, err := s.ProblemKey(locs, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := st.path(pk)
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := func() *Session { return NewSession(cfg) }
+
+	// Truncation mid-file.
+	if err := os.WriteFile(path, orig[:len(orig)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := fresh()
+	if err := s2.LoadFactor(st, pk); !errors.Is(err, factorio.ErrFormat) {
+		t.Errorf("truncated file: %v, want ErrFormat", err)
+	}
+	s2.Close()
+
+	// One flipped payload byte.
+	mut := make([]byte, len(orig))
+	copy(mut, orig)
+	mut[len(mut)/2] ^= 0x10
+	if err := os.WriteFile(path, mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s3 := fresh()
+	if err := s3.LoadFactor(st, pk); !errors.Is(err, factorio.ErrChecksum) {
+		t.Errorf("flipped byte: %v, want ErrChecksum", err)
+	}
+	s3.Close()
+
+	// Future container version.
+	fut := make([]byte, len(orig))
+	copy(fut, orig)
+	fut[8]++
+	if err := os.WriteFile(path, fut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s4 := fresh()
+	if err := s4.LoadFactor(st, pk); !errors.Is(err, factorio.ErrVersion) {
+		t.Errorf("future version: %v, want ErrVersion", err)
+	}
+	if status, _ := s4.FactorState(pk); status != FactorAbsent {
+		t.Error("corrupt factor was installed")
+	}
+	s4.Close()
+}
+
+// TestWarmFromStore saves several factors and warms fresh sessions from the
+// directory: a matching configuration installs them all, a mismatched one
+// installs none, and a damaged file is skipped (reported, not fatal).
+func TestWarmFromStore(t *testing.T) {
+	locs, _, a, b := storeTestProblem()
+	cfg := Config{TileSize: 8, QMCSize: 200, Workers: 1}
+	st, err := OpenFactorStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []KernelSpec{
+		{Family: "exponential", Range: 0.1},
+		{Family: "exponential", Range: 0.25},
+	}
+	s := NewSession(cfg)
+	defer s.Close()
+	for _, spec := range specs {
+		if err := s.SaveFactor(st, locs, spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, err := st.Len(); err != nil || n != 2 {
+		t.Fatalf("store len = %d (%v), want 2", n, err)
+	}
+
+	warm := NewSession(cfg)
+	defer warm.Close()
+	n, err := warm.WarmFromStore(st)
+	if err != nil || n != 2 {
+		t.Fatalf("warm install = %d (%v), want 2", n, err)
+	}
+	for _, spec := range specs {
+		if _, err := warm.MVNProb(locs, spec, a, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hits, misses := warm.Cache().Stats(); hits != 2 || misses != 0 {
+		t.Errorf("warmed session hits/misses = %d/%d, want 2/0", hits, misses)
+	}
+
+	// A session whose configuration keys problems differently installs
+	// nothing: the stored factors were not built for it.
+	cold := NewSession(Config{TileSize: 8, QMCSize: 200, Workers: 1, Method: TLR, TLRTol: 1e-5})
+	defer cold.Close()
+	if n, err := cold.WarmFromStore(st); err != nil || n != 0 {
+		t.Errorf("mismatched config installed %d (%v), want 0", n, err)
+	}
+
+	// A damaged file is skipped and reported without losing the good ones.
+	if err := os.WriteFile(filepath.Join(st.Dir(), "deadbeef00000000.fac"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	warm2 := NewSession(cfg)
+	defer warm2.Close()
+	n, err = warm2.WarmFromStore(st)
+	if n != 2 {
+		t.Errorf("warm with damaged file installed %d, want 2", n)
+	}
+	if err == nil {
+		t.Error("damaged file was not reported")
+	}
+}
+
+// TestFactorKeyBlobRoundTrip checks the key serialization: decode(encode)
+// is the identity, so the on-disk key identity check is exact.
+func TestFactorKeyBlobRoundTrip(t *testing.T) {
+	k := factorKey{
+		kind:    'k',
+		hash:    [2]uint64{0x0123456789abcdef, 0xfedcba9876543210},
+		n:       400,
+		kernel:  KernelSpec{Family: "matern", Sigma2: 1.5, Range: 0.2, Nu: 2.5, Nugget: 1e-8},
+		method:  MethodAdaptive,
+		tile:    64,
+		tol:     1e-7,
+		maxRank: 48,
+		band:    2, rankFrac: 0.25, f32Cut: 0.5,
+	}
+	got, err := decodeFactorKey(encodeFactorKey(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != k {
+		t.Errorf("round trip changed the key:\n got %+v\nwant %+v", got, k)
+	}
+	if _, err := decodeFactorKey(encodeFactorKey(k)[:10]); err == nil {
+		t.Error("truncated key blob decoded successfully")
+	}
+	bad := encodeFactorKey(k)
+	bad[0] = keyBlobVersion + 1
+	if _, err := decodeFactorKey(bad); err == nil {
+		t.Error("future key blob version decoded successfully")
+	}
+}
